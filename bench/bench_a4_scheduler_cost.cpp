@@ -1,0 +1,94 @@
+// R-A4: scheduler decision-path cost (host wall-clock, google-benchmark).
+// Supports the paper's "no overhead" claim on its second axis: the
+// co-allocation-aware passes must not be meaningfully more expensive per
+// decision than their baselines, across queue depths.
+#include <benchmark/benchmark.h>
+
+#include "core/strategies.hpp"
+#include "tests/test_support.hpp"  // FakeHost (repo root on include path)
+
+namespace {
+
+using namespace cosched;
+using cosched::testing::FakeHost;
+using cosched::testing::make_job;
+
+const apps::Catalog& trinity() {
+  static const apps::Catalog c = apps::Catalog::trinity();
+  return c;
+}
+
+/// Builds a host whose machine is half-full of running jobs with a queue
+/// of `depth` pending jobs, the head too large to start — the worst case
+/// for backfill scans.
+std::unique_ptr<FakeHost> make_scenario(int nodes, int depth) {
+  auto host = std::make_unique<FakeHost>(nodes, trinity());
+  JobId next = 1;
+  std::vector<NodeId> alloc;
+  for (NodeId n = 0; n < nodes / 2; ++n) alloc.push_back(n);
+  // One big running job pinning half the machine, plus singles.
+  host->add_running_primary(
+      make_job(next++, nodes / 2, 4 * kHour, 5 * kHour,
+               trinity().by_name("GTC").id),
+      alloc);
+  for (NodeId n = static_cast<NodeId>(nodes / 2);
+       n < static_cast<NodeId>(3 * nodes / 4); ++n) {
+    host->add_running_primary(make_job(next++, 1, 2 * kHour, 3 * kHour,
+                                       trinity().by_name("MILC").id),
+                              {n});
+  }
+  // Head cannot fit; the rest alternates sizes/apps.
+  host->add_pending(make_job(next++, nodes, kHour, 2 * kHour,
+                             trinity().by_name("SNAP").id));
+  for (int i = 1; i < depth; ++i) {
+    host->add_pending(make_job(next++, 1 + (i % 4), kHour,
+                               (1 + i % 3) * kHour,
+                               static_cast<AppId>(i % trinity().size())));
+  }
+  return host;
+}
+
+void run_strategy(benchmark::State& state, core::StrategyKind kind) {
+  const int nodes = 32;
+  const int depth = static_cast<int>(state.range(0));
+  const auto scheduler = core::make_scheduler(kind);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto host = make_scenario(nodes, depth);
+    state.ResumeTiming();
+    scheduler->schedule(*host);
+    benchmark::DoNotOptimize(host->starts().size());
+  }
+  state.SetLabel(std::string(core::to_string(kind)) + " depth=" +
+                 std::to_string(depth));
+}
+
+void BM_Fcfs(benchmark::State& s) {
+  run_strategy(s, core::StrategyKind::kFcfs);
+}
+void BM_FirstFit(benchmark::State& s) {
+  run_strategy(s, core::StrategyKind::kFirstFit);
+}
+void BM_Easy(benchmark::State& s) {
+  run_strategy(s, core::StrategyKind::kEasyBackfill);
+}
+void BM_Conservative(benchmark::State& s) {
+  run_strategy(s, core::StrategyKind::kConservativeBackfill);
+}
+void BM_CoFirstFit(benchmark::State& s) {
+  run_strategy(s, core::StrategyKind::kCoFirstFit);
+}
+void BM_CoBackfill(benchmark::State& s) {
+  run_strategy(s, core::StrategyKind::kCoBackfill);
+}
+
+BENCHMARK(BM_Fcfs)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_FirstFit)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Easy)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Conservative)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_CoFirstFit)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_CoBackfill)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// R-A7 ablation (substitution robustness): sensitivity of the headline
+// result to the interference-model calibration. The co-run model replaces
+// the paper's real hardware (DESIGN.md "Substitutions"); this sweep
+// perturbs its three load-bearing constants and reports the headline
+// efficiency gains at each setting. The reproduction claim only stands if
+// the qualitative result — sharing wins, with zero overhead — survives a
+// generous calibration neighbourhood.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cosched;
+  const Flags flags(argc, argv);
+  const auto env = bench::BenchEnv::from_flags(flags);
+  const auto catalog = apps::Catalog::trinity();
+
+  struct Setting {
+    const char* label;
+    interference::CorunParams params;
+  };
+  const Setting settings[] = {
+      {"default (gain .25, couple .25, base .08)", {}},
+      {"weak SMT (gain .10)",
+       {.smt_issue_gain = 0.10}},
+      {"strong SMT (gain .40)",
+       {.smt_issue_gain = 0.40}},
+      {"no cache coupling (couple 0)",
+       {.cache_coupling = 0.0}},
+      {"strong cache coupling (couple .50)",
+       {.cache_coupling = 0.50}},
+      {"cheap pipeline (base .03)",
+       {.smt_base_penalty = 0.03}},
+      {"dear pipeline (base .15)",
+       {.smt_base_penalty = 0.15}},
+  };
+
+  Table t({"model setting", "easy sched eff", "cobackfill sched eff",
+           "sched gain", "comp gain", "timeouts"});
+  for (const auto& setting : settings) {
+    slurmlite::SimulationSpec spec;
+    spec.controller.nodes = env.nodes;
+    spec.controller.corun_params = setting.params;
+    spec.workload = workload::trinity_campaign(env.nodes, env.jobs);
+
+    const std::vector<bench::MetricFn> metrics{
+        [](const auto& r) { return r.metrics.scheduling_efficiency; },
+        [](const auto& r) { return r.metrics.computational_efficiency; },
+        [](const auto& r) {
+          return static_cast<double>(r.metrics.jobs_timeout);
+        }};
+    spec.controller.strategy = core::StrategyKind::kEasyBackfill;
+    const auto base = bench::sweep_metrics(spec, catalog, env.seeds, metrics);
+    spec.controller.strategy = core::StrategyKind::kCoBackfill;
+    const auto co = bench::sweep_metrics(spec, catalog, env.seeds, metrics);
+
+    auto pct = [](double b, double c) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.1f%%", (c / b - 1.0) * 100.0);
+      return std::string(buf);
+    };
+    t.row()
+        .add(setting.label)
+        .add(base[0].mean, 3)
+        .add(co[0].mean, 3)
+        .add(pct(base[0].mean, co[0].mean))
+        .add(pct(base[1].mean, co[1].mean))
+        .add(base[2].mean + co[2].mean, 1);
+  }
+  bench::emit(
+      t, env, "R-A7 ablation: interference-model calibration sensitivity",
+      "Each row perturbs one co-run-model constant and re-measures the "
+      "EASY -> CoBackfill headline gains. Expected shape: the gains move "
+      "with the model's generosity (stronger SMT / cheaper pipeline / no "
+      "coupling => more), but stay clearly positive with zero timeouts "
+      "across the whole neighbourhood — the reproduction's shape does not "
+      "depend on a single calibration point.");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared machinery for the reproduction benches: multi-seed simulation
+// sweeps with mean +/- bootstrap-CI aggregation, and uniform flag handling
+// (--csv, --seeds, --nodes, --jobs).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "slurmlite/simulation.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched::bench {
+
+struct BenchEnv {
+  bool csv = false;
+  int seeds = 3;
+  int nodes = 32;
+  int jobs = 500;
+
+  static BenchEnv from_flags(const Flags& flags) {
+    BenchEnv env;
+    env.csv = flags.get_bool("csv", false);
+    env.seeds = static_cast<int>(flags.get_int("seeds", 3));
+    env.nodes = static_cast<int>(flags.get_int("nodes", 32));
+    env.jobs = static_cast<int>(flags.get_int("jobs", 500));
+    return env;
+  }
+};
+
+/// Per-seed metric extractor.
+using MetricFn =
+    std::function<double(const slurmlite::SimulationResult&)>;
+
+struct SweepPoint {
+  double mean = 0;
+  double ci_lo = 0;
+  double ci_hi = 0;
+};
+
+/// Runs `spec` for seeds 1..n (varying spec.seed) and aggregates `metric`.
+inline SweepPoint sweep_metric(slurmlite::SimulationSpec spec,
+                               const apps::Catalog& catalog, int seeds,
+                               const MetricFn& metric) {
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(seeds));
+  for (int s = 1; s <= seeds; ++s) {
+    spec.seed = static_cast<std::uint64_t>(s);
+    values.push_back(metric(slurmlite::run_simulation(spec, catalog)));
+  }
+  Pcg32 boot(0xb007);
+  const auto ci = bootstrap_mean_ci(values, 0.95, boot);
+  return {ci.mean, ci.lo, ci.hi};
+}
+
+/// Runs `spec` once per seed and aggregates several metrics from the same
+/// simulations (avoids re-simulating per metric).
+inline std::vector<SweepPoint> sweep_metrics(
+    slurmlite::SimulationSpec spec, const apps::Catalog& catalog, int seeds,
+    const std::vector<MetricFn>& metrics) {
+  std::vector<std::vector<double>> values(metrics.size());
+  for (int s = 1; s <= seeds; ++s) {
+    spec.seed = static_cast<std::uint64_t>(s);
+    const auto result = slurmlite::run_simulation(spec, catalog);
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      values[m].push_back(metrics[m](result));
+    }
+  }
+  std::vector<SweepPoint> out;
+  out.reserve(metrics.size());
+  for (auto& v : values) {
+    Pcg32 boot(0xb007);
+    const auto ci = bootstrap_mean_ci(v, 0.95, boot);
+    out.push_back({ci.mean, ci.lo, ci.hi});
+  }
+  return out;
+}
+
+/// Formats "mean [lo, hi]" for table cells.
+inline std::string fmt_ci(const SweepPoint& p, int precision = 3) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f [%.*f, %.*f]", precision, p.mean,
+                precision, p.ci_lo, precision, p.ci_hi);
+  return buf;
+}
+
+/// Standard bench epilogue: prints the table and a provenance note.
+inline void emit(const Table& table, const BenchEnv& env,
+                 const std::string& title, const std::string& note) {
+  if (!env.csv) {
+    std::cout << "=== " << title << " ===\n";
+  }
+  table.print(std::cout, env.csv);
+  if (!env.csv && !note.empty()) {
+    std::cout << "\n" << note << "\n";
+  }
+}
+
+}  // namespace cosched::bench

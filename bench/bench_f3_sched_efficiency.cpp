@@ -1,0 +1,40 @@
+// R-F3: scheduling efficiency by strategy across campaign sizes — the
+// strategy-comparison figure (one series per scheduler).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cosched;
+  const Flags flags(argc, argv);
+  const auto env = bench::BenchEnv::from_flags(flags);
+  const auto catalog = apps::Catalog::trinity();
+  const std::vector<int> sizes{100, 200, 400, 800};
+
+  std::vector<std::string> header{"jobs"};
+  for (auto kind : core::all_strategies()) {
+    header.emplace_back(core::to_string(kind));
+  }
+  Table t(header);
+  for (int jobs : sizes) {
+    t.row().add(jobs);
+    for (auto kind : core::all_strategies()) {
+      slurmlite::SimulationSpec spec;
+      spec.controller.nodes = env.nodes;
+      spec.controller.strategy = kind;
+      spec.workload = workload::trinity_campaign(env.nodes, jobs);
+      const auto point =
+          bench::sweep_metric(spec, catalog, env.seeds, [](const auto& r) {
+            return r.metrics.scheduling_efficiency;
+          });
+      t.add(point.mean, 3);
+    }
+  }
+  bench::emit(t, env,
+              "R-F3: scheduling efficiency by strategy vs campaign size",
+              "Trinity campaign on " + std::to_string(env.nodes) +
+                  " nodes, mean over " + std::to_string(env.seeds) +
+                  " seeds. Expected shape: cobackfill > easy, cofirstfit > "
+                  "firstfit, fcfs worst; the co strategies exceed 1.0 "
+                  "because SMT sharing packs more work than exclusive "
+                  "machine-time allows.");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// R-F4: computational efficiency by strategy across campaign sizes — the
+// companion figure to R-F3 (useful work per consumed node-second).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cosched;
+  const Flags flags(argc, argv);
+  const auto env = bench::BenchEnv::from_flags(flags);
+  const auto catalog = apps::Catalog::trinity();
+  const std::vector<int> sizes{100, 200, 400, 800};
+
+  std::vector<std::string> header{"jobs"};
+  for (auto kind : core::all_strategies()) {
+    header.emplace_back(core::to_string(kind));
+  }
+  Table t(header);
+  for (int jobs : sizes) {
+    t.row().add(jobs);
+    for (auto kind : core::all_strategies()) {
+      slurmlite::SimulationSpec spec;
+      spec.controller.nodes = env.nodes;
+      spec.controller.strategy = kind;
+      spec.workload = workload::trinity_campaign(env.nodes, jobs);
+      const auto point =
+          bench::sweep_metric(spec, catalog, env.seeds, [](const auto& r) {
+            return r.metrics.computational_efficiency;
+          });
+      t.add(point.mean, 3);
+    }
+  }
+  bench::emit(t, env,
+              "R-F4: computational efficiency by strategy vs campaign size",
+              "Exclusive strategies sit at exactly 1.000 (a consumed "
+              "node-second yields one node-second of work); the co "
+              "strategies extract extra throughput from the idle SMT "
+              "threads — the paper's +19% computational-efficiency effect.");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// R-F5: makespan and mean wait under Poisson arrivals across offered
+// loads — the load-sweep figure showing where node sharing buys headroom.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cosched;
+  const Flags flags(argc, argv);
+  const auto env = bench::BenchEnv::from_flags(flags);
+  const auto catalog = apps::Catalog::trinity();
+  const std::vector<double> loads{0.5, 0.7, 0.9, 1.1, 1.3};
+  const std::vector<core::StrategyKind> strategies{
+      core::StrategyKind::kEasyBackfill, core::StrategyKind::kCoBackfill};
+
+  Table t({"offered load", "strategy", "mean wait (min)", "p95 wait (min)",
+           "makespan (h)", "utilization"});
+  for (double rho : loads) {
+    for (auto kind : strategies) {
+      slurmlite::SimulationSpec spec;
+      spec.controller.nodes = env.nodes;
+      spec.controller.strategy = kind;
+      spec.workload = workload::trinity_stream(env.nodes, env.jobs, rho);
+
+      const auto points = bench::sweep_metrics(
+          spec, catalog, env.seeds,
+          {[](const auto& r) { return r.metrics.mean_wait_s / 60.0; },
+           [](const auto& r) { return r.metrics.p95_wait_s / 60.0; },
+           [](const auto& r) { return r.metrics.makespan_s / 3600.0; },
+           [](const auto& r) { return r.metrics.utilization; }});
+      t.row()
+          .add(rho, 1)
+          .add(core::to_string(kind))
+          .add(points[0].mean, 1)
+          .add(points[1].mean, 1)
+          .add(points[2].mean, 2)
+          .add(points[3].mean, 3);
+    }
+  }
+  bench::emit(t, env, "R-F5: load sweep (Poisson arrivals)",
+              "Expected shape: at low load the strategies tie (queues are "
+              "empty); beyond saturation (rho >= ~0.9) cobackfill's extra "
+              "SMT capacity keeps waits and makespan below easy's, and the "
+              "crossover moves right — sharing effectively enlarges the "
+              "machine.");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "apps/app_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cosched::apps {
+
+const char* to_string(AppClass c) {
+  switch (c) {
+    case AppClass::kComputeBound: return "compute";
+    case AppClass::kMemoryBandwidthBound: return "mem-bw";
+    case AppClass::kMemoryLatencyBound: return "mem-lat";
+    case AppClass::kNetworkBound: return "network";
+    case AppClass::kBalanced: return "balanced";
+  }
+  return "?";
+}
+
+double AppModel::parallel_efficiency(int nodes) const {
+  COSCHED_CHECK(nodes >= 1);
+  if (nodes == 1) return 1.0;
+  const double n = nodes;
+  // Amdahl term: speedup = 1 / (s + (1-s)/n); efficiency = speedup / n.
+  const double amdahl =
+      1.0 / (serial_fraction + (1.0 - serial_fraction) / n) / n;
+  // Communication derate compounds per doubling.
+  const double doublings = std::log2(n);
+  const double comm = std::pow(1.0 - comm_derate_per_doubling, doublings);
+  return amdahl * comm;
+}
+
+double AppModel::runtime_seconds(double node_seconds_1, int nodes) const {
+  COSCHED_CHECK(node_seconds_1 > 0 && nodes >= 1);
+  const double eff = parallel_efficiency(nodes);
+  return node_seconds_1 / (static_cast<double>(nodes) * eff);
+}
+
+}  // namespace cosched::apps

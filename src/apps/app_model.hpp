@@ -1,0 +1,73 @@
+// Application performance models.
+//
+// The scheduler in the paper observes real executions of NERSC Trinity
+// mini-applications; this repo substitutes a stress-vector model (see
+// DESIGN.md "Substitutions"). Each application is characterized by how hard
+// it drives the node resources that SMT co-location contends on:
+//
+//   issue   — fraction of per-core instruction-issue slots used when running
+//             alone (compute-bound apps are high; memory-stalled apps low)
+//   membw   — fraction of the node's DRAM bandwidth consumed
+//   cache   — sensitivity to shared last-level-cache displacement
+//   network — injection pressure on the NIC (co-located jobs share it)
+//
+// The interference model combines two vectors into per-job slowdowns; apps
+// also carry an Amdahl-style scaling curve so multi-node runtimes derate
+// realistically with node count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cosched::apps {
+
+/// Broad application class, used for reporting and for class-based pairing
+/// policies (a cheaper stand-in for full stress vectors).
+enum class AppClass : std::int8_t {
+  kComputeBound,
+  kMemoryBandwidthBound,
+  kMemoryLatencyBound,
+  kNetworkBound,
+  kBalanced,
+};
+
+const char* to_string(AppClass c);
+
+/// Per-resource pressure exerted by one process per core, each in [0, 1].
+struct StressVector {
+  double issue = 0.5;
+  double membw = 0.5;
+  double cache = 0.5;
+  double network = 0.2;
+};
+
+/// A modeled application (one Trinity mini-app).
+struct AppModel {
+  AppId id = -1;
+  std::string name;
+  AppClass app_class = AppClass::kBalanced;
+  StressVector stress;
+
+  /// Serial fraction for the Amdahl/latency scaling curve. The paper's
+  /// motivation is exactly that such apps cannot saturate all cores/nodes.
+  double serial_fraction = 0.02;
+
+  /// Communication derate per doubling of node count (captures halo /
+  /// collective overhead growth; 0 = perfect scaling).
+  double comm_derate_per_doubling = 0.03;
+
+  /// Whether users typically mark this job shareable (--oversubscribe).
+  /// IO- or latency-critical apps may opt out.
+  bool shareable = true;
+
+  /// Parallel efficiency at `nodes` relative to 1 node, in (0, 1].
+  double parallel_efficiency(int nodes) const;
+
+  /// Runtime on `nodes` nodes for a problem that takes `node_seconds_1`
+  /// node-seconds on one node, in exclusive (non-shared) mode.
+  double runtime_seconds(double node_seconds_1, int nodes) const;
+};
+
+}  // namespace cosched::apps

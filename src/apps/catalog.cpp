@@ -1,0 +1,127 @@
+#include "apps/catalog.hpp"
+
+#include "util/check.hpp"
+
+namespace cosched::apps {
+
+AppId Catalog::add(AppModel app) {
+  COSCHED_REQUIRE(!app.name.empty(), "app name must not be empty");
+  COSCHED_REQUIRE(!find(app.name), "duplicate app name '" << app.name << "'");
+  app.id = static_cast<AppId>(apps_.size());
+  apps_.push_back(std::move(app));
+  return apps_.back().id;
+}
+
+const AppModel& Catalog::get(AppId id) const {
+  COSCHED_CHECK_MSG(id >= 0 && id < size(), "unknown app id " << id);
+  return apps_[static_cast<std::size_t>(id)];
+}
+
+std::optional<AppId> Catalog::find(const std::string& name) const {
+  for (const auto& app : apps_) {
+    if (app.name == name) return app.id;
+  }
+  return std::nullopt;
+}
+
+const AppModel& Catalog::by_name(const std::string& name) const {
+  auto id = find(name);
+  COSCHED_REQUIRE(id, "unknown app '" << name << "'");
+  return get(*id);
+}
+
+Catalog Catalog::trinity() {
+  // Characterization of the NERSC Trinity / APEX mini-applications.
+  //
+  // The stress vectors encode the qualitative behaviour reported across the
+  // mini-app literature (each app's own reference docs plus SMT/co-location
+  // studies): which apps are DRAM-bandwidth bound (MiniFE's sparse solve,
+  // MILC's staggered CG, SNAP's sweeps), latency/irregular bound (AMG
+  // setup+cycle, MiniGhost halo phases), and compute-heavy (GTC's particle
+  // push, MiniDFT's dense FFT/ZGEMM mix). Absolute values are calibrated so
+  // the pairwise co-run matrix (bench R-F2) lands in the 0.8x-1.6x combined
+  // throughput range observed for 2-way SMT co-scheduling of HPC codes.
+  Catalog c;
+  c.add(AppModel{
+      .name = "miniFE",
+      .app_class = AppClass::kMemoryBandwidthBound,
+      .stress = {.issue = 0.35, .membw = 0.85, .cache = 0.55, .network = 0.15},
+      .serial_fraction = 0.015,
+      .comm_derate_per_doubling = 0.030,
+      .shareable = true});
+  c.add(AppModel{
+      .name = "miniGhost",
+      .app_class = AppClass::kNetworkBound,
+      .stress = {.issue = 0.40, .membw = 0.60, .cache = 0.45, .network = 0.55},
+      .serial_fraction = 0.020,
+      .comm_derate_per_doubling = 0.050,
+      .shareable = true});
+  c.add(AppModel{
+      .name = "AMG",
+      .app_class = AppClass::kMemoryLatencyBound,
+      .stress = {.issue = 0.30, .membw = 0.70, .cache = 0.65, .network = 0.35},
+      .serial_fraction = 0.030,
+      .comm_derate_per_doubling = 0.060,
+      .shareable = true});
+  c.add(AppModel{
+      .name = "UMT",
+      .app_class = AppClass::kBalanced,
+      .stress = {.issue = 0.60, .membw = 0.55, .cache = 0.45, .network = 0.25},
+      .serial_fraction = 0.020,
+      .comm_derate_per_doubling = 0.035,
+      .shareable = true});
+  c.add(AppModel{
+      .name = "SNAP",
+      .app_class = AppClass::kMemoryBandwidthBound,
+      .stress = {.issue = 0.40, .membw = 0.80, .cache = 0.60, .network = 0.30},
+      .serial_fraction = 0.025,
+      .comm_derate_per_doubling = 0.045,
+      .shareable = true});
+  c.add(AppModel{
+      .name = "GTC",
+      .app_class = AppClass::kComputeBound,
+      .stress = {.issue = 0.85, .membw = 0.30, .cache = 0.30, .network = 0.20},
+      .serial_fraction = 0.010,
+      .comm_derate_per_doubling = 0.020,
+      .shareable = true});
+  c.add(AppModel{
+      .name = "MILC",
+      .app_class = AppClass::kMemoryBandwidthBound,
+      .stress = {.issue = 0.45, .membw = 0.90, .cache = 0.50, .network = 0.35},
+      .serial_fraction = 0.015,
+      .comm_derate_per_doubling = 0.040,
+      .shareable = true});
+  c.add(AppModel{
+      .name = "miniDFT",
+      .app_class = AppClass::kComputeBound,
+      .stress = {.issue = 0.90, .membw = 0.45, .cache = 0.35, .network = 0.30},
+      .serial_fraction = 0.012,
+      .comm_derate_per_doubling = 0.030,
+      .shareable = true});
+  return c;
+}
+
+Catalog Catalog::synthetic(int n) {
+  COSCHED_CHECK(n > 0);
+  Catalog c;
+  for (int i = 0; i < n; ++i) {
+    // Sweep issue pressure up while memory pressure comes down so the set
+    // spans compute-bound ... memory-bound.
+    const double t = (n == 1) ? 0.5
+                              : static_cast<double>(i) /
+                                    static_cast<double>(n - 1);
+    AppModel app;
+    app.name = "synth" + std::to_string(i);
+    app.stress.issue = 0.2 + 0.7 * t;
+    app.stress.membw = 0.9 - 0.7 * t;
+    app.stress.cache = 0.3 + 0.4 * (1.0 - t);
+    app.stress.network = 0.2;
+    app.app_class = t > 0.66   ? AppClass::kComputeBound
+                    : t < 0.33 ? AppClass::kMemoryBandwidthBound
+                               : AppClass::kBalanced;
+    c.add(std::move(app));
+  }
+  return c;
+}
+
+}  // namespace cosched::apps

@@ -1,0 +1,40 @@
+// The application catalog: the set of modeled applications available to a
+// workload. The default catalog models the NERSC Trinity / APEX mini-apps
+// the paper evaluates with; custom catalogs support ablations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/app_model.hpp"
+
+namespace cosched::apps {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Adds an app; assigns and returns its id. Names must be unique.
+  AppId add(AppModel app);
+
+  const AppModel& get(AppId id) const;
+  std::optional<AppId> find(const std::string& name) const;
+  const AppModel& by_name(const std::string& name) const;
+
+  int size() const { return static_cast<int>(apps_.size()); }
+  const std::vector<AppModel>& all() const { return apps_; }
+
+  /// The Trinity mini-app catalog (see catalog.cpp for the per-app
+  /// characterization and its provenance).
+  static Catalog trinity();
+
+  /// A catalog of `n` synthetic apps spanning the stress space uniformly;
+  /// used by property tests and ablations.
+  static Catalog synthetic(int n);
+
+ private:
+  std::vector<AppModel> apps_;
+};
+
+}  // namespace cosched::apps

@@ -1,0 +1,231 @@
+#include "cluster/machine.hpp"
+
+#include <algorithm>
+
+namespace cosched::cluster {
+
+Machine::Machine(int node_count, const NodeConfig& config,
+                 TopologyParams topology, PlacementPolicy placement)
+    : config_(config),
+      topology_(topology, node_count),
+      placement_(placement) {
+  COSCHED_CHECK(node_count > 0);
+  nodes_.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i), config);
+  }
+  free_primary_count_ = node_count;
+}
+
+const Node& Machine::node(NodeId id) const {
+  COSCHED_CHECK(id >= 0 && id < node_count());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Machine::node_mutable(NodeId id) {
+  COSCHED_CHECK(id >= 0 && id < node_count());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int Machine::busy_node_count() const {
+  int n = 0;
+  for (const auto& node : nodes_) n += (node.job_count() > 0) ? 1 : 0;
+  return n;
+}
+
+int Machine::up_node_count() const {
+  int n = 0;
+  for (const auto& node : nodes_) n += node.is_down() ? 0 : 1;
+  return n;
+}
+
+std::optional<std::vector<NodeId>> Machine::find_free_nodes(int count) const {
+  COSCHED_CHECK(count > 0);
+  if (count > free_primary_count_) return std::nullopt;
+  if (placement_ == PlacementPolicy::kCompact && !topology_.flat()) {
+    return find_free_nodes_compact(count);
+  }
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (const auto& node : nodes_) {
+    if (node.primary_free()) {
+      out.push_back(node.id());
+      if (static_cast<int>(out.size()) == count) return out;
+    }
+  }
+  return std::nullopt;  // free count was stale — recount guards this
+}
+
+std::optional<std::vector<NodeId>> Machine::find_free_nodes_compact(
+    int count) const {
+  // Free nodes grouped by leaf switch.
+  std::vector<std::vector<NodeId>> per_switch(
+      static_cast<std::size_t>(topology_.switch_count()));
+  for (const auto& node : nodes_) {
+    if (node.primary_free()) {
+      per_switch[static_cast<std::size_t>(topology_.switch_of(node.id()))]
+          .push_back(node.id());
+    }
+  }
+  // Best fit when one switch suffices: the switch with the smallest free
+  // count that still fits (preserve big holes for big jobs).
+  int best_single = -1;
+  for (std::size_t s = 0; s < per_switch.size(); ++s) {
+    const int free = static_cast<int>(per_switch[s].size());
+    if (free >= count &&
+        (best_single < 0 ||
+         free < static_cast<int>(
+                    per_switch[static_cast<std::size_t>(best_single)]
+                        .size()))) {
+      best_single = static_cast<int>(s);
+    }
+  }
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  if (best_single >= 0) {
+    const auto& pool = per_switch[static_cast<std::size_t>(best_single)];
+    out.assign(pool.begin(), pool.begin() + count);
+    return out;
+  }
+  // Greedy fewest switches: take from the fullest switches first (ties by
+  // switch id for determinism).
+  std::vector<std::size_t> order(per_switch.size());
+  for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (per_switch[a].size() != per_switch[b].size()) {
+      return per_switch[a].size() > per_switch[b].size();
+    }
+    return a < b;
+  });
+  for (std::size_t s : order) {
+    for (NodeId n : per_switch[s]) {
+      out.push_back(n);
+      if (static_cast<int>(out.size()) == count) return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<NodeId>> Machine::find_shareable_nodes(
+    int count, const std::function<bool(JobId)>& primary_ok) const {
+  COSCHED_CHECK(count > 0);
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (const auto& node : nodes_) {
+    if (!node.secondary_free()) continue;
+    if (primary_ok && !primary_ok(node.primary_job())) continue;
+    out.push_back(node.id());
+    if (static_cast<int>(out.size()) == count) return out;
+  }
+  return std::nullopt;
+}
+
+std::vector<JobId> Machine::primaries_with_free_secondary() const {
+  std::vector<JobId> out;
+  for (const auto& node : nodes_) {
+    if (!node.secondary_free()) continue;
+    const JobId p = node.primary_job();
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  return out;
+}
+
+void Machine::allocate_primary(JobId job, const std::vector<NodeId>& nodes) {
+  COSCHED_CHECK_MSG(!allocations_.count(job),
+                    "job " << job << " is already allocated");
+  COSCHED_CHECK(!nodes.empty());
+  for (NodeId id : nodes) node_mutable(id).assign_primary(job);
+  allocations_[job] = Allocation{job, AllocationKind::kPrimary, nodes};
+  free_primary_count_ -= static_cast<int>(nodes.size());
+}
+
+void Machine::allocate_secondary(JobId job, const std::vector<NodeId>& nodes) {
+  COSCHED_CHECK_MSG(!allocations_.count(job),
+                    "job " << job << " is already allocated");
+  COSCHED_CHECK(!nodes.empty());
+  for (NodeId id : nodes) node_mutable(id).assign_secondary(job);
+  allocations_[job] = Allocation{job, AllocationKind::kSecondary, nodes};
+}
+
+Allocation Machine::release(JobId job) {
+  auto it = allocations_.find(job);
+  COSCHED_CHECK_MSG(it != allocations_.end(),
+                    "release of unallocated job " << job);
+  Allocation alloc = std::move(it->second);
+  allocations_.erase(it);
+  for (NodeId id : alloc.nodes) {
+    Node& n = node_mutable(id);
+    const bool was_primary_here = (n.primary_job() == job);
+    n.remove(job);
+    if (was_primary_here) {
+      // If a secondary was promoted to primary, reflect the promotion in
+      // that job's allocation record: the node is now a primary-kind hold
+      // for it. Allocation.kind describes how the job *started*, so we keep
+      // the record's kind but nothing else changes; free accounting is
+      // recomputed below.
+      (void)was_primary_here;
+    }
+  }
+  recount_free();
+  return alloc;
+}
+
+const Allocation* Machine::allocation(JobId job) const {
+  auto it = allocations_.find(job);
+  return it == allocations_.end() ? nullptr : &it->second;
+}
+
+std::vector<JobId> Machine::co_residents(JobId job) const {
+  const Allocation* alloc = allocation(job);
+  std::vector<JobId> out;
+  if (!alloc) return out;
+  for (NodeId id : alloc->nodes) {
+    for (JobId other : node(id).jobs()) {
+      if (other == job) continue;
+      if (std::find(out.begin(), out.end(), other) == out.end()) {
+        out.push_back(other);
+      }
+    }
+  }
+  return out;
+}
+
+void Machine::set_node_down(NodeId id, bool down) {
+  node_mutable(id).set_down(down);
+  recount_free();
+}
+
+void Machine::recount_free() {
+  free_primary_count_ = 0;
+  for (const auto& node : nodes_) {
+    free_primary_count_ += node.primary_free() ? 1 : 0;
+  }
+}
+
+void Machine::check_invariants() const {
+  int free_count = 0;
+  for (const auto& node : nodes_) {
+    free_count += node.primary_free() ? 1 : 0;
+    // Secondary occupancy implies a primary.
+    if (!node.secondary_jobs().empty()) {
+      COSCHED_CHECK_MSG(node.primary_job() != kInvalidJob,
+                        "node " << node.id()
+                                << " has secondaries without a primary");
+    }
+  }
+  COSCHED_CHECK_MSG(free_count == free_primary_count_,
+                    "free primary count drifted: cached "
+                        << free_primary_count_ << " actual " << free_count);
+  for (const auto& [job, alloc] : allocations_) {
+    COSCHED_CHECK(job == alloc.job);
+    for (NodeId id : alloc.nodes) {
+      const auto jobs = node(id).jobs();
+      COSCHED_CHECK_MSG(
+          std::find(jobs.begin(), jobs.end(), job) != jobs.end(),
+          "allocation for job " << job << " references node " << id
+                                << " which does not host it");
+    }
+  }
+}
+
+}  // namespace cosched::cluster

@@ -1,0 +1,111 @@
+// The machine: a set of nodes plus the allocation bookkeeping that maps
+// jobs to the nodes and slot kinds they occupy.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/topology.hpp"
+#include "util/types.hpp"
+
+namespace cosched::cluster {
+
+/// How a job occupies its nodes.
+enum class AllocationKind : std::int8_t {
+  kPrimary,    ///< exclusive-style: the node's first hardware threads
+  kSecondary,  ///< co-allocated onto SMT threads of busy nodes
+};
+
+/// A job's placement.
+struct Allocation {
+  JobId job = kInvalidJob;
+  AllocationKind kind = AllocationKind::kPrimary;
+  std::vector<NodeId> nodes;
+};
+
+class Machine {
+ public:
+  /// Builds `node_count` homogeneous nodes. The default topology is flat
+  /// (no locality effects) with topology-blind lowest-id placement.
+  Machine(int node_count, const NodeConfig& config,
+          TopologyParams topology = {},
+          PlacementPolicy placement = PlacementPolicy::kLowestId);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const NodeConfig& node_config() const { return config_; }
+  const Topology& topology() const { return topology_; }
+  PlacementPolicy placement() const { return placement_; }
+  const Node& node(NodeId id) const;
+  Node& node_mutable(NodeId id);
+
+  // --- Queries --------------------------------------------------------------
+
+  /// Nodes with a free primary slot (idle, up).
+  int free_node_count() const { return free_primary_count_; }
+
+  /// Nodes that currently host at least one job.
+  int busy_node_count() const;
+
+  /// Up nodes (not down).
+  int up_node_count() const;
+
+  /// Returns `count` node ids with free primary slots chosen under the
+  /// placement policy, or nullopt if fewer exist. kLowestId returns the
+  /// lowest-numbered free nodes; kCompact returns a placement spanning as
+  /// few leaf switches as a greedy pass can manage (best-fit when one
+  /// switch suffices). Both are deterministic.
+  std::optional<std::vector<NodeId>> find_free_nodes(int count) const;
+
+  /// Returns up to `count` node ids with a free secondary slot whose primary
+  /// job satisfies `primary_ok`, or nullopt if fewer than `count` qualify.
+  std::optional<std::vector<NodeId>> find_shareable_nodes(
+      int count, const std::function<bool(JobId)>& primary_ok) const;
+
+  /// All distinct primary jobs that currently have >= 1 node with a free
+  /// secondary slot. Used by pairing heuristics.
+  std::vector<JobId> primaries_with_free_secondary() const;
+
+  // --- Allocation -----------------------------------------------------------
+
+  /// Places `job` exclusively on `nodes` (claims primary slots).
+  void allocate_primary(JobId job, const std::vector<NodeId>& nodes);
+
+  /// Co-allocates `job` onto the secondary slots of `nodes`.
+  void allocate_secondary(JobId job, const std::vector<NodeId>& nodes);
+
+  /// Releases all slots held by `job`. Returns its (removed) allocation.
+  Allocation release(JobId job);
+
+  /// The allocation of a running job; nullptr if not allocated.
+  const Allocation* allocation(JobId job) const;
+
+  /// All jobs co-resident with `job` (sharing at least one node).
+  std::vector<JobId> co_residents(JobId job) const;
+
+  /// Failure injection: take a node out of / back into service.
+  /// The node must be empty to go down.
+  void set_node_down(NodeId id, bool down);
+
+  /// Consistency check used by tests and debug builds: every allocation's
+  /// nodes actually reference the job and free counts match. Aborts on
+  /// violation.
+  void check_invariants() const;
+
+ private:
+  std::optional<std::vector<NodeId>> find_free_nodes_compact(
+      int count) const;
+
+  NodeConfig config_;
+  Topology topology_;
+  PlacementPolicy placement_;
+  std::vector<Node> nodes_;
+  std::unordered_map<JobId, Allocation> allocations_;
+  int free_primary_count_ = 0;
+
+  void recount_free();
+};
+
+}  // namespace cosched::cluster

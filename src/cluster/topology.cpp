@@ -1,0 +1,60 @@
+#include "cluster/topology.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace cosched::cluster {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kLowestId: return "lowest-id";
+    case PlacementPolicy::kCompact: return "compact";
+  }
+  return "?";
+}
+
+Topology::Topology(TopologyParams params, int node_count)
+    : params_(params), node_count_(node_count) {
+  COSCHED_CHECK(node_count > 0);
+  COSCHED_CHECK(params_.penalty_per_extra_switch >= 0);
+}
+
+int Topology::switch_of(NodeId node) const {
+  COSCHED_CHECK(node >= 0 && node < node_count_);
+  return flat() ? 0 : node / params_.switch_size;
+}
+
+int Topology::switch_count() const {
+  return flat() ? 1
+                : (node_count_ + params_.switch_size - 1) /
+                      params_.switch_size;
+}
+
+int Topology::switches_spanned(const std::vector<NodeId>& nodes) const {
+  if (flat() || nodes.empty()) return nodes.empty() ? 0 : 1;
+  std::vector<int> switches;
+  switches.reserve(nodes.size());
+  for (NodeId n : nodes) switches.push_back(switch_of(n));
+  std::sort(switches.begin(), switches.end());
+  switches.erase(std::unique(switches.begin(), switches.end()),
+                 switches.end());
+  return static_cast<int>(switches.size());
+}
+
+int Topology::min_switches(int node_request) const {
+  COSCHED_CHECK(node_request > 0);
+  if (flat()) return 1;
+  return (node_request + params_.switch_size - 1) / params_.switch_size;
+}
+
+double Topology::locality_dilation(const std::vector<NodeId>& nodes,
+                                   double network_stress) const {
+  if (flat() || nodes.empty()) return 1.0;
+  const int extra = switches_spanned(nodes) -
+                    min_switches(static_cast<int>(nodes.size()));
+  if (extra <= 0) return 1.0;
+  return 1.0 + params_.penalty_per_extra_switch * network_stress *
+                   static_cast<double>(extra);
+}
+
+}  // namespace cosched::cluster

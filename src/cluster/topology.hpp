@@ -1,0 +1,65 @@
+// Network topology model: a two-level tree (leaf switches of fixed size
+// under one core), the granularity at which placement locality matters for
+// tightly-coupled jobs. A job spanning more leaf switches than necessary
+// pays a communication penalty proportional to its network pressure —
+// which is what makes placement policy (compact vs lowest-id) a real
+// scheduling decision.
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace cosched::cluster {
+
+struct TopologyParams {
+  /// Nodes per leaf switch. 0 = flat network (no locality effects).
+  int switch_size = 0;
+  /// Runtime dilation per extra leaf switch beyond the minimum the job
+  /// needs, scaled by the app's network stress:
+  ///   factor = 1 + penalty * network_stress * extra_switches.
+  double penalty_per_extra_switch = 0.03;
+};
+
+/// How free nodes are chosen for a primary allocation.
+enum class PlacementPolicy : std::int8_t {
+  kLowestId,  ///< first free nodes by id (topology-blind; the default)
+  kCompact,   ///< fewest leaf switches (locality-aware)
+};
+
+const char* to_string(PlacementPolicy policy);
+
+class Topology {
+ public:
+  Topology(TopologyParams params, int node_count);
+
+  bool flat() const { return params_.switch_size <= 0; }
+  int switch_size() const { return params_.switch_size; }
+  double penalty_per_extra_switch() const {
+    return params_.penalty_per_extra_switch;
+  }
+
+  /// Leaf switch hosting a node (0 for flat networks).
+  int switch_of(NodeId node) const;
+
+  /// Number of leaf switches (1 for flat networks).
+  int switch_count() const;
+
+  /// Distinct switches spanned by a node set.
+  int switches_spanned(const std::vector<NodeId>& nodes) const;
+
+  /// Minimum switches any placement of `node_request` nodes needs.
+  int min_switches(int node_request) const;
+
+  /// Locality dilation factor for a placement given the app's network
+  /// stress (>= 1; exactly 1 for flat networks or minimal placements).
+  double locality_dilation(const std::vector<NodeId>& nodes,
+                           double network_stress) const;
+
+ private:
+  TopologyParams params_;
+  int node_count_;
+};
+
+}  // namespace cosched::cluster

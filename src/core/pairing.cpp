@@ -1,0 +1,158 @@
+#include "core/pairing.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cosched::core {
+
+namespace {
+
+/// The class rule: admit exactly the complementary pairings — one side
+/// compute-bound, the other not. The cheap deployable heuristic the
+/// learned gate falls back to.
+bool classes_complementary(apps::AppClass a, apps::AppClass b) {
+  const bool a_compute = (a == apps::AppClass::kComputeBound);
+  const bool b_compute = (b == apps::AppClass::kComputeBound);
+  return a_compute != b_compute;
+}
+
+}  // namespace
+
+CoAllocator::CoAllocator(CoAllocationOptions options) : options_(options) {
+  COSCHED_CHECK(options_.pairing_threshold >= 0);
+  COSCHED_CHECK(options_.max_dilation >= 1.0);
+  COSCHED_CHECK(options_.min_samples >= 1);
+}
+
+std::optional<double> CoAllocator::admissible(SchedulerHost& host,
+                                              JobId candidate, NodeId node_id,
+                                              bool respect_deadline) const {
+  const workload::Job& cand = host.job(candidate);
+  const apps::AppModel& cand_app = host.app_of(candidate);
+  if (!cand.shareable || !cand_app.shareable) {
+    return std::nullopt;
+  }
+  const cluster::Node& node = host.machine().node(node_id);
+  if (!node.secondary_free()) return std::nullopt;
+
+  // Consent and (optionally) deadline checks are common to every gate.
+  const auto residents = node.jobs();
+  std::vector<const apps::AppModel*> resident_apps;
+  resident_apps.reserve(residents.size());
+  for (JobId resident : residents) {
+    const workload::Job& r = host.job(resident);
+    if (!r.shareable || !host.app_of(resident).shareable) return std::nullopt;
+    resident_apps.push_back(&host.app_of(resident));
+    if (respect_deadline) {
+      // The candidate must be gone (by walltime bound) before any resident
+      // primary's walltime end, so reservation math stays valid.
+      const SimTime cand_end = host.now() + cand.walltime_limit;
+      if (cand_end > host.walltime_end(resident)) return std::nullopt;
+    }
+  }
+
+  switch (options_.gate_mode) {
+    case GateMode::kOracle: {
+      // Fast path: the common two-job case is a pure function of the app
+      // pair; memoize it.
+      if (resident_apps.size() == 1) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(resident_apps[0]->id) << 32) |
+            static_cast<std::uint32_t>(cand_app.id);
+        const auto cached = oracle_pair_cache_.find(key);
+        if (cached != oracle_pair_cache_.end()) return cached->second;
+        const auto [sd_res, sd_cand] = host.corun().pair_slowdowns(
+            resident_apps[0]->stress, cand_app.stress);
+        std::optional<double> outcome;
+        const double throughput = 1.0 / sd_res + 1.0 / sd_cand;
+        if (sd_res <= options_.max_dilation &&
+            sd_cand <= options_.max_dilation &&
+            throughput >= 1.0 + options_.pairing_threshold) {
+          outcome = throughput;
+        }
+        oracle_pair_cache_.emplace(key, outcome);
+        return outcome;
+      }
+      std::vector<apps::StressVector> stresses;
+      stresses.reserve(resident_apps.size() + 1);
+      for (const apps::AppModel* app : resident_apps) {
+        stresses.push_back(app->stress);
+      }
+      stresses.push_back(cand_app.stress);
+      const auto slowdowns = host.corun().slowdowns(stresses);
+      double throughput = 0;
+      for (double sd : slowdowns) {
+        if (sd > options_.max_dilation) return std::nullopt;
+        throughput += 1.0 / sd;
+      }
+      const auto extra_jobs = static_cast<double>(stresses.size() - 1);
+      if (throughput < 1.0 + options_.pairing_threshold * extra_jobs) {
+        return std::nullopt;
+      }
+      return throughput;
+    }
+
+    case GateMode::kClassRule: {
+      for (const apps::AppModel* app : resident_apps) {
+        if (!classes_complementary(cand_app.app_class, app->app_class)) {
+          return std::nullopt;
+        }
+      }
+      return 1.0;  // no quantitative prediction: all admits rank equal
+    }
+
+    case GateMode::kLearned: {
+      const interference::PairEstimator* est = host.pair_estimator();
+      COSCHED_CHECK_MSG(est != nullptr,
+                        "learned gate mode requires a host pair estimator");
+      double score = kLearnedFallbackScore;
+      for (const apps::AppModel* app : resident_apps) {
+        const auto tput = est->combined_throughput(cand_app.id, app->id,
+                                                   options_.min_samples);
+        if (!tput) {
+          // Unseen pair: explore via the class rule.
+          if (!classes_complementary(cand_app.app_class, app->app_class)) {
+            return std::nullopt;
+          }
+          continue;
+        }
+        // Seen pair: quantitative gate from history.
+        if (est->estimate(cand_app.id, app->id).dilation >
+                options_.max_dilation ||
+            est->estimate(app->id, cand_app.id).dilation >
+                options_.max_dilation) {
+          return std::nullopt;
+        }
+        if (*tput < 1.0 + options_.pairing_threshold) return std::nullopt;
+        score = std::min(score == kLearnedFallbackScore ? *tput : score,
+                         *tput);
+      }
+      return score;
+    }
+  }
+  COSCHED_CHECK(false);
+  return std::nullopt;
+}
+
+std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
+    SchedulerHost& host, JobId candidate, bool respect_deadline) const {
+  const int wanted = host.job(candidate).nodes;
+  std::vector<std::pair<double, NodeId>> ranked;  // (-throughput, node)
+  const cluster::Machine& machine = host.machine();
+  for (NodeId n = 0; n < machine.node_count(); ++n) {
+    if (auto score = admissible(host, candidate, n, respect_deadline)) {
+      ranked.emplace_back(-*score, n);
+    }
+  }
+  if (static_cast<int>(ranked.size()) < wanted) return std::nullopt;
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(wanted));
+  for (int i = 0; i < wanted; ++i) {
+    nodes.push_back(ranked[static_cast<std::size_t>(i)].second);
+  }
+  return nodes;
+}
+
+}  // namespace cosched::core

@@ -1,0 +1,55 @@
+// Co-allocation policy: which pending job may share which busy nodes.
+//
+// The gate has three parts (DESIGN.md "Core contribution"):
+//   1. consent  — both the candidate and every job already on the node are
+//      marked shareable;
+//   2. benefit  — the interference model predicts node combined throughput
+//      of at least 1 + theta per extra job (theta = pairing_threshold);
+//   3. safety   — no job's predicted dilation exceeds max_dilation, and
+//      (when the caller asks, as CoBackfill does) the candidate's walltime
+//      end does not outlive any primary it would join, so backfill
+//      reservations computed from walltime bounds stay valid.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace cosched::core {
+
+class CoAllocator {
+ public:
+  explicit CoAllocator(CoAllocationOptions options);
+
+  const CoAllocationOptions& options() const { return options_; }
+
+  /// Evaluates the gate for placing `candidate` onto `node` next to the
+  /// jobs already there. Returns the node's predicted combined throughput
+  /// if admissible, nullopt otherwise.
+  std::optional<double> admissible(SchedulerHost& host, JobId candidate,
+                                   NodeId node, bool respect_deadline) const;
+
+  /// Chooses nodes for `candidate` as a secondary allocation: all
+  /// admissible nodes ranked by predicted combined throughput (ties by
+  /// node id for determinism), truncated to the job's node request.
+  /// Returns nullopt when fewer admissible nodes exist than requested.
+  std::optional<std::vector<NodeId>> select_nodes(
+      SchedulerHost& host, JobId candidate, bool respect_deadline) const;
+
+  /// Ranking score given to class-rule admits and learned-mode admits of
+  /// unseen pairs (no quantitative prediction available).
+  static constexpr double kLearnedFallbackScore = 1.0;
+
+ private:
+  CoAllocationOptions options_;
+  /// Oracle-mode gate outcomes per (resident-app, candidate-app) pair.
+  /// Stress vectors and gate options are immutable, so the two-job gate
+  /// result is a pure pair function; caching it removes the dominant cost
+  /// of co-allocation passes (recomputing pair slowdowns per node).
+  mutable std::unordered_map<std::uint64_t, std::optional<double>>
+      oracle_pair_cache_;
+};
+
+}  // namespace cosched::core

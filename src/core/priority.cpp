@@ -1,0 +1,59 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cosched::core {
+
+UsageTracker::UsageTracker(SimDuration half_life) : half_life_(half_life) {
+  COSCHED_CHECK(half_life > 0);
+}
+
+double UsageTracker::decayed(const Entry& e, SimTime now) const {
+  COSCHED_CHECK(now >= e.as_of);
+  const double half_lives = static_cast<double>(now - e.as_of) /
+                            static_cast<double>(half_life_);
+  return e.usage * std::exp2(-half_lives);
+}
+
+void UsageTracker::charge(const std::string& user, double node_seconds,
+                          SimTime now) {
+  COSCHED_CHECK(node_seconds >= 0);
+  Entry& e = entries_[user];
+  if (e.usage > 0) {
+    e.usage = decayed(e, now);
+  }
+  e.usage += node_seconds;
+  e.as_of = now;
+}
+
+double UsageTracker::usage(const std::string& user, SimTime now) const {
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) return 0;
+  return decayed(it->second, now);
+}
+
+PriorityCalculator::PriorityCalculator(PriorityWeights weights,
+                                       int machine_nodes)
+    : weights_(weights), machine_nodes_(machine_nodes) {
+  COSCHED_CHECK(machine_nodes > 0);
+  COSCHED_CHECK(weights_.age_saturation > 0);
+  COSCHED_CHECK(weights_.usage_half_node_s > 0);
+}
+
+double PriorityCalculator::priority(const workload::Job& job, SimTime now,
+                                    double user_usage_node_s) const {
+  const double age_factor = std::min(
+      1.0, static_cast<double>(std::max<SimTime>(0, now - job.submit_time)) /
+               static_cast<double>(weights_.age_saturation));
+  const double size_factor =
+      static_cast<double>(job.nodes) / static_cast<double>(machine_nodes_);
+  const double fair_factor =
+      std::exp2(-user_usage_node_s / weights_.usage_half_node_s);
+  return weights_.age * age_factor + weights_.job_size * size_factor +
+         weights_.fair_share * fair_factor;
+}
+
+}  // namespace cosched::core

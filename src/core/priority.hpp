@@ -1,0 +1,71 @@
+// Multifactor job priority (SLURM priority/multifactor-style).
+//
+// The baseline queue is FIFO (submit order). With the priority policy the
+// controller re-ranks pending jobs before every scheduler pass using a
+// weighted sum of normalized factors:
+//
+//   priority = w_age  * min(age / age_saturation, 1)
+//            + w_size * (nodes / machine_nodes)           (big-job boost)
+//            + w_fair * 2^(-usage / usage_half)           (fair share)
+//
+// Fair-share usage is the user's decayed consumed node-seconds, maintained
+// by slurmlite's UsageTracker; heavy recent users sink, idle users float.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace cosched::core {
+
+struct PriorityWeights {
+  double age = 1000.0;
+  double job_size = 100.0;
+  double fair_share = 2000.0;
+  /// Age at which the age factor saturates at 1.0.
+  SimDuration age_saturation = 12 * kHour;
+  /// Usage (node-seconds) at which the fair-share factor halves.
+  double usage_half_node_s = 32 * 3600.0;
+};
+
+/// Decayed per-user resource usage for fair-share.
+class UsageTracker {
+ public:
+  explicit UsageTracker(SimDuration half_life = 7 * kDay);
+
+  /// Charges `node_seconds` of usage to `user` at time `now`.
+  void charge(const std::string& user, double node_seconds, SimTime now);
+
+  /// Current decayed usage of `user` at time `now`.
+  double usage(const std::string& user, SimTime now) const;
+
+ private:
+  struct Entry {
+    double usage = 0;
+    SimTime as_of = 0;
+  };
+  double decayed(const Entry& e, SimTime now) const;
+
+  SimDuration half_life_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+class PriorityCalculator {
+ public:
+  PriorityCalculator(PriorityWeights weights, int machine_nodes);
+
+  /// Priority of a pending job at time `now` given its user's usage.
+  double priority(const workload::Job& job, SimTime now,
+                  double user_usage_node_s) const;
+
+  const PriorityWeights& weights() const { return weights_; }
+
+ private:
+  PriorityWeights weights_;
+  int machine_nodes_;
+};
+
+}  // namespace cosched::core

@@ -1,0 +1,246 @@
+#include "core/strategies.hpp"
+
+#include <algorithm>
+
+#include "core/strategy_common.hpp"
+#include "util/check.hpp"
+
+namespace cosched::core {
+
+namespace {
+
+bool still_pending(SchedulerHost& host, JobId id) {
+  return host.job(id).state == workload::JobState::kPending;
+}
+
+}  // namespace
+
+// --- FCFS --------------------------------------------------------------------
+
+void FcfsScheduler::schedule(SchedulerHost& host) {
+  const std::vector<JobId> queue = host.pending();
+  for (JobId id : queue) {
+    if (!try_start_primary(host, id)) break;  // head-of-line blocking
+  }
+}
+
+// --- FirstFit ------------------------------------------------------------------
+
+void FirstFitScheduler::schedule(SchedulerHost& host) {
+  const std::vector<JobId> queue = host.pending();
+  for (JobId id : queue) {
+    try_start_primary(host, id);
+  }
+}
+
+// --- EASY backfill --------------------------------------------------------------
+
+std::vector<JobId> EasyBackfillScheduler::easy_pass(SchedulerHost& host) {
+  std::vector<JobId> queue = host.pending();
+
+  // Phase 1: start from the head while jobs fit.
+  std::size_t head_idx = 0;
+  while (head_idx < queue.size() && try_start_primary(host, queue[head_idx])) {
+    ++head_idx;
+  }
+  std::vector<JobId> remaining(queue.begin() +
+                                   static_cast<std::ptrdiff_t>(head_idx),
+                               queue.end());
+  if (remaining.empty()) return remaining;
+
+  // Phase 2: backfill behind the head's reservation. The shadow moves when
+  // a backfill start consumes nodes, so recompute after every start.
+  const JobId head = remaining.front();
+  ShadowInfo shadow = compute_shadow(host, host.job(head).nodes);
+  std::vector<JobId> leftover{head};
+  const std::size_t limit =
+      backfill_depth_ > 0
+          ? std::min(remaining.size(),
+                     static_cast<std::size_t>(backfill_depth_) + 1)
+          : remaining.size();
+  for (std::size_t i = 1; i < remaining.size(); ++i) {
+    const JobId id = remaining[i];
+    if (i >= limit) {  // beyond the test budget: leave queued untouched
+      leftover.push_back(id);
+      continue;
+    }
+    const workload::Job& job = host.job(id);
+    if (host.machine().free_node_count() < job.nodes) {
+      leftover.push_back(id);
+      continue;
+    }
+    const SimDuration candidate_runtime =
+        use_prediction_ ? host.predicted_runtime(id) : job.walltime_limit;
+    const bool ends_before_shadow =
+        host.now() + candidate_runtime <= shadow.shadow_time;
+    const bool fits_in_extra = job.nodes <= shadow.extra_nodes;
+    if ((ends_before_shadow || fits_in_extra) &&
+        try_start_primary(host, id)) {
+      shadow = compute_shadow(host, host.job(head).nodes);
+    } else {
+      leftover.push_back(id);
+    }
+  }
+  return leftover;
+}
+
+void EasyBackfillScheduler::schedule(SchedulerHost& host) {
+  (void)easy_pass(host);
+}
+
+// --- Conservative backfill -------------------------------------------------------
+
+std::vector<JobId> ConservativeBackfillScheduler::conservative_pass(
+    SchedulerHost& host) {
+  const std::vector<JobId> queue = host.pending();
+  std::vector<JobId> leftover;
+  AvailabilityProfile profile = build_profile(host);
+  for (JobId id : queue) {
+    const workload::Job& job = host.job(id);
+    const SimTime start =
+        profile.find_start(host.now(), job.walltime_limit, job.nodes);
+    if (start == kTimeInfinity) {
+      // Currently unrunnable (nodes down); it holds no reservation and
+      // waits for the machine to change.
+      leftover.push_back(id);
+      continue;
+    }
+    if (start == host.now() && try_start_primary(host, id)) {
+      profile.reserve(start, start + job.walltime_limit, job.nodes);
+    } else {
+      // Either the profile says "later" or free primary slots disagreed
+      // (should not happen — profile mirrors the machine); reserve at the
+      // computed start so later jobs cannot displace this one.
+      profile.reserve(start, start + job.walltime_limit, job.nodes);
+      leftover.push_back(id);
+    }
+  }
+  return leftover;
+}
+
+void ConservativeBackfillScheduler::schedule(SchedulerHost& host) {
+  (void)conservative_pass(host);
+}
+
+// --- Co-allocation-aware conservative backfill (this repo's extension) -----------------
+
+void CoConservativeScheduler::schedule(SchedulerHost& host) {
+  std::vector<JobId> leftover = conservative_pass(host);
+  for (JobId id : leftover) {
+    if (!still_pending(host, id)) continue;
+    if (auto nodes = co_.select_nodes(host, id, /*respect_deadline=*/true)) {
+      host.start_secondary(id, *nodes);
+    }
+  }
+}
+
+// --- Co-allocation-aware first fit -------------------------------------------------
+
+void CoFirstFitScheduler::schedule(SchedulerHost& host) {
+  const std::vector<JobId> queue = host.pending();
+  for (JobId id : queue) {
+    if (try_start_primary(host, id)) continue;
+    if (auto nodes =
+            co_.select_nodes(host, id, /*respect_deadline=*/false)) {
+      host.start_secondary(id, *nodes);
+    }
+  }
+}
+
+// --- Co-allocation-aware backfill ---------------------------------------------------
+
+void CoBackfillScheduler::schedule(SchedulerHost& host) {
+  // Phases 1-2: plain EASY. Co-allocations never invalidate its math: they
+  // consume no primary slots and the deadline gate keeps every secondary
+  // within its hosts' walltime bounds.
+  std::vector<JobId> leftover = easy_pass(host);
+
+  // Phase 3: co-allocation pass over jobs still pending, queue order.
+  for (JobId id : leftover) {
+    if (!still_pending(host, id)) continue;
+    if (auto nodes = co_.select_nodes(host, id, /*respect_deadline=*/true)) {
+      host.start_secondary(id, *nodes);
+    }
+  }
+}
+
+// --- Factory -------------------------------------------------------------------------
+
+const char* to_string(GateMode mode) {
+  switch (mode) {
+    case GateMode::kOracle: return "oracle";
+    case GateMode::kClassRule: return "class-rule";
+    case GateMode::kLearned: return "learned";
+  }
+  return "?";
+}
+
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFcfs: return "fcfs";
+    case StrategyKind::kFirstFit: return "firstfit";
+    case StrategyKind::kEasyBackfill: return "easy";
+    case StrategyKind::kConservativeBackfill: return "conservative";
+    case StrategyKind::kCoFirstFit: return "cofirstfit";
+    case StrategyKind::kCoBackfill: return "cobackfill";
+    case StrategyKind::kCoConservative: return "coconservative";
+  }
+  return "?";
+}
+
+StrategyKind parse_strategy(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (StrategyKind kind : all_strategies()) {
+    if (lower == to_string(kind)) return kind;
+  }
+  throw Error("unknown strategy '" + name +
+              "' (want fcfs|firstfit|easy|conservative|cofirstfit|"
+              "cobackfill|coconservative)");
+}
+
+std::vector<StrategyKind> all_strategies() {
+  return {StrategyKind::kFcfs,
+          StrategyKind::kFirstFit,
+          StrategyKind::kEasyBackfill,
+          StrategyKind::kConservativeBackfill,
+          StrategyKind::kCoFirstFit,
+          StrategyKind::kCoBackfill,
+          StrategyKind::kCoConservative};
+}
+
+bool is_co_strategy(StrategyKind kind) {
+  return kind == StrategyKind::kCoFirstFit ||
+         kind == StrategyKind::kCoBackfill ||
+         kind == StrategyKind::kCoConservative;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(StrategyKind kind,
+                                          SchedulerOptions options) {
+  switch (kind) {
+    case StrategyKind::kFcfs:
+      return std::make_unique<FcfsScheduler>();
+    case StrategyKind::kFirstFit:
+      return std::make_unique<FirstFitScheduler>();
+    case StrategyKind::kEasyBackfill:
+      return std::make_unique<EasyBackfillScheduler>(
+          options.use_walltime_prediction, options.backfill_depth);
+    case StrategyKind::kConservativeBackfill:
+      return std::make_unique<ConservativeBackfillScheduler>();
+    case StrategyKind::kCoFirstFit:
+      return std::make_unique<CoFirstFitScheduler>(options.co);
+    case StrategyKind::kCoBackfill:
+      return std::make_unique<CoBackfillScheduler>(
+          options.co, options.use_walltime_prediction,
+          options.backfill_depth);
+    case StrategyKind::kCoConservative:
+      return std::make_unique<CoConservativeScheduler>(options.co);
+  }
+  COSCHED_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace cosched::core

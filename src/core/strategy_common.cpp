@@ -1,0 +1,77 @@
+#include "core/strategy_common.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cosched::core {
+
+bool try_start_primary(SchedulerHost& host, JobId id) {
+  const workload::Job& job = host.job(id);
+  COSCHED_CHECK(job.state == workload::JobState::kPending);
+  auto nodes = host.machine().find_free_nodes(job.nodes);
+  if (!nodes) return false;
+  host.start_primary(id, *nodes);
+  return true;
+}
+
+std::vector<SimTime> node_free_times(SchedulerHost& host) {
+  const cluster::Machine& machine = host.machine();
+  std::vector<SimTime> out(static_cast<std::size_t>(machine.node_count()),
+                           kTimeInfinity);
+  for (NodeId n = 0; n < machine.node_count(); ++n) {
+    const cluster::Node& node = machine.node(n);
+    if (node.is_down()) continue;
+    if (node.primary_free()) {
+      out[static_cast<std::size_t>(n)] = host.now();
+      continue;
+    }
+    SimTime latest = host.now();
+    for (JobId resident : node.jobs()) {
+      latest = std::max(latest, host.walltime_end(resident));
+    }
+    out[static_cast<std::size_t>(n)] = latest;
+  }
+  return out;
+}
+
+ShadowInfo compute_shadow(SchedulerHost& host, int head_nodes) {
+  COSCHED_CHECK(head_nodes > 0);
+  std::vector<SimTime> free_times = node_free_times(host);
+  std::sort(free_times.begin(), free_times.end());
+  ShadowInfo info;
+  if (head_nodes > static_cast<int>(free_times.size()) ||
+      free_times[static_cast<std::size_t>(head_nodes - 1)] ==
+          kTimeInfinity) {
+    // The head cannot run on the machine as it stands (e.g. nodes down).
+    // Don't block the rest of the queue: an unreachable reservation means
+    // every job may backfill until the machine changes.
+    info.shadow_time = kTimeInfinity;
+    info.extra_nodes = 0;
+    return info;
+  }
+  info.shadow_time = free_times[static_cast<std::size_t>(head_nodes - 1)];
+  int avail = 0;
+  for (SimTime t : free_times) avail += (t <= info.shadow_time) ? 1 : 0;
+  info.extra_nodes = avail - head_nodes;
+  return info;
+}
+
+AvailabilityProfile build_profile(SchedulerHost& host) {
+  const auto free_times = node_free_times(host);
+  AvailabilityProfile profile(static_cast<int>(free_times.size()),
+                              host.now());
+  for (SimTime t : free_times) {
+    if (t <= host.now()) continue;  // free now
+    if (t == kTimeInfinity) {
+      // Down node: never available. Reserve the entire horizon by carving
+      // from origin with no end breakpoint — approximate with a huge bound.
+      profile.reserve(host.now(), kTimeInfinity / 2, 1);
+    } else {
+      profile.reserve(host.now(), t, 1);
+    }
+  }
+  return profile;
+}
+
+}  // namespace cosched::core

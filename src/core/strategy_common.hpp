@@ -1,0 +1,34 @@
+// Helpers shared by the scheduling strategies: primary starts, node free
+// times, the EASY shadow computation, and profile construction.
+#pragma once
+
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/scheduler.hpp"
+
+namespace cosched::core {
+
+/// Starts `id` on free primary slots if enough exist. Returns true on start.
+bool try_start_primary(SchedulerHost& host, JobId id);
+
+/// For every node: the time its primary slot is guaranteed free — now() for
+/// free nodes, the max walltime end of its resident jobs otherwise, and
+/// kTimeInfinity for down nodes. Indexed by NodeId.
+std::vector<SimTime> node_free_times(SchedulerHost& host);
+
+/// EASY reservation for the queue-head job.
+struct ShadowInfo {
+  SimTime shadow_time = 0;  ///< earliest time `head_nodes` nodes are free
+  int extra_nodes = 0;      ///< nodes free at shadow_time beyond the head's
+};
+
+/// Computes the head job's reservation from walltime bounds. Requires that
+/// the head does not fit right now (otherwise callers just start it).
+ShadowInfo compute_shadow(SchedulerHost& host, int head_nodes);
+
+/// Builds the availability step function implied by node free times, with
+/// origin now(). Conservative backfill carves its reservations into it.
+AvailabilityProfile build_profile(SchedulerHost& host);
+
+}  // namespace cosched::core

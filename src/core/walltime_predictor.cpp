@@ -1,0 +1,54 @@
+#include "core/walltime_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cosched::core {
+
+WalltimePredictor::WalltimePredictor(double ewma_alpha, double safety,
+                                     int min_samples)
+    : alpha_(ewma_alpha), safety_(safety), min_samples_(min_samples) {
+  COSCHED_CHECK(ewma_alpha > 0 && ewma_alpha <= 1.0);
+  COSCHED_CHECK(safety >= 1.0);
+  COSCHED_CHECK(min_samples >= 1);
+}
+
+void WalltimePredictor::observe(const std::string& user,
+                                SimDuration requested, SimDuration actual) {
+  COSCHED_CHECK(requested > 0 && actual >= 0);
+  const double observed = std::min(
+      1.0, static_cast<double>(actual) / static_cast<double>(requested));
+  UserModel& m = models_[user];
+  if (m.samples == 0) {
+    m.ratio = observed;
+  } else {
+    m.ratio = alpha_ * observed + (1.0 - alpha_) * m.ratio;
+  }
+  ++m.samples;
+}
+
+SimDuration WalltimePredictor::predict(const std::string& user,
+                                       SimDuration requested) const {
+  const auto it = models_.find(user);
+  if (it == models_.end() || it->second.samples < min_samples_) {
+    return requested;
+  }
+  const double predicted =
+      static_cast<double>(requested) * it->second.ratio * safety_;
+  return std::min(requested,
+                  std::max<SimDuration>(kSecond,
+                                        static_cast<SimDuration>(predicted)));
+}
+
+double WalltimePredictor::ratio(const std::string& user) const {
+  const auto it = models_.find(user);
+  return it == models_.end() ? 1.0 : it->second.ratio;
+}
+
+int WalltimePredictor::samples(const std::string& user) const {
+  const auto it = models_.find(user);
+  return it == models_.end() ? 0 : it->second.samples;
+}
+
+}  // namespace cosched::core

@@ -1,0 +1,51 @@
+// Walltime prediction for backfill (Tsafrir-style).
+//
+// Users over-request walltime, so backfill windows computed from requests
+// are pessimistic: short jobs that would fit before the shadow are turned
+// away. The predictor learns, per user, the ratio of actual runtime to
+// requested walltime (EWMA over completed jobs) and predicts a candidate's
+// runtime as request * learned_ratio * safety, never above the request.
+// Backfill decisions may then use the prediction; reservations and
+// walltime kills always keep the full request, so a mispredicted backfill
+// can delay the head job (the known fairness trade-off, measured in bench
+// R-A6) but never break correctness.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace cosched::core {
+
+class WalltimePredictor {
+ public:
+  /// `safety` inflates predictions to absorb variance; `min_samples`
+  /// completed jobs per user before predictions replace the raw request.
+  explicit WalltimePredictor(double ewma_alpha = 0.3, double safety = 1.2,
+                             int min_samples = 3);
+
+  /// Records a completed job's (requested, actual) pair for its user.
+  void observe(const std::string& user, SimDuration requested,
+               SimDuration actual);
+
+  /// Predicted runtime for a request by `user`. Falls back to `requested`
+  /// until enough history exists; never exceeds `requested`.
+  SimDuration predict(const std::string& user, SimDuration requested) const;
+
+  /// Learned actual/requested ratio for a user (1.0 if unknown).
+  double ratio(const std::string& user) const;
+  int samples(const std::string& user) const;
+
+ private:
+  struct UserModel {
+    double ratio = 1.0;
+    int samples = 0;
+  };
+  double alpha_;
+  double safety_;
+  int min_samples_;
+  std::unordered_map<std::string, UserModel> models_;
+};
+
+}  // namespace cosched::core

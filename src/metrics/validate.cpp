@@ -1,0 +1,98 @@
+#include "metrics/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cosched::metrics {
+
+std::vector<Violation> validate_schedule(const workload::JobList& jobs,
+                                         const ValidationOptions& options) {
+  COSCHED_CHECK(options.machine_nodes > 0);
+  COSCHED_CHECK(options.slots_per_node >= 1);
+  std::vector<Violation> out;
+  auto flag = [&out](JobId job, NodeId node, std::string message) {
+    out.push_back({job, node, std::move(message)});
+  };
+
+  std::map<NodeId, std::vector<std::pair<SimTime, int>>> events;
+  for (const auto& job : jobs) {
+    if (!job.finished()) continue;
+
+    if (job.submit_time > job.start_time) {
+      flag(job.id, kInvalidNode, "started before submission");
+    }
+    if (job.start_time >= job.end_time) {
+      flag(job.id, kInvalidNode, "non-positive elapsed time");
+    }
+    if (static_cast<int>(job.alloc_nodes.size()) != job.nodes) {
+      flag(job.id, kInvalidNode,
+           "allocation size " + std::to_string(job.alloc_nodes.size()) +
+               " != requested " + std::to_string(job.nodes));
+    }
+    if (job.end_time - job.start_time > job.walltime_limit) {
+      flag(job.id, kInvalidNode, "ran past its walltime limit");
+    }
+    if (job.observed_dilation < 1.0 - 1e-9) {
+      flag(job.id, kInvalidNode, "dilation below 1.0");
+    }
+    if (job.state == workload::JobState::kCompleted && job.requeues == 0) {
+      // elapsed must equal base * dilation (within tolerance). Requeued
+      // jobs are exempt: the final attempt may resume from a checkpoint.
+      const double elapsed = to_seconds(job.end_time - job.start_time);
+      const double expected =
+          to_seconds(job.base_runtime) * job.observed_dilation;
+      const double tolerance =
+          options.dilation_tolerance * to_seconds(job.base_runtime) + 0.01;
+      if (std::abs(elapsed - expected) > tolerance) {
+        flag(job.id, kInvalidNode, "elapsed time inconsistent with dilation");
+      }
+    }
+
+    std::vector<NodeId> seen;
+    for (NodeId n : job.alloc_nodes) {
+      if (n < 0 || n >= options.machine_nodes) {
+        flag(job.id, n, "allocation references node outside the machine");
+        continue;
+      }
+      if (std::find(seen.begin(), seen.end(), n) != seen.end()) {
+        flag(job.id, n, "node appears twice in one allocation");
+        continue;
+      }
+      seen.push_back(n);
+      events[n].emplace_back(job.start_time, +1);
+      events[n].emplace_back(job.end_time, -1);
+    }
+  }
+
+  for (auto& [node, evs] : events) {
+    std::sort(evs.begin(), evs.end());
+    int depth = 0;
+    bool flagged = false;
+    for (const auto& [time, delta] : evs) {
+      (void)time;
+      depth += delta;
+      if (depth > options.slots_per_node && !flagged) {
+        flag(kInvalidJob, node,
+             "occupancy depth " + std::to_string(depth) + " exceeds " +
+                 std::to_string(options.slots_per_node) + " slots");
+        flagged = true;  // one report per node is enough
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_string(const std::vector<Violation>& violations) {
+  std::ostringstream oss;
+  for (const auto& v : violations) {
+    if (v.job != kInvalidJob) oss << "job " << v.job << ": ";
+    if (v.node != kInvalidNode) oss << "node " << v.node << ": ";
+    oss << v.message << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace cosched::metrics

@@ -1,0 +1,39 @@
+// Schedule validation: machine-checkable invariants over a finished
+// schedule's job records. The test suite runs these after every
+// simulation; downstream users can run them over replayed or imported
+// schedules to catch inconsistent traces before computing metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "workload/job.hpp"
+
+namespace cosched::metrics {
+
+/// One violated invariant.
+struct Violation {
+  JobId job = kInvalidJob;    ///< offending job (or kInvalidJob for node-level)
+  NodeId node = kInvalidNode; ///< offending node (or kInvalidNode)
+  std::string message;
+};
+
+struct ValidationOptions {
+  int machine_nodes = 0;      ///< required
+  int slots_per_node = 2;     ///< SMT degree: max co-resident jobs per node
+  /// Tolerance when checking elapsed == base * dilation (fraction of base).
+  double dilation_tolerance = 0.01;
+};
+
+/// Checks, for every finished job: timestamp ordering, allocation size,
+/// node-id range, walltime compliance, dilation/work consistency; and per
+/// node: occupancy depth never exceeding the slot count. Returns all
+/// violations found (empty = valid schedule).
+std::vector<Violation> validate_schedule(const workload::JobList& jobs,
+                                         const ValidationOptions& options);
+
+/// Convenience: formats violations one per line.
+std::string to_string(const std::vector<Violation>& violations);
+
+}  // namespace cosched::metrics

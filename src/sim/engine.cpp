@@ -1,0 +1,86 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace cosched::sim {
+
+EventId Engine::schedule_at(SimTime when, EventPriority priority,
+                            std::function<void()> fn) {
+  COSCHED_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
+                                                                  << " < "
+                                                                  << now_);
+  COSCHED_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, priority, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end());
+  ++live_events_;
+  return id;
+}
+
+EventId Engine::schedule_after(SimDuration delay, EventPriority priority,
+                               std::function<void()> fn) {
+  COSCHED_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, priority, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Linear scan is acceptable: cancellation is rare (walltime timers of
+  // jobs that finish early) and the queue stays small in batch workloads.
+  for (auto& entry : heap_) {
+    if (entry.id == id) {
+      if (!entry.fn) return false;  // already cancelled
+      entry.fn = nullptr;
+      --live_events_;
+      return true;
+    }
+  }
+  return false;  // already executed
+}
+
+bool Engine::is_cancelled(EventId) const { return false; }
+
+void Engine::pop_entry(Entry& out) {
+  std::pop_heap(heap_.begin(), heap_.end());
+  out = std::move(heap_.back());
+  heap_.pop_back();
+}
+
+bool Engine::step() {
+  Entry entry;
+  for (;;) {
+    if (heap_.empty()) return false;
+    pop_entry(entry);
+    if (entry.fn) break;  // skip tombstoned (cancelled) entries
+  }
+  COSCHED_CHECK(entry.time >= now_);
+  now_ = entry.time;
+  --live_events_;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime until) {
+  COSCHED_CHECK(until >= now_);
+  std::size_t n = 0;
+  for (;;) {
+    // Peek the next live event time without executing.
+    while (!heap_.empty() && !heap_.front().fn) {
+      Entry discard;
+      pop_entry(discard);
+    }
+    if (heap_.empty() || heap_.front().time > until) break;
+    if (step()) ++n;
+  }
+  now_ = until;
+  return n;
+}
+
+}  // namespace cosched::sim

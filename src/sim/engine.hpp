@@ -1,0 +1,104 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of (time, priority, sequence) ordered
+// events whose payload is a callback. Ordering is total and deterministic:
+// ties on time break on priority (lower runs first), then on insertion
+// sequence, so two runs with the same inputs replay identically.
+//
+// Priorities let the batch-system controller enforce the canonical ordering
+// at one instant: job completions release resources before the scheduler
+// pass that wants to use them, and submissions enqueue before that pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace cosched::sim {
+
+/// Event ordering priority at equal timestamps. Lower value runs first.
+enum class EventPriority : std::int8_t {
+  kJobEnd = 0,     // release resources first
+  kSubmit = 1,     // then accept new work
+  kTimer = 2,      // periodic machinery (walltime enforcement)
+  kSchedule = 3,   // scheduler passes see a settled state
+  kReport = 4,     // observers run last
+};
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now).
+  EventId schedule_at(SimTime when, EventPriority priority,
+                      std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now.
+  EventId schedule_after(SimDuration delay, EventPriority priority,
+                         std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already ran,
+  /// was cancelled before, or never existed. O(1); the slot is tombstoned
+  /// and skipped when popped.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs events with time <= `until`; the clock ends at `until` even if
+  /// the queue drained earlier. Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Executes exactly one event if available. Returns false on empty queue.
+  bool step();
+
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending() const { return live_events_; }
+  std::size_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventPriority priority;
+    EventId id;  // doubles as insertion sequence for tie-breaking
+    // Ordering for std::priority_queue (max-heap): invert so the smallest
+    // (time, priority, id) triple is on top.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      if (priority != other.priority) return priority > other.priority;
+      return id > other.id;
+    }
+    std::function<void()> fn;  // moved out when executed
+  };
+
+  // std::priority_queue does not allow mutation of the top element, so we
+  // keep a plain vector with heap algorithms and mark cancellations by
+  // clearing `fn`.
+  std::vector<Entry> heap_;
+  // Cancellation set kept implicit: cancelled ids are recorded here until
+  // their entry is popped and discarded.
+  std::vector<EventId> cancelled_;
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::size_t executed_ = 0;
+
+  bool is_cancelled(EventId id) const;
+  void pop_entry(Entry& out);
+};
+
+}  // namespace cosched::sim

@@ -1,0 +1,32 @@
+// slurm.conf-style configuration parsing.
+//
+// Examples accept a config file of "Key=Value" lines (case-insensitive
+// keys, '#' comments) mirroring the SLURM options the paper's deployment
+// touches:
+//
+//   Nodes=32  CoresPerNode=32  ThreadsPerCore=2
+//   SchedulerType=cobackfill        # fcfs|firstfit|easy|conservative|...
+//   OverSubscribe=YES:2             # NO disables sharing; :N = SMT degree
+//   PairingThreshold=0.10  MaxDilation=1.40
+//   GateMode=oracle                 # oracle|class-rule|learned
+//   WalltimePrediction=NO  QueuePolicy=fifo  # or priority (multifactor)
+//   SwitchSize=0  SwitchPenalty=0.03  Placement=lowest-id  # or compact
+//   CheckpointInterval=00:00:00     # 0 disables checkpoint/restart
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "slurmlite/controller.hpp"
+
+namespace cosched::slurmlite {
+
+/// Parses the config format above into a ControllerConfig, starting from
+/// defaults. Unknown keys raise cosched::Error.
+ControllerConfig parse_config(std::istream& in);
+ControllerConfig parse_config_file(const std::string& path);
+
+/// Renders a config back to the file format (round-trips parse_config).
+std::string format_config(const ControllerConfig& config);
+
+}  // namespace cosched::slurmlite

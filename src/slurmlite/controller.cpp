@@ -1,0 +1,520 @@
+#include "slurmlite/controller.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace cosched::slurmlite {
+
+Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
+                       const apps::Catalog& catalog)
+    : engine_(engine),
+      catalog_(catalog),
+      corun_(config.corun_params),
+      machine_(config.nodes, config.node_config, config.topology,
+               config.placement),
+      execution_(machine_, catalog_, corun_),
+      scheduler_(core::make_scheduler(config.strategy,
+                                      config.scheduler_options)),
+      queue_policy_(config.queue_policy),
+      priority_(config.priority_weights, config.nodes),
+      requeue_on_failure_(config.requeue_on_failure),
+      estimator_(catalog.size()),
+      checkpoint_interval_(config.checkpoint_interval) {
+  COSCHED_REQUIRE(config.checkpoint_interval >= 0,
+                  "checkpoint interval must be non-negative");
+  for (const NodeFailure& failure : config.failures) {
+    COSCHED_REQUIRE(failure.node >= 0 && failure.node < config.nodes,
+                    "failure references unknown node " << failure.node);
+    COSCHED_REQUIRE(failure.at >= 0 && failure.duration > 0,
+                    "failure timing must be non-negative");
+    engine_.schedule_at(failure.at, sim::EventPriority::kTimer,
+                        [this, node = failure.node,
+                         duration = failure.duration] {
+                          on_node_fail(node, duration);
+                        });
+  }
+}
+
+Controller::~Controller() = default;
+
+void Controller::submit(workload::Job job) {
+  COSCHED_REQUIRE(job.id != kInvalidJob, "job must have an id");
+  COSCHED_REQUIRE(!jobs_.count(job.id), "duplicate job id " << job.id);
+  COSCHED_REQUIRE(job.nodes > 0, "job " << job.id << " requests 0 nodes");
+  COSCHED_REQUIRE(job.walltime_limit > 0,
+                  "job " << job.id << " has no walltime limit");
+  COSCHED_REQUIRE(job.base_runtime > 0,
+                  "job " << job.id << " has no runtime");
+  COSCHED_REQUIRE(job.app >= 0 && job.app < catalog_.size(),
+                  "job " << job.id << " references unknown app " << job.app);
+  COSCHED_REQUIRE(job.depends_on == kInvalidJob ||
+                      jobs_.count(job.depends_on),
+                  "job " << job.id << " depends on unknown job "
+                         << job.depends_on);
+  const JobId id = job.id;
+  if (job.nodes > machine_.node_count()) {
+    job.state = workload::JobState::kCancelled;
+    jobs_.emplace(id, std::move(job));
+    submit_order_.push_back(id);
+    COSCHED_WARN("job " << id << " rejected: requests more nodes than exist");
+    return;
+  }
+  const SimTime when = std::max(job.submit_time, engine_.now());
+  jobs_.emplace(id, std::move(job));
+  submit_order_.push_back(id);
+  engine_.schedule_at(when, sim::EventPriority::kSubmit,
+                      [this, id] { on_submit(id); });
+}
+
+void Controller::submit_all(const workload::JobList& jobs) {
+  for (const auto& job : jobs) submit(job);
+}
+
+workload::JobList Controller::job_records() const {
+  workload::JobList out;
+  out.reserve(submit_order_.size());
+  for (JobId id : submit_order_) out.push_back(jobs_.at(id));
+  return out;
+}
+
+std::vector<JobId> Controller::running_ids() const {
+  std::vector<JobId> out;
+  for (JobId id : submit_order_) {
+    if (jobs_.at(id).state == workload::JobState::kRunning) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+const workload::Job& Controller::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "unknown job " << id);
+  return it->second;
+}
+
+workload::Job& Controller::job_mutable(JobId id) {
+  const auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "unknown job " << id);
+  return it->second;
+}
+
+const apps::AppModel& Controller::app_of(JobId id) const {
+  return catalog_.get(job(id).app);
+}
+
+SimTime Controller::walltime_end(JobId running) const {
+  const workload::Job& j = job(running);
+  COSCHED_CHECK_MSG(j.state == workload::JobState::kRunning,
+                    "walltime_end of non-running job " << running);
+  return j.start_time + j.walltime_limit;
+}
+
+void Controller::on_submit(JobId id) {
+  workload::Job& j = job_mutable(id);
+  if (j.state == workload::JobState::kCancelled) {
+    return;  // scancel'd before the submit event fired
+  }
+  COSCHED_CHECK(j.state == workload::JobState::kPending);
+  COSCHED_DEBUG("t=" << format_duration(now()) << " submit job " << id
+                     << " (" << j.nodes << " nodes)");
+  if (j.depends_on != kInvalidJob) {
+    const workload::Job& dep = job(j.depends_on);
+    switch (dep.state) {
+      case workload::JobState::kCompleted:
+        break;  // already satisfied: queue immediately
+      case workload::JobState::kTimeout:
+      case workload::JobState::kCancelled:
+        cancel_held(id);
+        return;
+      default:
+        j.state = workload::JobState::kHeld;
+        held_on_[j.depends_on].push_back(id);
+        return;
+    }
+  }
+  enqueue(id);
+}
+
+void Controller::enqueue(JobId id) {
+  workload::Job& j = job_mutable(id);
+  j.state = workload::JobState::kPending;
+  pending_.push_back(id);
+  request_schedule();
+}
+
+void Controller::settle_dependents(JobId id, bool success) {
+  const auto it = held_on_.find(id);
+  if (it == held_on_.end()) return;
+  const std::vector<JobId> waiting = std::move(it->second);
+  held_on_.erase(it);
+  for (JobId w : waiting) {
+    if (success) {
+      enqueue(w);
+    } else {
+      cancel_held(w);
+    }
+  }
+}
+
+void Controller::cancel_held(JobId id) {
+  workload::Job& j = job_mutable(id);
+  j.state = workload::JobState::kCancelled;
+  ++stats_.dependency_cancellations;
+  COSCHED_INFO("t=" << format_duration(now()) << " job " << id
+                    << " cancelled: dependency " << j.depends_on
+                    << " did not complete");
+  settle_dependents(id, /*success=*/false);
+}
+
+void Controller::request_schedule() {
+  if (pass_scheduled_) return;
+  pass_scheduled_ = true;
+  engine_.schedule_at(engine_.now(), sim::EventPriority::kSchedule, [this] {
+    pass_scheduled_ = false;
+    run_scheduler_pass();
+  });
+}
+
+void Controller::order_queue() {
+  if (queue_policy_ != QueuePolicy::kPriority || pending_.size() < 2) return;
+  std::vector<std::pair<double, JobId>> ranked;
+  ranked.reserve(pending_.size());
+  for (JobId id : pending_) {
+    const workload::Job& j = job(id);
+    ranked.emplace_back(
+        -priority_.priority(j, now(), usage_.usage(j.user, now())), id);
+  }
+  // Ties (equal priority) break on job id: older submissions first.
+  std::sort(ranked.begin(), ranked.end());
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    pending_[i] = ranked[i].second;
+  }
+}
+
+void Controller::run_scheduler_pass() {
+  if (pending_.empty()) return;
+  order_queue();
+  ++stats_.scheduler_passes;
+  in_pass_ = true;
+  execution_.sync(now());
+  const auto t0 = std::chrono::steady_clock::now();
+  scheduler_->schedule(*this);
+  stats_.scheduler_cpu += std::chrono::steady_clock::now() - t0;
+  in_pass_ = false;
+  // Starts changed co-residency; settle rates and completion events once
+  // per pass rather than per start.
+  execution_.refresh_rates();
+  resync_completions();
+}
+
+void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
+                              cluster::AllocationKind kind) {
+  workload::Job& j = job_mutable(id);
+  COSCHED_CHECK_MSG(j.state == workload::JobState::kPending,
+                    "start of non-pending job " << id);
+  COSCHED_CHECK_MSG(static_cast<int>(nodes.size()) == j.nodes,
+                    "job " << id << " wants " << j.nodes << " nodes, got "
+                           << nodes.size());
+  // Outside a pass the execution model may be stale; passes sync up front.
+  if (!in_pass_) execution_.sync(now());
+
+  if (kind == cluster::AllocationKind::kPrimary) {
+    machine_.allocate_primary(id, nodes);
+    ++stats_.primary_starts;
+  } else {
+    machine_.allocate_secondary(id, nodes);
+    ++stats_.secondary_starts;
+    // Attribute this co-location for the pair estimator: the candidate's
+    // dominant partner is the first node's primary; each primary that was
+    // not already paired records the candidate as its partner.
+    const JobId first_primary = machine_.node(nodes.front()).primary_job();
+    partner_.emplace(id, job(first_primary).app);
+    for (NodeId n : nodes) {
+      const JobId p = machine_.node(n).primary_job();
+      if (p != id) partner_.emplace(p, j.app);
+    }
+  }
+  remove_pending(id);
+  j.state = workload::JobState::kRunning;
+  j.start_time = now();
+  j.alloc_kind = kind;
+  j.alloc_nodes = nodes;
+  double initial_progress = 0;
+  if (auto it = resume_progress_.find(id); it != resume_progress_.end()) {
+    initial_progress = it->second;  // checkpoint restore after failure
+  }
+  execution_.start(j, now(), initial_progress);
+
+  // Walltime enforcement.
+  kill_events_[id] =
+      engine_.schedule_at(now() + j.walltime_limit, sim::EventPriority::kTimer,
+                          [this, id] { on_timeout(id); });
+  // Completion event placed by resync_completions() (rates are not final
+  // mid-pass); ensure the pass settles even for starts outside a pass.
+  if (!in_pass_) {
+    execution_.refresh_rates();
+    resync_completions();
+  }
+  COSCHED_DEBUG("t=" << format_duration(now()) << " start job " << id
+                     << (kind == cluster::AllocationKind::kSecondary
+                             ? " (co-allocated)"
+                             : ""));
+}
+
+void Controller::start_primary(JobId id, const std::vector<NodeId>& nodes) {
+  start_common(id, nodes, cluster::AllocationKind::kPrimary);
+}
+
+void Controller::start_secondary(JobId id, const std::vector<NodeId>& nodes) {
+  start_common(id, nodes, cluster::AllocationKind::kSecondary);
+}
+
+void Controller::resync_completions() {
+  for (JobId id : running_ids()) {
+    const SimTime predicted = execution_.predicted_end(id, now());
+    const auto it = end_events_.find(id);
+    if (it != end_events_.end()) {
+      const auto t = end_event_times_.find(id);
+      if (t != end_event_times_.end() && t->second == predicted) {
+        continue;  // prediction unchanged; keep the existing event
+      }
+      engine_.cancel(it->second);
+    }
+    end_events_[id] = engine_.schedule_at(
+        predicted, sim::EventPriority::kJobEnd, [this, id] { on_complete(id); });
+    end_event_times_[id] = predicted;
+  }
+}
+
+void Controller::on_complete(JobId id) {
+  workload::Job& j = job_mutable(id);
+  COSCHED_CHECK(j.state == workload::JobState::kRunning);
+  execution_.sync(now());
+  // The completion event is only scheduled from settled rates, so the
+  // remaining work must be (numerically) zero.
+  COSCHED_CHECK_MSG(execution_.remaining_work_s(id) < 1e-3,
+                    "completion fired with " << execution_.remaining_work_s(id)
+                                             << "s of work left on job "
+                                             << id);
+  j.observed_dilation = execution_.observed_dilation(id, now());
+  j.state = workload::JobState::kCompleted;
+  j.end_time = now();
+  ++stats_.completions;
+
+  if (auto it = kill_events_.find(id); it != kill_events_.end()) {
+    engine_.cancel(it->second);
+    kill_events_.erase(it);
+  }
+  end_events_.erase(id);
+  end_event_times_.erase(id);
+  execution_.finish(id);
+  machine_.release(id);
+  execution_.refresh_rates();
+  resync_completions();
+  usage_.charge(j.user,
+                static_cast<double>(j.nodes) *
+                    to_seconds(j.end_time - j.start_time),
+                now());
+  if (auto it = partner_.find(id); it != partner_.end()) {
+    estimator_.observe(j.app, it->second, j.observed_dilation);
+    partner_.erase(it);
+  }
+  predictor_.observe(j.user, j.walltime_limit, j.end_time - j.start_time);
+  resume_progress_.erase(id);
+  settle_dependents(id, /*success=*/true);
+  COSCHED_DEBUG("t=" << format_duration(now()) << " complete job " << id);
+  request_schedule();
+}
+
+void Controller::on_timeout(JobId id) {
+  workload::Job& j = job_mutable(id);
+  COSCHED_CHECK(j.state == workload::JobState::kRunning);
+  execution_.sync(now());
+  j.observed_dilation = execution_.observed_dilation(id, now());
+  j.state = workload::JobState::kTimeout;
+  j.end_time = now();
+  ++stats_.timeouts;
+  COSCHED_WARN("t=" << format_duration(now()) << " job " << id
+                    << " hit its walltime limit with "
+                    << execution_.remaining_work_s(id) << "s of work left");
+
+  if (auto it = end_events_.find(id); it != end_events_.end()) {
+    engine_.cancel(it->second);
+    end_events_.erase(it);
+    end_event_times_.erase(id);
+  }
+  kill_events_.erase(id);
+  execution_.finish(id);
+  machine_.release(id);
+  execution_.refresh_rates();
+  resync_completions();
+  usage_.charge(j.user,
+                static_cast<double>(j.nodes) *
+                    to_seconds(j.end_time - j.start_time),
+                now());
+  if (auto it = partner_.find(id); it != partner_.end()) {
+    // A walltime kill while shared is a strong (bad-pair) signal; the
+    // dilation observed up to the kill is real.
+    estimator_.observe(j.app, it->second, j.observed_dilation);
+    partner_.erase(it);
+  }
+  settle_dependents(id, /*success=*/false);
+  request_schedule();
+}
+
+void Controller::requeue(JobId id) {
+  workload::Job& j = job_mutable(id);
+  COSCHED_CHECK(j.state == workload::JobState::kRunning);
+  // Charge the machine time the aborted attempt consumed.
+  usage_.charge(j.user,
+                static_cast<double>(j.nodes) * to_seconds(now() - j.start_time),
+                now());
+  if (checkpoint_interval_ > 0) {
+    // The job checkpointed every checkpoint_interval_ of wall time; it
+    // resumes from the last one. Progress at that instant is estimated by
+    // scaling total progress by the checkpointed fraction of the elapsed
+    // time (exact under a constant rate; a documented approximation when
+    // co-location changed the rate mid-run).
+    const SimDuration elapsed = now() - j.start_time;
+    if (elapsed > 0) {
+      const SimDuration checkpointed =
+          (elapsed / checkpoint_interval_) * checkpoint_interval_;
+      const double fraction = static_cast<double>(checkpointed) /
+                              static_cast<double>(elapsed);
+      resume_progress_[id] = execution_.progress_s(id) * fraction;
+    }
+  }
+  if (auto it = end_events_.find(id); it != end_events_.end()) {
+    engine_.cancel(it->second);
+    end_events_.erase(it);
+    end_event_times_.erase(id);
+  }
+  if (auto it = kill_events_.find(id); it != kill_events_.end()) {
+    engine_.cancel(it->second);
+    kill_events_.erase(it);
+  }
+  execution_.finish(id);
+  machine_.release(id);
+  // Progress is lost; the job starts over from the queue tail.
+  j.state = workload::JobState::kPending;
+  j.start_time = -1;
+  j.end_time = -1;
+  j.alloc_nodes.clear();
+  j.observed_dilation = 1.0;
+  partner_.erase(id);  // aborted attempt: no pair observation
+  ++j.requeues;
+  ++stats_.requeues;
+  pending_.push_back(id);
+  COSCHED_INFO("t=" << format_duration(now()) << " job " << id
+                    << " requeued after node failure (attempt "
+                    << j.requeues + 1 << ")");
+}
+
+void Controller::on_node_fail(NodeId node, SimDuration duration) {
+  if (machine_.node(node).is_down()) return;  // overlapping outage scripts
+  ++stats_.node_failures;
+  COSCHED_WARN("t=" << format_duration(now()) << " node " << node
+                    << " failed for " << format_duration(duration));
+  execution_.sync(now());
+  // Every job with a foot on this node loses its run.
+  const auto victims = machine_.node(node).jobs();
+  for (JobId id : victims) {
+    if (requeue_on_failure_) {
+      requeue(id);
+    } else {
+      workload::Job& j = job_mutable(id);
+      j.state = workload::JobState::kTimeout;
+      j.end_time = now();
+      j.observed_dilation = execution_.observed_dilation(id, now());
+      ++stats_.timeouts;
+      if (auto it = end_events_.find(id); it != end_events_.end()) {
+        engine_.cancel(it->second);
+        end_events_.erase(it);
+        end_event_times_.erase(id);
+      }
+      if (auto it = kill_events_.find(id); it != kill_events_.end()) {
+        engine_.cancel(it->second);
+        kill_events_.erase(it);
+      }
+      execution_.finish(id);
+      machine_.release(id);
+      settle_dependents(id, /*success=*/false);
+    }
+  }
+  machine_.set_node_down(node, true);
+  execution_.refresh_rates();
+  resync_completions();
+  engine_.schedule_at(now() + duration, sim::EventPriority::kTimer,
+                      [this, node] {
+                        machine_.set_node_down(node, false);
+                        COSCHED_INFO("t=" << format_duration(now())
+                                          << " node " << node
+                                          << " back in service");
+                        request_schedule();
+                      });
+  request_schedule();
+}
+
+bool Controller::cancel(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  workload::Job& j = it->second;
+  switch (j.state) {
+    case workload::JobState::kPending: {
+      // May be queued or waiting for its submit event; remove if queued.
+      const auto q = std::find(pending_.begin(), pending_.end(), id);
+      if (q != pending_.end()) pending_.erase(q);
+      j.state = workload::JobState::kCancelled;
+      settle_dependents(id, /*success=*/false);
+      return true;
+    }
+    case workload::JobState::kHeld: {
+      auto& waiting = held_on_[j.depends_on];
+      waiting.erase(std::remove(waiting.begin(), waiting.end(), id),
+                    waiting.end());
+      j.state = workload::JobState::kCancelled;
+      settle_dependents(id, /*success=*/false);
+      return true;
+    }
+    case workload::JobState::kRunning: {
+      execution_.sync(now());
+      j.observed_dilation = execution_.observed_dilation(id, now());
+      j.state = workload::JobState::kCancelled;
+      j.end_time = now();
+      if (auto e = end_events_.find(id); e != end_events_.end()) {
+        engine_.cancel(e->second);
+        end_events_.erase(e);
+        end_event_times_.erase(id);
+      }
+      if (auto k = kill_events_.find(id); k != kill_events_.end()) {
+        engine_.cancel(k->second);
+        kill_events_.erase(k);
+      }
+      partner_.erase(id);
+      execution_.finish(id);
+      machine_.release(id);
+      execution_.refresh_rates();
+      resync_completions();
+      usage_.charge(j.user,
+                    static_cast<double>(j.nodes) *
+                        to_seconds(j.end_time - j.start_time),
+                    now());
+      settle_dependents(id, /*success=*/false);
+      request_schedule();
+      return true;
+    }
+    default:
+      return false;  // already in a final state
+  }
+}
+
+void Controller::remove_pending(JobId id) {
+  const auto it = std::find(pending_.begin(), pending_.end(), id);
+  COSCHED_CHECK_MSG(it != pending_.end(), "job " << id << " not pending");
+  pending_.erase(it);
+}
+
+}  // namespace cosched::slurmlite

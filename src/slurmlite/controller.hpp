@@ -1,0 +1,188 @@
+// The slurmlite controller: a SLURM-shaped, event-driven workload manager.
+//
+// It owns the machine, the pending queue, and the running-job lifecycle:
+//   submit -> (scheduler pass) -> start -> completion or walltime kill.
+// Scheduler passes run after every state change (submission, completion,
+// timeout), coalesced so one simulated instant triggers one pass. The
+// strategy is a core::Scheduler plugin reached through the SchedulerHost
+// seam, mirroring SLURM's sched/select plugin split.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "cluster/machine.hpp"
+#include "core/priority.hpp"
+#include "core/scheduler.hpp"
+#include "core/walltime_predictor.hpp"
+#include "interference/corun_model.hpp"
+#include "interference/estimator.hpp"
+#include "sim/engine.hpp"
+#include "slurmlite/execution.hpp"
+#include "workload/job.hpp"
+
+namespace cosched::slurmlite {
+
+/// How the pending queue is ordered before each scheduler pass.
+enum class QueuePolicy : std::int8_t {
+  kFifo,      ///< submit order
+  kPriority,  ///< multifactor priority (age, size, fair share)
+};
+
+/// A scripted node outage for failure-injection experiments.
+struct NodeFailure {
+  NodeId node = kInvalidNode;
+  SimTime at = 0;
+  SimDuration duration = kHour;  ///< node returns to service afterwards
+};
+
+struct ControllerConfig {
+  int nodes = 32;
+  cluster::NodeConfig node_config{};
+  /// Network topology (flat by default) and primary-placement policy.
+  cluster::TopologyParams topology{};
+  cluster::PlacementPolicy placement = cluster::PlacementPolicy::kLowestId;
+  core::StrategyKind strategy = core::StrategyKind::kEasyBackfill;
+  core::SchedulerOptions scheduler_options{};
+  interference::CorunParams corun_params{};
+
+  QueuePolicy queue_policy = QueuePolicy::kFifo;
+  core::PriorityWeights priority_weights{};
+
+  /// Scripted outages; jobs running on a failing node are requeued
+  /// (requeue_on_failure) or killed.
+  std::vector<NodeFailure> failures;
+  bool requeue_on_failure = true;
+
+  /// Checkpoint interval for failure recovery: a requeued job resumes from
+  /// its last checkpoint instead of from scratch. 0 disables (full rerun).
+  SimDuration checkpoint_interval = 0;
+};
+
+struct ControllerStats {
+  std::size_t scheduler_passes = 0;
+  std::size_t primary_starts = 0;
+  std::size_t secondary_starts = 0;
+  std::size_t completions = 0;
+  std::size_t timeouts = 0;
+  std::size_t requeues = 0;
+  std::size_t node_failures = 0;
+  std::size_t dependency_cancellations = 0;
+  /// Wall-clock (host) time spent inside scheduler passes — the
+  /// decision-path overhead the paper's "no overhead" claim covers.
+  std::chrono::nanoseconds scheduler_cpu{0};
+};
+
+class Controller final : public core::SchedulerHost {
+ public:
+  Controller(sim::Engine& engine, const ControllerConfig& config,
+             const apps::Catalog& catalog);
+  ~Controller() override;
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Registers a job; its submit event fires at job.submit_time. Jobs that
+  /// request more nodes than the machine has are rejected (kCancelled).
+  void submit(workload::Job job);
+  void submit_all(const workload::JobList& jobs);
+
+  /// scancel: cancels a job in any live state. Pending/held jobs are
+  /// removed from the queue; running jobs are killed and their resources
+  /// released; dependents are cancelled in cascade. Returns false if the
+  /// job is unknown or already finished.
+  bool cancel(JobId id);
+
+  /// All jobs in submission order with their final lifecycle records.
+  workload::JobList job_records() const;
+
+  const ControllerStats& stats() const { return stats_; }
+  const cluster::Machine& machine_state() const { return machine_; }
+  const ExecutionModel& execution() const { return execution_; }
+
+  /// Jobs currently pending / running (for squeue-style displays).
+  std::vector<JobId> pending_ids() const { return pending_; }
+  std::vector<JobId> running_ids() const;
+
+  // --- core::SchedulerHost -----------------------------------------------------
+  SimTime now() const override { return engine_.now(); }
+  const cluster::Machine& machine() const override { return machine_; }
+  const std::vector<JobId>& pending() const override { return pending_; }
+  const workload::Job& job(JobId id) const override;
+  const apps::AppModel& app_of(JobId id) const override;
+  const interference::CorunModel& corun() const override { return corun_; }
+  SimTime walltime_end(JobId running) const override;
+  const interference::PairEstimator* pair_estimator() const override {
+    return &estimator_;
+  }
+  SimDuration predicted_runtime(JobId pending) const override {
+    const workload::Job& j = job(pending);
+    return predictor_.predict(j.user, j.walltime_limit);
+  }
+  void start_primary(JobId id, const std::vector<NodeId>& nodes) override;
+  void start_secondary(JobId id, const std::vector<NodeId>& nodes) override;
+
+  /// Decayed per-user usage for fair-share (read-only access for tools).
+  const core::UsageTracker& usage() const { return usage_; }
+
+ private:
+  workload::Job& job_mutable(JobId id);
+  void on_submit(JobId id);
+  void on_complete(JobId id);
+  void on_timeout(JobId id);
+  void on_node_fail(NodeId node, SimDuration duration);
+  void request_schedule();
+  void run_scheduler_pass();
+  void start_common(JobId id, const std::vector<NodeId>& nodes,
+                    cluster::AllocationKind kind);
+  /// Cancels and reschedules completion events whose prediction moved.
+  void resync_completions();
+  void remove_pending(JobId id);
+  /// Puts the job on the eligible queue (dependency satisfied).
+  void enqueue(JobId id);
+  /// Releases or cancels jobs held on `id` after it reached `success`.
+  void settle_dependents(JobId id, bool success);
+  void cancel_held(JobId id);
+  /// Tears down a running job's events/allocation and requeues it.
+  void requeue(JobId id);
+  /// Re-ranks pending_ under the configured queue policy.
+  void order_queue();
+
+  sim::Engine& engine_;
+  const apps::Catalog& catalog_;
+  interference::CorunModel corun_;
+  cluster::Machine machine_;
+  ExecutionModel execution_;
+  std::unique_ptr<core::Scheduler> scheduler_;
+
+  std::unordered_map<JobId, workload::Job> jobs_;
+  std::vector<JobId> submit_order_;
+  std::vector<JobId> pending_;
+  /// dependency -> jobs held on it.
+  std::unordered_map<JobId, std::vector<JobId>> held_on_;
+  /// Co-location attribution: the dominant partner app of each job that
+  /// ever shared a node, observed into the pair estimator at completion.
+  std::unordered_map<JobId, AppId> partner_;
+  interference::PairEstimator estimator_;
+  core::WalltimePredictor predictor_;
+  SimDuration checkpoint_interval_;
+  /// Checkpointed progress (exclusive-seconds) of requeued jobs.
+  std::unordered_map<JobId, double> resume_progress_;
+  QueuePolicy queue_policy_;
+  core::PriorityCalculator priority_;
+  core::UsageTracker usage_;
+  bool requeue_on_failure_;
+  std::unordered_map<JobId, sim::EventId> end_events_;
+  /// Scheduled time of each completion event, so resync_completions can
+  /// skip jobs whose prediction did not move (most of them, most passes).
+  std::unordered_map<JobId, SimTime> end_event_times_;
+  std::unordered_map<JobId, sim::EventId> kill_events_;
+  bool pass_scheduled_ = false;
+  bool in_pass_ = false;
+  ControllerStats stats_;
+};
+
+}  // namespace cosched::slurmlite

@@ -1,0 +1,124 @@
+#include "slurmlite/execution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cosched::slurmlite {
+
+ExecutionModel::ExecutionModel(const cluster::Machine& machine,
+                               const apps::Catalog& catalog,
+                               const interference::CorunModel& corun)
+    : machine_(machine), catalog_(catalog), corun_(corun) {}
+
+void ExecutionModel::start(const workload::Job& job, SimTime now,
+                           double initial_progress_s) {
+  COSCHED_CHECK(!running_.count(job.id));
+  COSCHED_CHECK(machine_.allocation(job.id) != nullptr);
+  COSCHED_CHECK(initial_progress_s >= 0);
+  Running r;
+  r.app = job.app;
+  r.start = now;
+  r.last_sync = now;
+  r.work_s = to_seconds(job.base_runtime);
+  r.progress_s = std::min(initial_progress_s, r.work_s);
+  r.initial_s = r.progress_s;
+  // Placement locality is fixed for the allocation's lifetime.
+  r.locality = machine_.topology().locality_dilation(
+      machine_.allocation(job.id)->nodes,
+      catalog_.get(job.app).stress.network);
+  r.rate = 1.0;  // placeholder; refresh_rates() sets the true value
+  running_.emplace(job.id, r);
+}
+
+void ExecutionModel::finish(JobId id) {
+  const auto erased = running_.erase(id);
+  COSCHED_CHECK_MSG(erased == 1, "finish of untracked job " << id);
+}
+
+void ExecutionModel::sync(SimTime now) {
+  for (auto& [id, r] : running_) {
+    (void)id;
+    COSCHED_CHECK(now >= r.last_sync);
+    r.progress_s += to_seconds(now - r.last_sync) * r.rate;
+    r.last_sync = now;
+  }
+}
+
+double ExecutionModel::compute_rate(JobId id) const {
+  const cluster::Allocation* alloc = machine_.allocation(id);
+  COSCHED_CHECK(alloc != nullptr);
+  double worst = 1.0;
+  for (NodeId node_id : alloc->nodes) {
+    const cluster::Node& node = machine_.node(node_id);
+    const auto residents = node.jobs();
+    if (residents.size() == 1) continue;  // alone: dilation 1
+    std::vector<apps::StressVector> stresses;
+    stresses.reserve(residents.size());
+    std::size_t my_index = residents.size();
+    for (std::size_t i = 0; i < residents.size(); ++i) {
+      const auto it = running_.find(residents[i]);
+      COSCHED_CHECK_MSG(it != running_.end(),
+                        "job " << residents[i]
+                               << " on machine but not tracked as running");
+      stresses.push_back(catalog_.get(it->second.app).stress);
+      if (residents[i] == id) my_index = i;
+    }
+    COSCHED_CHECK(my_index < residents.size());
+    const auto slowdowns = corun_.slowdowns(stresses);
+    worst = std::max(worst, slowdowns[my_index]);
+  }
+  return 1.0 / worst;
+}
+
+void ExecutionModel::refresh_rates() {
+  for (auto& [id, r] : running_) {
+    r.rate = compute_rate(id) / r.locality;
+  }
+}
+
+SimTime ExecutionModel::predicted_end(JobId id, SimTime now) const {
+  const auto it = running_.find(id);
+  COSCHED_CHECK(it != running_.end());
+  const Running& r = it->second;
+  COSCHED_CHECK_MSG(r.last_sync == now,
+                    "predicted_end requires sync at current time");
+  const double remaining = std::max(0.0, r.work_s - r.progress_s);
+  // Ceil to a whole microsecond so the completion event never fires a tick
+  // before the work is done.
+  const double wall_s = remaining / r.rate;
+  const auto micros = static_cast<SimTime>(
+      std::ceil(wall_s * static_cast<double>(kSecond)));
+  return now + micros;
+}
+
+double ExecutionModel::dilation(JobId id) const {
+  const auto it = running_.find(id);
+  COSCHED_CHECK(it != running_.end());
+  return 1.0 / it->second.rate;
+}
+
+double ExecutionModel::remaining_work_s(JobId id) const {
+  const auto it = running_.find(id);
+  COSCHED_CHECK(it != running_.end());
+  return std::max(0.0, it->second.work_s - it->second.progress_s);
+}
+
+double ExecutionModel::progress_s(JobId id) const {
+  const auto it = running_.find(id);
+  COSCHED_CHECK(it != running_.end());
+  return it->second.progress_s;
+}
+
+double ExecutionModel::observed_dilation(JobId id, SimTime now) const {
+  const auto it = running_.find(id);
+  COSCHED_CHECK(it != running_.end());
+  const Running& r = it->second;
+  const double elapsed = to_seconds(now - r.start);
+  const double progressed =
+      r.progress_s + to_seconds(now - r.last_sync) * r.rate - r.initial_s;
+  return progressed > 0 ? elapsed / progressed : 1.0;
+}
+
+}  // namespace cosched::slurmlite

@@ -1,0 +1,86 @@
+// Execution model: tracks running jobs' progress under time-varying SMT
+// co-location.
+//
+// A job's work is its exclusive runtime. While running it accrues progress
+// at rate 1/dilation, where dilation is the worst per-node slowdown over
+// its allocation (bulk-synchronous apps run at the pace of their slowest
+// node). Whenever the co-residency topology changes — a job starts on or
+// leaves a shared node — the controller syncs accrued progress at the old
+// rates, recomputes rates from the new topology, and reschedules completion
+// events.
+#pragma once
+
+#include <unordered_map>
+
+#include "apps/catalog.hpp"
+#include "cluster/machine.hpp"
+#include "interference/corun_model.hpp"
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace cosched::slurmlite {
+
+class ExecutionModel {
+ public:
+  ExecutionModel(const cluster::Machine& machine,
+                 const apps::Catalog& catalog,
+                 const interference::CorunModel& corun);
+
+  /// Registers a job that was just allocated on the machine. The caller
+  /// must call refresh_rates() afterwards (co-residents' rates change too).
+  /// `initial_progress_s` credits already-completed work (checkpoint
+  /// restore after a failure requeue).
+  void start(const workload::Job& job, SimTime now,
+             double initial_progress_s = 0);
+
+  /// Deregisters a finished/killed job (after machine release); the caller
+  /// must refresh_rates() afterwards.
+  void finish(JobId id);
+
+  /// Advances every running job's progress to `now` at current rates.
+  /// Must be called before any topology mutation.
+  void sync(SimTime now);
+
+  /// Recomputes every running job's rate from the machine topology.
+  /// Requires sync(now) to have been called at the current time.
+  void refresh_rates();
+
+  /// Time at which the job completes its remaining work at current rates.
+  SimTime predicted_end(JobId id, SimTime now) const;
+
+  /// Current dilation (1/rate).
+  double dilation(JobId id) const;
+
+  /// Remaining work in exclusive-seconds.
+  double remaining_work_s(JobId id) const;
+
+  /// Completed work in exclusive-seconds (as of the last sync).
+  double progress_s(JobId id) const;
+
+  /// Cumulative dilation experienced so far: elapsed / progress.
+  double observed_dilation(JobId id, SimTime now) const;
+
+  std::size_t running_count() const { return running_.size(); }
+  bool is_running(JobId id) const { return running_.count(id) > 0; }
+
+ private:
+  struct Running {
+    AppId app;
+    SimTime start;
+    SimTime last_sync;
+    double work_s;      ///< total exclusive-seconds of work
+    double progress_s;  ///< exclusive-seconds completed
+    double initial_s;   ///< progress credited at start (checkpoint restore)
+    double locality;    ///< placement locality dilation (fixed per run)
+    double rate;        ///< progress per wall second (= 1/dilation)
+  };
+
+  double compute_rate(JobId id) const;
+
+  const cluster::Machine& machine_;
+  const apps::Catalog& catalog_;
+  const interference::CorunModel& corun_;
+  std::unordered_map<JobId, Running> running_;
+};
+
+}  // namespace cosched::slurmlite

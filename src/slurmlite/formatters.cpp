@@ -1,0 +1,100 @@
+#include "slurmlite/formatters.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace cosched::slurmlite {
+
+std::string squeue(const Controller& controller,
+                   const apps::Catalog& catalog) {
+  Table t({"JOBID", "APP", "NODES", "STATE", "TIME", "TIMELIMIT", "MODE"});
+  auto add_job = [&](JobId id) {
+    const workload::Job& j = controller.job(id);
+    const SimDuration elapsed =
+        j.state == workload::JobState::kRunning
+            ? controller.now() - j.start_time
+            : 0;
+    t.row()
+        .add(j.id)
+        .add(catalog.get(j.app).name)
+        .add(j.nodes)
+        .add(workload::to_string(j.state))
+        .add(format_duration(elapsed))
+        .add(format_duration(j.walltime_limit))
+        .add(j.state == workload::JobState::kRunning
+                 ? (j.alloc_kind == cluster::AllocationKind::kSecondary
+                        ? "shared"
+                        : "primary")
+                 : "-");
+  };
+  for (JobId id : controller.running_ids()) add_job(id);
+  for (JobId id : controller.pending_ids()) add_job(id);
+  return t.to_text();
+}
+
+std::string sinfo(const cluster::Machine& machine) {
+  int idle = 0, busy = 0, shared = 0, down = 0;
+  for (NodeId n = 0; n < machine.node_count(); ++n) {
+    const cluster::Node& node = machine.node(n);
+    if (node.is_down()) {
+      ++down;
+    } else if (node.is_idle()) {
+      ++idle;
+    } else if (node.job_count() >= 2) {
+      ++shared;
+    } else {
+      ++busy;
+    }
+  }
+  std::ostringstream oss;
+  oss << "NODES " << machine.node_count() << "  idle " << idle << "  busy "
+      << busy << "  shared " << shared << "  down " << down << "\n";
+  return oss.str();
+}
+
+std::string sacct(const workload::JobList& jobs,
+                  const apps::Catalog& catalog) {
+  Table t({"JOBID", "APP", "NODES", "STATE", "SUBMIT", "WAIT", "ELAPSED",
+           "DILATION", "MODE"});
+  for (const auto& j : jobs) {
+    t.row()
+        .add(j.id)
+        .add(j.app >= 0 && j.app < catalog.size() ? catalog.get(j.app).name
+                                                  : "-")
+        .add(j.nodes)
+        .add(workload::to_string(j.state));
+    t.add(format_duration(j.submit_time));
+    t.add(j.wait_time() >= 0 ? format_duration(j.wait_time()) : "-");
+    t.add(j.finished() ? format_duration(j.end_time - j.start_time) : "-");
+    if (j.finished()) {
+      t.add(j.observed_dilation, 3);
+    } else {
+      t.add("-");
+    }
+    t.add(j.finished() && j.alloc_kind == cluster::AllocationKind::kSecondary
+              ? "shared"
+              : "primary");
+  }
+  return t.to_text();
+}
+
+std::string metrics_summary(const metrics::ScheduleMetrics& m) {
+  std::ostringstream oss;
+  oss.precision(4);
+  oss << "jobs: " << m.jobs_completed << " completed, " << m.jobs_timeout
+      << " timed out (of " << m.jobs_total << ")\n"
+      << "makespan: " << m.makespan_s / 3600.0 << " h   throughput: "
+      << m.throughput_jobs_per_h << " jobs/h\n"
+      << "scheduling efficiency: " << m.scheduling_efficiency
+      << "   computational efficiency: " << m.computational_efficiency
+      << "   utilization: " << m.utilization << "\n"
+      << "mean wait: " << m.mean_wait_s / 60.0 << " min   p95 wait: "
+      << m.p95_wait_s / 60.0 << " min   mean bounded slowdown: "
+      << m.mean_bounded_slowdown << "\n"
+      << "mean dilation: " << m.mean_dilation
+      << "   shared node-hours: " << m.shared_node_s / 3600.0 << "\n";
+  return oss.str();
+}
+
+}  // namespace cosched::slurmlite

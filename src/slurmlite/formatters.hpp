@@ -1,0 +1,28 @@
+// SLURM-flavoured text reports: squeue (queue state), sinfo (node state),
+// and sacct (accounting) style tables. Used by the examples for human
+// inspection of simulated runs.
+#pragma once
+
+#include <string>
+
+#include "apps/catalog.hpp"
+#include "metrics/metrics.hpp"
+#include "slurmlite/controller.hpp"
+
+namespace cosched::slurmlite {
+
+/// Pending + running jobs, squeue-style.
+std::string squeue(const Controller& controller,
+                   const apps::Catalog& catalog);
+
+/// Node-state summary (idle/busy/shared/down counts), sinfo-style.
+std::string sinfo(const cluster::Machine& machine);
+
+/// Accounting table over final job records, sacct-style.
+std::string sacct(const workload::JobList& jobs,
+                  const apps::Catalog& catalog);
+
+/// One-paragraph metrics summary for example output.
+std::string metrics_summary(const metrics::ScheduleMetrics& m);
+
+}  // namespace cosched::slurmlite

@@ -1,0 +1,87 @@
+#include "slurmlite/report.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace cosched::slurmlite {
+
+std::string to_json(const SimulationResult& result,
+                    const apps::Catalog& catalog) {
+  JsonWriter w;
+  w.begin_object();
+
+  const auto& m = result.metrics;
+  w.begin_object("metrics")
+      .value("jobs_total", m.jobs_total)
+      .value("jobs_completed", m.jobs_completed)
+      .value("jobs_timeout", m.jobs_timeout)
+      .value("makespan_s", m.makespan_s)
+      .value("total_work_node_s", m.total_work_node_s)
+      .value("busy_node_s", m.busy_node_s)
+      .value("shared_node_s", m.shared_node_s)
+      .value("lost_work_node_s", m.lost_work_node_s)
+      .value("scheduling_efficiency", m.scheduling_efficiency)
+      .value("computational_efficiency", m.computational_efficiency)
+      .value("utilization", m.utilization)
+      .value("mean_wait_s", m.mean_wait_s)
+      .value("p95_wait_s", m.p95_wait_s)
+      .value("mean_bounded_slowdown", m.mean_bounded_slowdown)
+      .value("mean_dilation", m.mean_dilation)
+      .value("throughput_jobs_per_h", m.throughput_jobs_per_h)
+      .value("energy_kwh", m.energy_kwh)
+      .value("work_node_h_per_kwh", m.work_node_h_per_kwh)
+      .end_object();
+
+  const auto& s = result.stats;
+  w.begin_object("stats")
+      .value("scheduler_passes",
+             static_cast<std::int64_t>(s.scheduler_passes))
+      .value("primary_starts", static_cast<std::int64_t>(s.primary_starts))
+      .value("secondary_starts",
+             static_cast<std::int64_t>(s.secondary_starts))
+      .value("completions", static_cast<std::int64_t>(s.completions))
+      .value("timeouts", static_cast<std::int64_t>(s.timeouts))
+      .value("requeues", static_cast<std::int64_t>(s.requeues))
+      .value("node_failures", static_cast<std::int64_t>(s.node_failures))
+      .value("scheduler_cpu_ms",
+             static_cast<double>(s.scheduler_cpu.count()) / 1e6)
+      .end_object();
+
+  w.begin_array("jobs");
+  for (const auto& job : result.jobs) {
+    w.begin_object()
+        .value("id", job.id)
+        .value("user", job.user)
+        .value("app", job.app >= 0 && job.app < catalog.size()
+                          ? catalog.get(job.app).name
+                          : std::string("-"))
+        .value("nodes", job.nodes)
+        .value("state", workload::to_string(job.state))
+        .value("submit_s", to_seconds(job.submit_time))
+        .value("start_s",
+               job.start_time >= 0 ? to_seconds(job.start_time) : -1.0)
+        .value("end_s", job.end_time >= 0 ? to_seconds(job.end_time) : -1.0)
+        .value("walltime_s", to_seconds(job.walltime_limit))
+        .value("base_runtime_s", to_seconds(job.base_runtime))
+        .value("dilation", job.observed_dilation)
+        .value("shared",
+               job.alloc_kind == cluster::AllocationKind::kSecondary)
+        .value("requeues", job.requeues)
+        .end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+void write_json_file(const std::string& path, const SimulationResult& result,
+                     const apps::Catalog& catalog) {
+  std::ofstream out(path);
+  COSCHED_REQUIRE(out.good(), "cannot write JSON file '" << path << "'");
+  out << to_json(result, catalog) << '\n';
+}
+
+}  // namespace cosched::slurmlite

@@ -1,0 +1,21 @@
+// JSON export of simulation results — the machine-readable companion to
+// the sacct/metrics text reports, for downstream analysis and plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "apps/catalog.hpp"
+#include "slurmlite/simulation.hpp"
+
+namespace cosched::slurmlite {
+
+/// Serializes metrics, controller stats, and per-job records:
+/// { "metrics": {...}, "stats": {...}, "jobs": [ {...}, ... ] }.
+std::string to_json(const SimulationResult& result,
+                    const apps::Catalog& catalog);
+
+void write_json_file(const std::string& path, const SimulationResult& result,
+                     const apps::Catalog& catalog);
+
+}  // namespace cosched::slurmlite

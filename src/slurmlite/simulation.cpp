@@ -1,0 +1,41 @@
+#include "slurmlite/simulation.hpp"
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace cosched::slurmlite {
+
+SimulationResult run_jobs(const SimulationSpec& spec,
+                          const apps::Catalog& catalog,
+                          const workload::JobList& jobs) {
+  sim::Engine engine;
+  Controller controller(engine, spec.controller, catalog);
+  controller.submit_all(jobs);
+  engine.run();
+
+  SimulationResult result;
+  result.jobs = controller.job_records();
+  result.metrics =
+      metrics::compute(result.jobs, controller.machine_state().node_count());
+  result.stats = controller.stats();
+  result.events_executed = engine.executed();
+
+  // Post-run invariants: machine drained, every job reached a final state.
+  controller.machine_state().check_invariants();
+  for (const auto& job : result.jobs) {
+    COSCHED_CHECK_MSG(job.state != workload::JobState::kPending &&
+                          job.state != workload::JobState::kRunning,
+                      "job " << job.id << " never finished: "
+                             << workload::to_string(job.state));
+  }
+  return result;
+}
+
+SimulationResult run_simulation(const SimulationSpec& spec,
+                                const apps::Catalog& catalog) {
+  workload::Generator generator(spec.workload, catalog);
+  Pcg32 rng(spec.seed, /*stream=*/0x5eed);
+  return run_jobs(spec, catalog, generator.generate(rng));
+}
+
+}  // namespace cosched::slurmlite

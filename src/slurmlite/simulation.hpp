@@ -1,0 +1,37 @@
+// One-call experiment runner: build machine + controller, generate or
+// accept a workload, run the event loop to completion, compute metrics.
+// Every bench and example goes through this entry point.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/catalog.hpp"
+#include "metrics/metrics.hpp"
+#include "slurmlite/controller.hpp"
+#include "workload/generator.hpp"
+
+namespace cosched::slurmlite {
+
+struct SimulationSpec {
+  ControllerConfig controller{};
+  workload::GeneratorParams workload{};
+  std::uint64_t seed = 1;
+};
+
+struct SimulationResult {
+  workload::JobList jobs;            ///< final lifecycle records
+  metrics::ScheduleMetrics metrics;  ///< computed over `jobs`
+  ControllerStats stats;
+  std::size_t events_executed = 0;
+};
+
+/// Generates a workload from spec.workload (seeded) and runs it.
+SimulationResult run_simulation(const SimulationSpec& spec,
+                                const apps::Catalog& catalog);
+
+/// Runs an explicit job list (e.g. an SWF replay) under spec.controller.
+SimulationResult run_jobs(const SimulationSpec& spec,
+                          const apps::Catalog& catalog,
+                          const workload::JobList& jobs);
+
+}  // namespace cosched::slurmlite

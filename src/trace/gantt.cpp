@@ -1,0 +1,92 @@
+#include "trace/gantt.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cosched::trace {
+
+void write_gantt_csv(std::ostream& out, const workload::JobList& jobs,
+                     const apps::Catalog& catalog) {
+  out << "job,app,node,start_s,end_s,kind,state\n";
+  for (const auto& job : jobs) {
+    if (job.start_time < 0 || job.end_time < 0) continue;
+    const std::string app_name =
+        (job.app >= 0 && job.app < catalog.size()) ? catalog.get(job.app).name
+                                                   : "-";
+    for (NodeId node : job.alloc_nodes) {
+      out << job.id << ',' << app_name << ',' << node << ','
+          << to_seconds(job.start_time) << ',' << to_seconds(job.end_time)
+          << ','
+          << (job.alloc_kind == cluster::AllocationKind::kPrimary
+                  ? "primary"
+                  : "secondary")
+          << ',' << workload::to_string(job.state) << '\n';
+    }
+  }
+}
+
+void write_gantt_csv_file(const std::string& path,
+                          const workload::JobList& jobs,
+                          const apps::Catalog& catalog) {
+  std::ofstream out(path);
+  COSCHED_REQUIRE(out.good(), "cannot write gantt file '" << path << "'");
+  write_gantt_csv(out, jobs, catalog);
+}
+
+std::string ascii_gantt(const workload::JobList& jobs, int machine_nodes,
+                        int width) {
+  COSCHED_CHECK(machine_nodes > 0 && width > 0);
+  SimTime t_min = kTimeInfinity, t_max = 0;
+  for (const auto& job : jobs) {
+    if (job.start_time < 0 || job.end_time < 0) continue;
+    t_min = std::min(t_min, job.start_time);
+    t_max = std::max(t_max, job.end_time);
+  }
+  if (t_min >= t_max) return "(empty schedule)\n";
+
+  std::vector<std::vector<int>> occupancy(
+      static_cast<std::size_t>(machine_nodes),
+      std::vector<int>(static_cast<std::size_t>(width), 0));
+  const double span = static_cast<double>(t_max - t_min);
+  for (const auto& job : jobs) {
+    if (job.start_time < 0 || job.end_time < 0) continue;
+    auto bucket = [&](SimTime t) {
+      auto b = static_cast<std::ptrdiff_t>(
+          static_cast<double>(t - t_min) / span * width);
+      return std::clamp<std::ptrdiff_t>(b, 0, width - 1);
+    };
+    const auto b0 = bucket(job.start_time);
+    const auto b1 = bucket(job.end_time - 1);
+    for (NodeId node : job.alloc_nodes) {
+      if (node < 0 || node >= machine_nodes) continue;
+      for (auto b = b0; b <= b1; ++b) {
+        ++occupancy[static_cast<std::size_t>(node)]
+                   [static_cast<std::size_t>(b)];
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(machine_nodes) *
+              (static_cast<std::size_t>(width) + 8));
+  for (int n = 0; n < machine_nodes; ++n) {
+    out += "n";
+    const std::string id = std::to_string(n);
+    out += id;
+    out += std::string(id.size() < 3 ? 3 - id.size() : 0, ' ');
+    out += '|';
+    for (int b = 0; b < width; ++b) {
+      const int k =
+          occupancy[static_cast<std::size_t>(n)][static_cast<std::size_t>(b)];
+      out += k == 0 ? '.' : (k == 1 ? '#' : static_cast<char>('0' + std::min(k, 9)));
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace cosched::trace

@@ -1,0 +1,28 @@
+// Schedule export for visualization: one CSV row per (job, node) occupancy
+// interval, which external plotting turns into the classic node/time Gantt
+// chart of a batch schedule. Shared intervals are visible as two jobs on
+// one node.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "apps/catalog.hpp"
+#include "workload/job.hpp"
+
+namespace cosched::trace {
+
+/// Writes "job,app,node,start_s,end_s,kind,state" rows for finished jobs.
+void write_gantt_csv(std::ostream& out, const workload::JobList& jobs,
+                     const apps::Catalog& catalog);
+
+void write_gantt_csv_file(const std::string& path,
+                          const workload::JobList& jobs,
+                          const apps::Catalog& catalog);
+
+/// Renders a coarse ASCII occupancy chart (nodes x time buckets) for quick
+/// terminal inspection; '.'=idle, '#'=one job, '2'=shared (2 jobs), etc.
+std::string ascii_gantt(const workload::JobList& jobs, int machine_nodes,
+                        int width = 80);
+
+}  // namespace cosched::trace

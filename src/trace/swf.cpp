@@ -1,0 +1,138 @@
+#include "trace/swf.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cosched::trace {
+
+std::vector<SwfRecord> read_swf(std::istream& in) {
+  std::vector<SwfRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and skip blanks.
+    if (auto pos = line.find(';'); pos != std::string::npos) {
+      line.resize(pos);
+    }
+    std::istringstream fields(line);
+    SwfRecord r;
+    if (!(fields >> r.job_number)) continue;  // blank or comment-only line
+    const bool ok =
+        static_cast<bool>(fields >> r.submit_time >> r.wait_time >>
+                          r.run_time >> r.procs_used >> r.avg_cpu_time >>
+                          r.memory_used >> r.procs_requested >>
+                          r.time_requested >> r.memory_requested >> r.status >>
+                          r.user_id >> r.group_id >> r.app_number >>
+                          r.queue_number >> r.partition_number >>
+                          r.preceding_job >> r.think_time);
+    COSCHED_REQUIRE(ok, "SWF line " << line_no
+                                    << ": expected 18 fields, got fewer");
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<SwfRecord> read_swf_file(const std::string& path) {
+  std::ifstream in(path);
+  COSCHED_REQUIRE(in.good(), "cannot open SWF file '" << path << "'");
+  return read_swf(in);
+}
+
+void write_swf(std::ostream& out, const std::vector<SwfRecord>& records,
+               const std::string& header_note) {
+  out << "; SWF trace written by CoSched\n";
+  out << "; Convention: processor fields carry whole-node counts\n";
+  if (!header_note.empty()) out << "; " << header_note << "\n";
+  out << "; Fields: job submit wait run procs avg_cpu mem procs_req "
+         "time_req mem_req status uid gid app queue partition preceding "
+         "think\n";
+  for (const auto& r : records) {
+    out << r.job_number << ' ' << r.submit_time << ' ' << r.wait_time << ' '
+        << r.run_time << ' ' << r.procs_used << ' ' << r.avg_cpu_time << ' '
+        << r.memory_used << ' ' << r.procs_requested << ' '
+        << r.time_requested << ' ' << r.memory_requested << ' ' << r.status
+        << ' ' << r.user_id << ' ' << r.group_id << ' ' << r.app_number << ' '
+        << r.queue_number << ' ' << r.partition_number << ' '
+        << r.preceding_job << ' ' << r.think_time << '\n';
+  }
+}
+
+void write_swf_file(const std::string& path,
+                    const std::vector<SwfRecord>& records,
+                    const std::string& header_note) {
+  std::ofstream out(path);
+  COSCHED_REQUIRE(out.good(), "cannot write SWF file '" << path << "'");
+  write_swf(out, records, header_note);
+}
+
+workload::JobList jobs_from_swf(const std::vector<SwfRecord>& records,
+                                int app_count) {
+  workload::JobList jobs;
+  jobs.reserve(records.size());
+  for (const auto& r : records) {
+    COSCHED_REQUIRE(r.job_number >= 0,
+                    "SWF record with negative job number " << r.job_number);
+    workload::Job job;
+    job.id = r.job_number;
+    job.user = "uid" + std::to_string(r.user_id >= 0 ? r.user_id : 0);
+    const std::int64_t procs =
+        r.procs_requested > 0 ? r.procs_requested : r.procs_used;
+    COSCHED_REQUIRE(procs > 0, "SWF job " << r.job_number
+                                          << " has no processor count");
+    job.nodes = static_cast<int>(procs);
+    job.submit_time = (r.submit_time > 0 ? r.submit_time : 0) * kSecond;
+    COSCHED_REQUIRE(r.run_time > 0 || r.time_requested > 0,
+                    "SWF job " << r.job_number
+                               << " has neither runtime nor request");
+    job.base_runtime =
+        (r.run_time > 0 ? r.run_time : r.time_requested) * kSecond;
+    job.walltime_limit =
+        (r.time_requested > 0 ? r.time_requested : r.run_time) * kSecond;
+    if (job.walltime_limit < job.base_runtime) {
+      // Some archive traces record runtime past the request (grace kills);
+      // clamp so replays are feasible.
+      job.walltime_limit = job.base_runtime;
+    }
+    if (app_count > 0) {
+      const std::int64_t app = r.app_number >= 0 ? r.app_number : r.job_number;
+      job.app = static_cast<AppId>(app % app_count);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<SwfRecord> jobs_to_swf(const workload::JobList& jobs) {
+  std::vector<SwfRecord> out;
+  out.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    SwfRecord r;
+    r.job_number = job.id;
+    r.submit_time = job.submit_time / kSecond;
+    r.wait_time = job.wait_time() >= 0 ? job.wait_time() / kSecond : -1;
+    // For jobs that ran, the observed elapsed time; for jobs that never
+    // ran (archiving a workload rather than a schedule), the ground-truth
+    // runtime, so a replay reproduces the same work.
+    r.run_time = (job.start_time >= 0 && job.end_time >= 0)
+                     ? (job.end_time - job.start_time) / kSecond
+                     : (job.base_runtime > 0 ? job.base_runtime / kSecond
+                                             : -1);
+    r.procs_used = job.nodes;
+    r.procs_requested = job.nodes;
+    r.time_requested = job.walltime_limit / kSecond;
+    switch (job.state) {
+      case workload::JobState::kCompleted: r.status = 1; break;
+      case workload::JobState::kTimeout: r.status = 0; break;
+      case workload::JobState::kCancelled: r.status = 5; break;
+      default: r.status = -1; break;
+    }
+    r.app_number = job.app;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace cosched::trace

@@ -1,0 +1,63 @@
+// Standard Workload Format (SWF) I/O.
+//
+// SWF is the community interchange format for batch-system traces
+// (Feitelson's Parallel Workloads Archive): one job per line, 18
+// whitespace-separated integer fields, ';' comment lines forming the header.
+// We map CoSched's whole-node job model onto it by storing node counts in
+// the processor fields (documented in the emitted header).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace cosched::trace {
+
+/// One SWF record. Field names follow the SWF specification; -1 means
+/// "not available" throughout, as the spec prescribes.
+struct SwfRecord {
+  std::int64_t job_number = -1;
+  std::int64_t submit_time = -1;      ///< seconds since trace start
+  std::int64_t wait_time = -1;        ///< seconds
+  std::int64_t run_time = -1;         ///< seconds
+  std::int64_t procs_used = -1;
+  double avg_cpu_time = -1;
+  std::int64_t memory_used = -1;
+  std::int64_t procs_requested = -1;
+  std::int64_t time_requested = -1;   ///< walltime estimate, seconds
+  std::int64_t memory_requested = -1;
+  std::int64_t status = -1;           ///< 1 completed, 0 failed, 5 cancelled
+  std::int64_t user_id = -1;
+  std::int64_t group_id = -1;
+  std::int64_t app_number = -1;
+  std::int64_t queue_number = -1;
+  std::int64_t partition_number = -1;
+  std::int64_t preceding_job = -1;
+  std::int64_t think_time = -1;
+};
+
+/// Parses an SWF stream. Comment/blank lines are skipped; malformed data
+/// lines raise cosched::Error with the line number.
+std::vector<SwfRecord> read_swf(std::istream& in);
+std::vector<SwfRecord> read_swf_file(const std::string& path);
+
+/// Writes records with a descriptive header.
+void write_swf(std::ostream& out, const std::vector<SwfRecord>& records,
+               const std::string& header_note = "");
+void write_swf_file(const std::string& path,
+                    const std::vector<SwfRecord>& records,
+                    const std::string& header_note = "");
+
+/// Converts submissions from SWF records: submit time, size, walltime
+/// request, and (when present) actual runtime become the ground-truth
+/// runtime. `app_count` maps SWF app numbers onto catalog ids by modulo;
+/// pass 0 to leave apps unassigned (-1).
+workload::JobList jobs_from_swf(const std::vector<SwfRecord>& records,
+                                int app_count);
+
+/// Converts finished jobs to SWF records (for archiving simulated runs).
+std::vector<SwfRecord> jobs_to_swf(const workload::JobList& jobs);
+
+}  // namespace cosched::trace

@@ -1,0 +1,16 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cosched::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::fprintf(stderr, "COSCHED_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cosched::detail

@@ -1,0 +1,56 @@
+// Lightweight invariant checking. COSCHED_CHECK aborts with a message on
+// violation in all build types; simulation code uses it to guard internal
+// invariants (never user input — user input raises cosched::Error).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cosched {
+
+/// Exception for recoverable errors caused by user input (malformed trace
+/// files, inconsistent configuration, impossible job requests).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace cosched
+
+/// Aborts the process with diagnostics when `expr` is false. Used for
+/// internal invariants whose violation indicates a bug, not bad input.
+#define COSCHED_CHECK(expr)                                           \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::cosched::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                 \
+  } while (false)
+
+/// Like COSCHED_CHECK but with a streamed message:
+///   COSCHED_CHECK_MSG(x > 0, "x was " << x);
+#define COSCHED_CHECK_MSG(expr, stream_expr)                        \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream oss_;                                      \
+      oss_ << stream_expr;                                          \
+      ::cosched::detail::check_failed(#expr, __FILE__, __LINE__,    \
+                                      oss_.str());                  \
+    }                                                               \
+  } while (false)
+
+/// Throws cosched::Error with a streamed message when `expr` is false.
+/// Used to validate external input.
+#define COSCHED_REQUIRE(expr, stream_expr)    \
+  do {                                        \
+    if (!(expr)) {                            \
+      std::ostringstream oss_;                \
+      oss_ << stream_expr;                    \
+      throw ::cosched::Error(oss_.str());     \
+    }                                         \
+  } while (false)

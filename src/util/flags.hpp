@@ -1,0 +1,41 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+// Supports "--name=value", "--name value", and bare "--name" booleans.
+// Unrecognized flags raise cosched::Error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cosched {
+
+class Flags {
+ public:
+  /// Parses argv. Positional (non --) arguments are collected in order.
+  Flags(int argc, const char* const* argv);
+
+  /// Typed getters with defaults. A present-but-valueless flag reads as
+  /// "true" for booleans and is an error for other types.
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  bool has(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Returns flags that were parsed but never read by a getter — callers
+  /// print these as "unknown flag" diagnostics after wiring all getters.
+  std::vector<std::string> unused() const;
+
+ private:
+  const std::string* find(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cosched

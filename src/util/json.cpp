@@ -1,0 +1,146 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace cosched {
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  COSCHED_CHECK_MSG(!first_.empty(), "value written outside any scope");
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+}
+
+void JsonWriter::key_prefix(const std::string& key) {
+  comma();
+  out_ << '"' << escape(key) << "\":";
+}
+
+void JsonWriter::number(double v) {
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no NaN/inf
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ << buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  if (!first_.empty()) comma();
+  out_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& key) {
+  key_prefix(key);
+  out_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  COSCHED_CHECK(!first_.empty());
+  out_ << '}';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+  key_prefix(key);
+  out_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  if (!first_.empty()) comma();
+  out_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  COSCHED_CHECK(!first_.empty());
+  out_ << ']';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, const std::string& v) {
+  key_prefix(key);
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, const char* v) {
+  return value(key, std::string(v));
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, double v) {
+  key_prefix(key);
+  number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, std::int64_t v) {
+  key_prefix(key);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, int v) {
+  return value(key, static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, bool v) {
+  key_prefix(key);
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  number(v);
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  COSCHED_CHECK_MSG(first_.empty(), "unclosed JSON scope");
+  return out_.str();
+}
+
+}  // namespace cosched

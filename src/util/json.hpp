@@ -1,0 +1,50 @@
+// Minimal streaming JSON writer (no DOM): correct escaping, automatic
+// comma placement, scope balancing checked at destruction. Used by the
+// report module to export simulation results for downstream analysis.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cosched {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // Scopes. Keys apply when inside an object.
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(const std::string& key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key);
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Values (keyed forms for objects, bare forms for arrays).
+  JsonWriter& value(const std::string& key, const std::string& v);
+  JsonWriter& value(const std::string& key, const char* v);
+  JsonWriter& value(const std::string& key, double v);
+  JsonWriter& value(const std::string& key, std::int64_t v);
+  JsonWriter& value(const std::string& key, int v);
+  JsonWriter& value(const std::string& key, bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(double v);
+
+  /// The document; all scopes must be closed.
+  std::string str() const;
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  void comma();
+  void key_prefix(const std::string& key);
+  void number(double v);
+
+  std::ostringstream out_;
+  /// One entry per open scope; true = next element is the scope's first
+  /// (no comma needed). Empty at the root.
+  std::vector<bool> first_;
+};
+
+}  // namespace cosched

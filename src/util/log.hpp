@@ -1,0 +1,40 @@
+// Leveled logging. The simulator is silent by default (level Warn);
+// examples raise the level with --verbose. Messages go to stderr so table
+// output on stdout stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cosched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace cosched
+
+#define COSCHED_LOG(level, stream_expr)                               \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::cosched::log_level())) {                   \
+      std::ostringstream oss_;                                        \
+      oss_ << stream_expr;                                            \
+      ::cosched::detail::log_emit(level, oss_.str());                 \
+    }                                                                 \
+  } while (false)
+
+#define COSCHED_DEBUG(stream_expr) \
+  COSCHED_LOG(::cosched::LogLevel::kDebug, stream_expr)
+#define COSCHED_INFO(stream_expr) \
+  COSCHED_LOG(::cosched::LogLevel::kInfo, stream_expr)
+#define COSCHED_WARN(stream_expr) \
+  COSCHED_LOG(::cosched::LogLevel::kWarn, stream_expr)
+#define COSCHED_ERROR(stream_expr) \
+  COSCHED_LOG(::cosched::LogLevel::kError, stream_expr)

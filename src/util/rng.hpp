@@ -1,0 +1,82 @@
+// Deterministic random number generation for the simulator.
+//
+// We carry our own PCG32 implementation instead of <random> engines because
+// (a) its output is specified, so simulation results are reproducible across
+// standard-library implementations, and (b) each subsystem can cheaply fork
+// an independent stream from a (seed, stream) pair, keeping experiments with
+// shared seeds comparable even when one subsystem draws more numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cosched {
+
+/// PCG32 (Melissa O'Neill's pcg32_random_r): 64-bit state, 32-bit output,
+/// period 2^64 per stream, 2^63 selectable streams.
+class Pcg32 {
+ public:
+  /// Seeds the generator. Distinct `stream` values give statistically
+  /// independent sequences for the same `seed`.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Returns the next raw 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Returns an unbiased integer in [0, bound). Requires bound > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double next_double();
+
+  /// Forks an independent generator; deterministic given this state.
+  Pcg32 fork();
+
+  // --- Distributions -------------------------------------------------------
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller (no cached spare: deterministic draws).
+  double normal(double mean, double stddev);
+
+  /// Weibull with shape k and scale lambda.
+  double weibull(double shape, double scale);
+
+  /// Bounded Pareto on [lo, hi] with tail index alpha.
+  double bounded_pareto(double alpha, double lo, double hi);
+
+  /// Returns true with probability p.
+  bool bernoulli(double p);
+
+  /// Samples an index according to non-negative weights (sum > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(static_cast<std::uint32_t>(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,44 @@
+// ASCII table and CSV emission for benchmark harnesses and examples.
+// Every table/figure binary prints through this so output is uniform and
+// machine-parsable (--csv flips the format).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cosched {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision. Right-aligns cells that parse as numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent `add` calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::int64_t value);
+  Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  Table& add(std::size_t value) {
+    return add(static_cast<std::int64_t>(value));
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns and a header rule.
+  std::string to_text() const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Convenience: prints to the stream in the chosen format.
+  void print(std::ostream& os, bool csv = false) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,75 @@
+#include "util/types.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace cosched {
+
+std::string format_duration(SimDuration d) {
+  if (d < 0) return "-" + format_duration(-d);
+  const std::int64_t total_seconds = d / kSecond;
+  const std::int64_t days = total_seconds / 86400;
+  const std::int64_t hours = (total_seconds / 3600) % 24;
+  const std::int64_t minutes = (total_seconds / 60) % 60;
+  const std::int64_t seconds = total_seconds % 60;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%lld-%02lld:%02lld:%02lld",
+                  static_cast<long long>(days), static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld",
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds));
+  }
+  return buf;
+}
+
+SimDuration parse_duration(const std::string& text) {
+  if (text.empty()) return -1;
+  std::int64_t days = 0;
+  std::string rest = text;
+  if (auto dash = text.find('-'); dash != std::string::npos) {
+    auto day_part = text.substr(0, dash);
+    auto [p, ec] = std::from_chars(day_part.data(),
+                                   day_part.data() + day_part.size(), days);
+    if (ec != std::errc{} || p != day_part.data() + day_part.size() ||
+        days < 0) {
+      return -1;
+    }
+    rest = text.substr(dash + 1);
+  }
+  // Split remaining "A[:B[:C]]" fields.
+  std::vector<std::int64_t> fields;
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    auto next = rest.find(':', pos);
+    auto token = rest.substr(pos, next == std::string::npos ? std::string::npos
+                                                            : next - pos);
+    std::int64_t value = 0;
+    auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || p != token.data() + token.size() || value < 0) {
+      return -1;
+    }
+    fields.push_back(value);
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  if (fields.empty() || fields.size() > 3) return -1;
+  std::int64_t seconds = 0;
+  if (fields.size() == 1) {
+    // Bare number: minutes with a day prefix (SLURM "D-HH"), else seconds.
+    seconds = (days > 0) ? fields[0] * 3600 : fields[0];
+  } else if (fields.size() == 2) {
+    seconds = fields[0] * 60 + fields[1];
+  } else {
+    seconds = fields[0] * 3600 + fields[1] * 60 + fields[2];
+  }
+  return (days * 86400 + seconds) * kSecond;
+}
+
+}  // namespace cosched

@@ -1,0 +1,67 @@
+#include "workload/campaign.hpp"
+
+#include "util/check.hpp"
+
+namespace cosched::workload {
+
+namespace {
+
+/// Caps the default size mix at the machine size so every job can run.
+std::vector<std::pair<int, double>> capped_size_mix(int machine_nodes) {
+  std::vector<std::pair<int, double>> mix;
+  for (const auto& [nodes, weight] :
+       GeneratorParams{}.size_mix) {
+    if (nodes <= machine_nodes) {
+      mix.emplace_back(nodes, weight);
+    }
+  }
+  COSCHED_CHECK(!mix.empty());
+  return mix;
+}
+
+/// Weights aligned with Catalog::trinity() order:
+/// miniFE, miniGhost, AMG, UMT, SNAP, GTC, MILC, miniDFT.
+std::vector<double> trinity_weights(double membound, double balanced,
+                                    double compute) {
+  return {membound, balanced, membound, balanced,
+          membound, compute,  membound, compute};
+}
+
+GeneratorParams base_campaign(int machine_nodes, int job_count) {
+  GeneratorParams p;
+  p.job_count = job_count;
+  p.arrival = ArrivalMode::kCampaign;
+  p.machine_nodes = machine_nodes;
+  p.size_mix = capped_size_mix(machine_nodes);
+  return p;
+}
+
+}  // namespace
+
+GeneratorParams trinity_campaign(int machine_nodes, int job_count) {
+  GeneratorParams p = base_campaign(machine_nodes, job_count);
+  p.app_weights = trinity_weights(1.0, 1.0, 1.0);
+  return p;
+}
+
+GeneratorParams memory_bound_campaign(int machine_nodes, int job_count) {
+  GeneratorParams p = base_campaign(machine_nodes, job_count);
+  p.app_weights = trinity_weights(1.0, 0.0, 0.0);
+  return p;
+}
+
+GeneratorParams compute_bound_campaign(int machine_nodes, int job_count) {
+  GeneratorParams p = base_campaign(machine_nodes, job_count);
+  p.app_weights = trinity_weights(0.0, 0.5, 1.0);
+  return p;
+}
+
+GeneratorParams trinity_stream(int machine_nodes, int job_count,
+                               double offered_load) {
+  GeneratorParams p = trinity_campaign(machine_nodes, job_count);
+  p.arrival = ArrivalMode::kStream;
+  p.offered_load = offered_load;
+  return p;
+}
+
+}  // namespace cosched::workload

@@ -1,0 +1,80 @@
+// Synthetic workload generation.
+//
+// Two arrival regimes cover the paper's methodology:
+//   * campaign: all jobs submitted in a burst at t=0 (the mini-app campaign
+//     whose makespan/efficiency the headline table reports);
+//   * stream: Poisson arrivals tuned to an offered load factor rho (the
+//     load-sweep figure).
+//
+// Job sizes follow a discrete capability mix (powers of two), runtimes are
+// log-normal per app, and user walltime estimates multiply the true runtime
+// by a uniform over-estimation factor — the classic observed behaviour that
+// makes backfill interesting.
+#pragma once
+
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "util/rng.hpp"
+#include "workload/job.hpp"
+
+namespace cosched::workload {
+
+enum class ArrivalMode : std::int8_t { kCampaign, kStream };
+
+struct GeneratorParams {
+  int job_count = 500;
+  ArrivalMode arrival = ArrivalMode::kCampaign;
+
+  /// Stream mode: mean inter-arrival time derived from this offered load
+  /// (fraction of machine node capacity requested per unit time).
+  double offered_load = 0.9;
+  int machine_nodes = 32;  ///< needed to convert offered load to a rate
+
+  /// Stream mode: day/night arrival modulation in [0, 1). The arrival rate
+  /// follows lambda * (1 + A sin(...)), peaking at simulated noon and
+  /// bottoming at midnight (thinned Poisson process). 0 = stationary.
+  double diurnal_amplitude = 0.0;
+
+  /// Discrete (nodes, weight) size mix. Defaults to a capability-class mix.
+  std::vector<std::pair<int, double>> size_mix = {
+      {1, 0.30}, {2, 0.25}, {4, 0.20}, {8, 0.15}, {16, 0.10}};
+
+  /// Log-normal single-node work (node-seconds): exp(mu + sigma N(0,1)).
+  /// Defaults give a median of ~1h of single-node work.
+  double work_mu = 8.2;     ///< log(3640 s)
+  double work_sigma = 0.8;
+
+  /// User walltime estimate = actual runtime * U[est_factor_min, max],
+  /// rounded up to a minute. Factors >= 1 (users over-estimate; the
+  /// 1.5 floor keeps the co-allocation dilation cap of 1.4 safe).
+  double est_factor_min = 1.5;
+  double est_factor_max = 3.0;
+
+  /// Probability a job opts into SMT sharing (and its app allows it).
+  double shareable_prob = 1.0;
+
+  /// Apps drawn uniformly unless weights given (must match catalog size).
+  std::vector<double> app_weights;
+};
+
+class Generator {
+ public:
+  Generator(GeneratorParams params, const apps::Catalog& catalog);
+
+  /// Generates a job list ordered by submit time; ids are 1-based in
+  /// submission order. Deterministic for a given rng state.
+  JobList generate(Pcg32& rng) const;
+
+  const GeneratorParams& params() const { return params_; }
+
+  /// Mean work per job in node-seconds implied by the parameters
+  /// (used to convert offered load into an arrival rate).
+  double mean_job_node_seconds() const;
+
+ private:
+  GeneratorParams params_;
+  const apps::Catalog& catalog_;
+};
+
+}  // namespace cosched::workload

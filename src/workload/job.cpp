@@ -1,0 +1,17 @@
+#include "workload/job.hpp"
+
+namespace cosched::workload {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "PENDING";
+    case JobState::kHeld: return "HELD";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kCompleted: return "COMPLETED";
+    case JobState::kTimeout: return "TIMEOUT";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+}  // namespace cosched::workload

@@ -1,0 +1,74 @@
+// Batch jobs: the submission request plus the lifecycle record the
+// controller fills in as the job moves through the system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "util/types.hpp"
+
+namespace cosched::workload {
+
+enum class JobState : std::int8_t {
+  kPending,    ///< submitted, waiting in queue
+  kHeld,       ///< submitted, waiting on a dependency
+  kRunning,    ///< allocated and executing
+  kCompleted,  ///< finished its work
+  kTimeout,    ///< killed at its walltime limit before finishing
+  kCancelled,  ///< removed without running
+};
+
+const char* to_string(JobState s);
+
+struct Job {
+  // --- Submission request ---------------------------------------------------
+  JobId id = kInvalidJob;
+  std::string user;
+  AppId app = -1;
+  int nodes = 1;                  ///< whole-node request (capability model)
+  SimTime submit_time = 0;
+  SimDuration walltime_limit = 0; ///< user estimate; job is killed past it
+  bool shareable = true;          ///< user permits SMT co-allocation
+  /// "afterok" dependency: held until that job completes; cancelled if it
+  /// fails. Must reference an already-submitted job. kInvalidJob = none.
+  JobId depends_on = kInvalidJob;
+  /// Target partition for multi-partition sites; empty = site default.
+  std::string partition;
+
+  // --- Ground truth (hidden from schedulers) ---------------------------------
+  /// Actual runtime if run exclusively. Schedulers only see walltime_limit;
+  /// the execution model dilates this under co-location.
+  SimDuration base_runtime = 0;
+
+  // --- Lifecycle record (filled by the controller) ---------------------------
+  JobState state = JobState::kPending;
+  SimTime start_time = -1;
+  SimTime end_time = -1;
+  cluster::AllocationKind alloc_kind = cluster::AllocationKind::kPrimary;
+  std::vector<NodeId> alloc_nodes;
+  /// Total dilation experienced: actual_runtime / base_runtime. 1.0 when
+  /// never co-located.
+  double observed_dilation = 1.0;
+  /// Times the job was requeued after a node failure killed its run.
+  int requeues = 0;
+
+  // --- Derived ----------------------------------------------------------------
+  /// Useful work in node-seconds (the exclusive cost of the job).
+  double work_node_seconds() const {
+    return static_cast<double>(nodes) * to_seconds(base_runtime);
+  }
+  SimDuration wait_time() const {
+    return (start_time >= 0) ? start_time - submit_time : -1;
+  }
+  SimDuration turnaround() const {
+    return (end_time >= 0) ? end_time - submit_time : -1;
+  }
+  bool finished() const {
+    return state == JobState::kCompleted || state == JobState::kTimeout;
+  }
+};
+
+using JobList = std::vector<Job>;
+
+}  // namespace cosched::workload

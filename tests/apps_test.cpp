@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "util/check.hpp"
+
+namespace cosched::apps {
+namespace {
+
+TEST(AppModel, PerfectScalingAtOneNode) {
+  AppModel app;
+  app.serial_fraction = 0.1;
+  app.comm_derate_per_doubling = 0.1;
+  EXPECT_DOUBLE_EQ(app.parallel_efficiency(1), 1.0);
+}
+
+TEST(AppModel, EfficiencyMonotonicallyDecreases) {
+  AppModel app;
+  app.serial_fraction = 0.02;
+  app.comm_derate_per_doubling = 0.03;
+  double prev = 1.0;
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    const double eff = app.parallel_efficiency(n);
+    EXPECT_LT(eff, prev) << "n=" << n;
+    EXPECT_GT(eff, 0.0);
+    prev = eff;
+  }
+}
+
+TEST(AppModel, ZeroSerialFractionScalesByCommOnly) {
+  AppModel app;
+  app.serial_fraction = 0.0;
+  app.comm_derate_per_doubling = 0.0;
+  EXPECT_NEAR(app.parallel_efficiency(64), 1.0, 1e-12);
+}
+
+TEST(AppModel, AmdahlLimitRespected) {
+  AppModel app;
+  app.serial_fraction = 0.5;
+  app.comm_derate_per_doubling = 0.0;
+  // Amdahl: speedup <= 1/s = 2, so efficiency at 8 nodes <= 2/8.
+  EXPECT_LE(app.parallel_efficiency(8), 0.25 + 1e-12);
+}
+
+TEST(AppModel, RuntimeShrinksWithNodesButSublinearly) {
+  AppModel app;
+  app.serial_fraction = 0.02;
+  app.comm_derate_per_doubling = 0.05;
+  const double work = 3600.0;
+  const double t1 = app.runtime_seconds(work, 1);
+  const double t4 = app.runtime_seconds(work, 4);
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t4, t1 / 4.0);  // imperfect scaling
+}
+
+TEST(Catalog, TrinityHasEightKnownApps) {
+  const Catalog c = Catalog::trinity();
+  EXPECT_EQ(c.size(), 8);
+  for (const char* name : {"miniFE", "miniGhost", "AMG", "UMT", "SNAP",
+                           "GTC", "MILC", "miniDFT"}) {
+    EXPECT_TRUE(c.find(name).has_value()) << name;
+  }
+}
+
+TEST(Catalog, TrinityStressVectorsInRange) {
+  for (const auto& app : Catalog::trinity().all()) {
+    EXPECT_GT(app.stress.issue, 0.0) << app.name;
+    EXPECT_LE(app.stress.issue, 1.0) << app.name;
+    EXPECT_GT(app.stress.membw, 0.0) << app.name;
+    EXPECT_LE(app.stress.membw, 1.0) << app.name;
+    EXPECT_GE(app.stress.cache, 0.0) << app.name;
+    EXPECT_LE(app.stress.cache, 1.0) << app.name;
+    EXPECT_GE(app.stress.network, 0.0) << app.name;
+    EXPECT_LE(app.stress.network, 1.0) << app.name;
+    EXPECT_GT(app.serial_fraction, 0.0) << app.name;
+    EXPECT_LT(app.serial_fraction, 0.1) << app.name;
+  }
+}
+
+TEST(Catalog, ClassesMatchDominantResource) {
+  const Catalog c = Catalog::trinity();
+  EXPECT_EQ(c.by_name("GTC").app_class, AppClass::kComputeBound);
+  EXPECT_EQ(c.by_name("miniFE").app_class, AppClass::kMemoryBandwidthBound);
+  EXPECT_GT(c.by_name("GTC").stress.issue, c.by_name("GTC").stress.membw);
+  EXPECT_GT(c.by_name("MILC").stress.membw, c.by_name("MILC").stress.issue);
+}
+
+TEST(Catalog, IdsAreDense) {
+  const Catalog c = Catalog::trinity();
+  for (AppId id = 0; id < c.size(); ++id) {
+    EXPECT_EQ(c.get(id).id, id);
+  }
+}
+
+TEST(Catalog, ByNameThrowsOnUnknown) {
+  const Catalog c = Catalog::trinity();
+  EXPECT_THROW(c.by_name("nosuchapp"), Error);
+  EXPECT_FALSE(c.find("nosuchapp").has_value());
+}
+
+TEST(Catalog, RejectsDuplicatesAndEmptyNames) {
+  Catalog c;
+  c.add(AppModel{.name = "a"});
+  EXPECT_THROW(c.add(AppModel{.name = "a"}), Error);
+  EXPECT_THROW(c.add(AppModel{.name = ""}), Error);
+}
+
+TEST(Catalog, SyntheticSpansStressSpace) {
+  const Catalog c = Catalog::synthetic(5);
+  EXPECT_EQ(c.size(), 5);
+  // First app is memory-leaning, last is compute-leaning.
+  EXPECT_GT(c.get(0).stress.membw, c.get(0).stress.issue);
+  EXPECT_GT(c.get(4).stress.issue, c.get(4).stress.membw);
+}
+
+TEST(Catalog, SyntheticSingleApp) {
+  const Catalog c = Catalog::synthetic(1);
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(AppClassNames, AllDistinct) {
+  EXPECT_STREQ(to_string(AppClass::kComputeBound), "compute");
+  EXPECT_STREQ(to_string(AppClass::kMemoryBandwidthBound), "mem-bw");
+  EXPECT_STREQ(to_string(AppClass::kMemoryLatencyBound), "mem-lat");
+  EXPECT_STREQ(to_string(AppClass::kNetworkBound), "network");
+  EXPECT_STREQ(to_string(AppClass::kBalanced), "balanced");
+}
+
+}  // namespace
+}  // namespace cosched::apps

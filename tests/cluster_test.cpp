@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "cluster/machine.hpp"
+
+namespace cosched::cluster {
+namespace {
+
+NodeConfig smt2() { return NodeConfig{.cores = 16, .smt_per_core = 2}; }
+
+// --- Node -----------------------------------------------------------------------
+
+TEST(Node, StartsIdle) {
+  Node node(0, smt2());
+  EXPECT_TRUE(node.is_idle());
+  EXPECT_TRUE(node.primary_free());
+  EXPECT_FALSE(node.secondary_free());  // no primary to join
+  EXPECT_EQ(node.primary_job(), kInvalidJob);
+  EXPECT_EQ(node.job_count(), 0);
+}
+
+TEST(Node, ConfigArithmetic) {
+  const NodeConfig c{.cores = 16, .smt_per_core = 2, .memory_gb = 64};
+  EXPECT_EQ(c.hardware_threads(), 32);
+  EXPECT_EQ(c.slots(), 2);
+}
+
+TEST(Node, PrimaryAssignment) {
+  Node node(0, smt2());
+  node.assign_primary(7);
+  EXPECT_EQ(node.primary_job(), 7);
+  EXPECT_FALSE(node.primary_free());
+  EXPECT_TRUE(node.secondary_free());
+  EXPECT_EQ(node.state(), NodeState::kBusy);
+}
+
+TEST(Node, SecondaryRequiresPrimary) {
+  Node node(0, smt2());
+  EXPECT_FALSE(node.secondary_free());
+  node.assign_primary(1);
+  node.assign_secondary(2);
+  EXPECT_FALSE(node.secondary_free());  // 2-way SMT: one secondary slot
+  EXPECT_EQ(node.job_count(), 2);
+  EXPECT_EQ(node.secondary_jobs(), (std::vector<JobId>{2}));
+  EXPECT_EQ(node.jobs(), (std::vector<JobId>{1, 2}));
+}
+
+TEST(Node, SecondaryPromotionOnPrimaryExit) {
+  Node node(0, smt2());
+  node.assign_primary(1);
+  node.assign_secondary(2);
+  node.remove(1);
+  EXPECT_EQ(node.primary_job(), 2);
+  EXPECT_TRUE(node.secondary_jobs().empty());
+  EXPECT_TRUE(node.secondary_free());  // promoted primary can host again
+}
+
+TEST(Node, RemoveSecondaryLeavesPrimary) {
+  Node node(0, smt2());
+  node.assign_primary(1);
+  node.assign_secondary(2);
+  node.remove(2);
+  EXPECT_EQ(node.primary_job(), 1);
+  EXPECT_TRUE(node.secondary_free());
+}
+
+TEST(Node, RemoveLastJobGoesIdle) {
+  Node node(0, smt2());
+  node.assign_primary(1);
+  node.remove(1);
+  EXPECT_TRUE(node.is_idle());
+  EXPECT_TRUE(node.primary_free());
+}
+
+TEST(Node, SmtDegreeFourHostsThreeSecondaries) {
+  Node node(0, NodeConfig{.cores = 8, .smt_per_core = 4});
+  node.assign_primary(1);
+  node.assign_secondary(2);
+  node.assign_secondary(3);
+  EXPECT_TRUE(node.secondary_free());
+  node.assign_secondary(4);
+  EXPECT_FALSE(node.secondary_free());
+  EXPECT_EQ(node.job_count(), 4);
+}
+
+TEST(Node, NoSmtMeansNoSecondary) {
+  Node node(0, NodeConfig{.cores = 16, .smt_per_core = 1});
+  node.assign_primary(1);
+  EXPECT_FALSE(node.secondary_free());
+}
+
+TEST(Node, DownNodeRejectsWork) {
+  Node node(0, smt2());
+  node.set_down(true);
+  EXPECT_TRUE(node.is_down());
+  EXPECT_FALSE(node.primary_free());
+  EXPECT_FALSE(node.secondary_free());
+  node.set_down(false);
+  EXPECT_TRUE(node.primary_free());
+}
+
+// --- Machine --------------------------------------------------------------------
+
+TEST(Machine, InitialState) {
+  Machine m(4, smt2());
+  EXPECT_EQ(m.node_count(), 4);
+  EXPECT_EQ(m.free_node_count(), 4);
+  EXPECT_EQ(m.busy_node_count(), 0);
+  EXPECT_EQ(m.up_node_count(), 4);
+  m.check_invariants();
+}
+
+TEST(Machine, FindFreeNodesDeterministic) {
+  Machine m(4, smt2());
+  const auto nodes = m.find_free_nodes(2);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Machine, FindFreeNodesInsufficient) {
+  Machine m(2, smt2());
+  m.allocate_primary(1, {0});
+  EXPECT_FALSE(m.find_free_nodes(2).has_value());
+  EXPECT_TRUE(m.find_free_nodes(1).has_value());
+}
+
+TEST(Machine, AllocateReleaseCycle) {
+  Machine m(4, smt2());
+  m.allocate_primary(1, {0, 1});
+  EXPECT_EQ(m.free_node_count(), 2);
+  EXPECT_EQ(m.busy_node_count(), 2);
+  const Allocation* alloc = m.allocation(1);
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_EQ(alloc->kind, AllocationKind::kPrimary);
+  m.check_invariants();
+
+  const Allocation released = m.release(1);
+  EXPECT_EQ(released.nodes, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(m.free_node_count(), 4);
+  EXPECT_EQ(m.allocation(1), nullptr);
+  m.check_invariants();
+}
+
+TEST(Machine, SecondaryAllocationDoesNotConsumePrimaries) {
+  Machine m(4, smt2());
+  m.allocate_primary(1, {0, 1});
+  m.allocate_secondary(2, {0, 1});
+  EXPECT_EQ(m.free_node_count(), 2);  // secondaries cost no primary slots
+  EXPECT_EQ(m.co_residents(1), (std::vector<JobId>{2}));
+  EXPECT_EQ(m.co_residents(2), (std::vector<JobId>{1}));
+  m.check_invariants();
+}
+
+TEST(Machine, ReleasePrimaryPromotesSecondary) {
+  Machine m(2, smt2());
+  m.allocate_primary(1, {0});
+  m.allocate_secondary(2, {0});
+  m.release(1);
+  // Node 0 now belongs to job 2 (promoted), so it is not free.
+  EXPECT_EQ(m.free_node_count(), 1);
+  EXPECT_EQ(m.node(0).primary_job(), 2);
+  m.check_invariants();
+  m.release(2);
+  EXPECT_EQ(m.free_node_count(), 2);
+}
+
+TEST(Machine, FindShareableNodesFiltersByPredicate) {
+  Machine m(4, smt2());
+  m.allocate_primary(1, {0, 1});
+  m.allocate_primary(2, {2});
+  const auto any = m.find_shareable_nodes(3, nullptr);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(*any, (std::vector<NodeId>{0, 1, 2}));
+
+  const auto only_job2 =
+      m.find_shareable_nodes(1, [](JobId p) { return p == 2; });
+  ASSERT_TRUE(only_job2.has_value());
+  EXPECT_EQ(*only_job2, (std::vector<NodeId>{2}));
+
+  EXPECT_FALSE(m.find_shareable_nodes(2, [](JobId p) { return p == 2; }));
+}
+
+TEST(Machine, PrimariesWithFreeSecondary) {
+  Machine m(4, smt2());
+  m.allocate_primary(1, {0, 1});
+  m.allocate_primary(2, {2});
+  m.allocate_secondary(3, {2});  // fills job 2's secondary slot
+  EXPECT_EQ(m.primaries_with_free_secondary(), (std::vector<JobId>{1}));
+}
+
+TEST(Machine, CoResidentsEmptyWhenExclusive) {
+  Machine m(2, smt2());
+  m.allocate_primary(1, {0, 1});
+  EXPECT_TRUE(m.co_residents(1).empty());
+  EXPECT_TRUE(m.co_residents(99).empty());  // unknown job: empty, no crash
+}
+
+TEST(Machine, DownNodeExcludedFromQueries) {
+  Machine m(3, smt2());
+  m.set_node_down(1, true);
+  EXPECT_EQ(m.free_node_count(), 2);
+  EXPECT_EQ(m.up_node_count(), 2);
+  const auto nodes = m.find_free_nodes(2);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<NodeId>{0, 2}));
+  m.set_node_down(1, false);
+  EXPECT_EQ(m.free_node_count(), 3);
+}
+
+TEST(Machine, PartialOverlapAllocations) {
+  Machine m(4, smt2());
+  m.allocate_primary(1, {0, 1, 2});
+  m.allocate_secondary(2, {1, 2});  // shares a subset of job 1's nodes
+  EXPECT_EQ(m.co_residents(1), (std::vector<JobId>{2}));
+  m.release(2);
+  EXPECT_TRUE(m.co_residents(1).empty());
+  m.check_invariants();
+}
+
+TEST(Machine, SecondarySpanningTwoPrimaries) {
+  Machine m(4, smt2());
+  m.allocate_primary(1, {0});
+  m.allocate_primary(2, {1});
+  m.allocate_secondary(3, {0, 1});
+  EXPECT_EQ(m.co_residents(3), (std::vector<JobId>{1, 2}));
+  m.release(1);
+  // Node 0 promotes job 3; node 1 still has primary 2 + secondary 3.
+  EXPECT_EQ(m.node(0).primary_job(), 3);
+  EXPECT_EQ(m.co_residents(3), (std::vector<JobId>{2}));
+  m.check_invariants();
+}
+
+}  // namespace
+}  // namespace cosched::cluster

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/strategies.hpp"
+#include "metrics/metrics.hpp"
+#include "slurmlite/simulation.hpp"
+#include "test_support.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched {
+namespace {
+
+using cosched::testing::FakeHost;
+using cosched::testing::make_job;
+
+const apps::Catalog& trinity() {
+  static const apps::Catalog c = apps::Catalog::trinity();
+  return c;
+}
+
+workload::Job done(JobId id, int nodes, SimTime start, SimDuration elapsed,
+                   std::vector<NodeId> alloc) {
+  workload::Job j;
+  j.id = id;
+  j.nodes = nodes;
+  j.submit_time = 0;
+  j.start_time = start;
+  j.end_time = start + elapsed;
+  j.base_runtime = elapsed;
+  j.walltime_limit = 2 * elapsed;
+  j.state = workload::JobState::kCompleted;
+  j.alloc_nodes = std::move(alloc);
+  return j;
+}
+
+// --- Energy accounting ------------------------------------------------------------
+
+TEST(Energy, SingleExclusiveJobOnOneNodeMachine) {
+  const auto j = done(1, 1, 0, 3600 * kSecond, {0});
+  metrics::EnergyParams p{.idle_w = 100, .primary_w = 200, .shared_w = 300};
+  const auto m = metrics::compute({j}, 1, p);
+  // One node busy (single) for the whole makespan: 200 W for 1 h.
+  EXPECT_NEAR(m.energy_kwh, 0.2, 1e-9);
+  EXPECT_NEAR(m.work_node_h_per_kwh, 1.0 / 0.2, 1e-9);
+}
+
+TEST(Energy, IdleNodesBurnIdlePower) {
+  const auto j = done(1, 1, 0, 3600 * kSecond, {0});
+  metrics::EnergyParams p{.idle_w = 100, .primary_w = 200, .shared_w = 300};
+  const auto m = metrics::compute({j}, 4, p);
+  // Node 0: 200 W; nodes 1-3 idle at 100 W, all for 1 h.
+  EXPECT_NEAR(m.energy_kwh, (200 + 3 * 100) / 1000.0, 1e-9);
+}
+
+TEST(Energy, SharedIntervalUsesSharedPower) {
+  const auto j1 = done(1, 1, 0, 3600 * kSecond, {0});
+  const auto j2 = done(2, 1, 0, 3600 * kSecond, {0});
+  metrics::EnergyParams p{.idle_w = 100, .primary_w = 200, .shared_w = 300};
+  const auto m = metrics::compute({j1, j2}, 1, p);
+  EXPECT_NEAR(m.energy_kwh, 0.3, 1e-9);
+  // 2 node-hours of work for 0.3 kWh.
+  EXPECT_NEAR(m.work_node_h_per_kwh, 2.0 / 0.3, 1e-9);
+}
+
+TEST(Energy, SharingBeatsSerialOnEnergyWhenDilationModest) {
+  metrics::EnergyParams p{.idle_w = 100, .primary_w = 220, .shared_w = 280};
+  // Serial: two 1 h jobs back to back = 2 h at 220 W = 0.44 kWh.
+  const auto s1 = done(1, 1, 0, 3600 * kSecond, {0});
+  const auto s2 = done(2, 1, 0 + 3600 * kSecond, 3600 * kSecond, {0});
+  const auto serial = metrics::compute({s1, s2}, 1, p);
+  // Shared: both dilated 1.3x, concurrent: 1.3 h at 280 W = 0.364 kWh.
+  auto c1 = done(3, 1, 0, from_seconds(4680), {0});
+  auto c2 = done(4, 1, 0, from_seconds(4680), {0});
+  c1.base_runtime = c2.base_runtime = 3600 * kSecond;
+  const auto shared = metrics::compute({c1, c2}, 1, p);
+  EXPECT_GT(shared.work_node_h_per_kwh, serial.work_node_h_per_kwh);
+}
+
+TEST(Energy, DefaultParamsAreOrdered) {
+  const metrics::EnergyParams p;
+  EXPECT_LT(p.idle_w, p.primary_w);
+  EXPECT_LT(p.primary_w, p.shared_w);
+}
+
+// --- CoConservative strategy ---------------------------------------------------------
+
+TEST(CoConservative, SharesLikeCoBackfill) {
+  FakeHost host(4, trinity());
+  host.add_running_primary(
+      make_job(1, 4, 90 * kMinute, 100 * kMinute,
+               trinity().by_name("GTC").id),
+      {0, 1, 2, 3});
+  host.add_pending(make_job(2, 2, 30 * kMinute, 40 * kMinute,
+                            trinity().by_name("miniFE").id));
+  core::CoConservativeScheduler(core::CoAllocationOptions{}).schedule(host);
+  ASSERT_EQ(host.starts().size(), 1u);
+  EXPECT_EQ(host.starts()[0].kind, cluster::AllocationKind::kSecondary);
+}
+
+TEST(CoConservative, KeepsConservativeGuarantees) {
+  // The co pass must not start jobs the conservative pass deliberately
+  // delayed on primary slots; a non-shareable job stays queued.
+  FakeHost host(4, trinity());
+  host.add_running_primary(
+      make_job(1, 3, 90 * kMinute, 100 * kMinute,
+               trinity().by_name("MILC").id),
+      {0, 1, 2});
+  auto blocked = make_job(2, 4, kHour, 2 * kHour,
+                          trinity().by_name("miniFE").id);
+  host.add_pending(blocked);
+  auto long_backfill = make_job(3, 1, 140 * kMinute, 150 * kMinute,
+                                trinity().by_name("SNAP").id);
+  host.add_pending(long_backfill);
+  core::CoConservativeScheduler(core::CoAllocationOptions{}).schedule(host);
+  // Job 3 crosses job 2's reservation and MILC pairs with nothing: no
+  // starts at all.
+  EXPECT_TRUE(host.starts().empty());
+}
+
+TEST(CoConservative, EndToEndBeatsConservativeOnTrinityMix) {
+  for (std::uint64_t seed : {31u, 32u}) {
+    slurmlite::SimulationSpec spec;
+    spec.controller.nodes = 16;
+    spec.workload = workload::trinity_campaign(16, 120);
+    spec.seed = seed;
+    spec.controller.strategy = core::StrategyKind::kConservativeBackfill;
+    const auto base = slurmlite::run_simulation(spec, trinity());
+    spec.controller.strategy = core::StrategyKind::kCoConservative;
+    const auto co = slurmlite::run_simulation(spec, trinity());
+    // Small campaigns can tie on makespan (the tail job dominates), so the
+    // robust claims are: never meaningfully worse on packing, clearly
+    // better on work-per-node-second, and still overhead-free.
+    EXPECT_GT(co.metrics.scheduling_efficiency,
+              base.metrics.scheduling_efficiency * 0.97)
+        << "seed " << seed;
+    EXPECT_GT(co.metrics.computational_efficiency, 1.05) << "seed " << seed;
+    EXPECT_EQ(co.metrics.jobs_timeout, 0) << "seed " << seed;
+  }
+}
+
+TEST(CoConservative, FactoryAndPredicates) {
+  EXPECT_EQ(core::parse_strategy("coconservative"),
+            core::StrategyKind::kCoConservative);
+  EXPECT_TRUE(core::is_co_strategy(core::StrategyKind::kCoConservative));
+  EXPECT_EQ(core::make_scheduler(core::StrategyKind::kCoConservative)->name(),
+            "coconservative");
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,257 @@
+// End-to-end property tests: whole simulations under every strategy and
+// several seeds, checking the system-level invariants the paper's claims
+// rest on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "slurmlite/simulation.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched {
+namespace {
+
+const apps::Catalog& trinity() {
+  static const apps::Catalog c = apps::Catalog::trinity();
+  return c;
+}
+
+slurmlite::SimulationResult run(core::StrategyKind strategy,
+                                std::uint64_t seed, int nodes = 16,
+                                int jobs = 120) {
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = nodes;
+  spec.controller.strategy = strategy;
+  spec.workload = workload::trinity_campaign(nodes, jobs);
+  spec.seed = seed;
+  return slurmlite::run_simulation(spec, trinity());
+}
+
+/// Validates physical schedule consistency from the job records alone:
+/// node occupancy never exceeds the SMT slot count, primaries before
+/// secondaries, and all timestamps ordered.
+void check_schedule_sanity(const workload::JobList& jobs, int nodes,
+                           int slots) {
+  // Per-node interval events.
+  std::map<NodeId, std::vector<std::pair<SimTime, int>>> events;
+  for (const auto& job : jobs) {
+    if (!job.finished()) continue;
+    EXPECT_LE(job.submit_time, job.start_time) << "job " << job.id;
+    EXPECT_LT(job.start_time, job.end_time) << "job " << job.id;
+    EXPECT_EQ(static_cast<int>(job.alloc_nodes.size()), job.nodes)
+        << "job " << job.id;
+    EXPECT_LE(job.end_time - job.start_time, job.walltime_limit)
+        << "job " << job.id << " ran past its walltime";
+    for (NodeId n : job.alloc_nodes) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, nodes);
+      events[n].emplace_back(job.start_time, +1);
+      events[n].emplace_back(job.end_time, -1);
+    }
+  }
+  for (auto& [node, evs] : events) {
+    std::sort(evs.begin(), evs.end());
+    int depth = 0;
+    for (const auto& [t, d] : evs) {
+      (void)t;
+      depth += d;
+      EXPECT_LE(depth, slots) << "node " << node << " over-subscribed";
+      EXPECT_GE(depth, 0);
+    }
+  }
+}
+
+/// Work conservation: every completed job's full work was performed.
+void check_work_conservation(const slurmlite::SimulationResult& result) {
+  for (const auto& job : result.jobs) {
+    if (job.state != workload::JobState::kCompleted) continue;
+    const double elapsed = to_seconds(job.end_time - job.start_time);
+    const double base = to_seconds(job.base_runtime);
+    // elapsed = base * observed_dilation (within rounding).
+    EXPECT_NEAR(elapsed, base * job.observed_dilation, 0.01 * base + 0.01)
+        << "job " << job.id;
+    EXPECT_GE(job.observed_dilation, 1.0 - 1e-9) << "job " << job.id;
+  }
+}
+
+class StrategySeedProperty
+    : public ::testing::TestWithParam<std::tuple<core::StrategyKind, int>> {};
+
+TEST_P(StrategySeedProperty, FullSimulationInvariants) {
+  const auto [strategy, seed] = GetParam();
+  const auto result = run(strategy, static_cast<std::uint64_t>(seed));
+
+  // Everything completes; the gate guarantees zero timeouts even for the
+  // co strategies ("no overhead" claim).
+  EXPECT_EQ(result.metrics.jobs_completed, result.metrics.jobs_total);
+  EXPECT_EQ(result.metrics.jobs_timeout, 0);
+
+  check_schedule_sanity(result.jobs, 16, /*slots=*/2);
+  check_work_conservation(result);
+
+  // Non-sharing strategies never dilate and never share.
+  if (!core::is_co_strategy(strategy)) {
+    EXPECT_DOUBLE_EQ(result.metrics.mean_dilation, 1.0);
+    EXPECT_DOUBLE_EQ(result.metrics.shared_node_s, 0.0);
+    EXPECT_NEAR(result.metrics.computational_efficiency, 1.0, 1e-6);
+    EXPECT_EQ(result.stats.secondary_starts, 0u);
+  } else {
+    EXPECT_GE(result.metrics.computational_efficiency, 1.0 - 1e-9);
+  }
+
+  // Efficiencies within physical bounds.
+  EXPECT_GT(result.metrics.scheduling_efficiency, 0.0);
+  EXPECT_LT(result.metrics.scheduling_efficiency, 2.0);
+  EXPECT_LE(result.metrics.utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesThreeSeeds, StrategySeedProperty,
+    ::testing::Combine(::testing::ValuesIn(core::all_strategies()),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<core::StrategyKind, int>>&
+           info) {
+      return std::string(core::to_string(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Cross-strategy orderings (the paper's qualitative results) -------------------------
+
+TEST(CrossStrategy, CoBackfillBeatsEasyOnTrinityMix) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto easy = run(core::StrategyKind::kEasyBackfill, seed);
+    const auto co = run(core::StrategyKind::kCoBackfill, seed);
+    EXPECT_GT(co.metrics.scheduling_efficiency,
+              easy.metrics.scheduling_efficiency)
+        << "seed " << seed;
+    EXPECT_GT(co.metrics.computational_efficiency, 1.05) << "seed " << seed;
+  }
+}
+
+TEST(CrossStrategy, CoFirstFitBeatsFirstFitOnTrinityMix) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto ff = run(core::StrategyKind::kFirstFit, seed);
+    const auto co = run(core::StrategyKind::kCoFirstFit, seed);
+    EXPECT_GT(co.metrics.scheduling_efficiency,
+              ff.metrics.scheduling_efficiency)
+        << "seed " << seed;
+  }
+}
+
+TEST(CrossStrategy, BackfillBeatsFcfs) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto fcfs = run(core::StrategyKind::kFcfs, seed);
+    const auto easy = run(core::StrategyKind::kEasyBackfill, seed);
+    EXPECT_GE(easy.metrics.scheduling_efficiency,
+              fcfs.metrics.scheduling_efficiency * 0.999)
+        << "seed " << seed;
+  }
+}
+
+TEST(CrossStrategy, MemoryBoundMixIsCrossover) {
+  // When nothing pairs well, co strategies must not lose to baselines
+  // (acceptance criterion 4 in DESIGN.md).
+  for (std::uint64_t seed : {21u, 22u}) {
+    slurmlite::SimulationSpec spec;
+    spec.controller.nodes = 16;
+    spec.workload = workload::memory_bound_campaign(16, 100);
+    spec.seed = seed;
+
+    spec.controller.strategy = core::StrategyKind::kEasyBackfill;
+    const auto easy = slurmlite::run_simulation(spec, trinity());
+    spec.controller.strategy = core::StrategyKind::kCoBackfill;
+    const auto co = slurmlite::run_simulation(spec, trinity());
+
+    // Identical or nearly identical schedules: no sharing happens.
+    EXPECT_LT(co.metrics.shared_node_s,
+              0.02 * co.metrics.busy_node_s + 1.0)
+        << "seed " << seed;
+    EXPECT_NEAR(co.metrics.scheduling_efficiency,
+                easy.metrics.scheduling_efficiency,
+                0.02 * easy.metrics.scheduling_efficiency)
+        << "seed " << seed;
+    EXPECT_EQ(co.metrics.jobs_timeout, 0);
+  }
+}
+
+TEST(CrossStrategy, SharingDisabledWhenNoSmt) {
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 16;
+  spec.controller.node_config.smt_per_core = 1;  // OverSubscribe=NO
+  spec.controller.strategy = core::StrategyKind::kCoBackfill;
+  spec.workload = workload::trinity_campaign(16, 80);
+  const auto result = slurmlite::run_simulation(spec, trinity());
+  EXPECT_EQ(result.stats.secondary_starts, 0u);
+  EXPECT_DOUBLE_EQ(result.metrics.shared_node_s, 0.0);
+  EXPECT_EQ(result.metrics.jobs_completed, 80);
+}
+
+TEST(CrossStrategy, NonShareableWorkloadNeverShares) {
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 16;
+  spec.controller.strategy = core::StrategyKind::kCoFirstFit;
+  spec.workload = workload::trinity_campaign(16, 80);
+  spec.workload.shareable_prob = 0.0;
+  const auto result = slurmlite::run_simulation(spec, trinity());
+  EXPECT_EQ(result.stats.secondary_starts, 0u);
+}
+
+// --- Stream arrivals ---------------------------------------------------------------------
+
+TEST(StreamWorkload, ModerateLoadKeepsWaitsBounded) {
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 16;
+  spec.controller.strategy = core::StrategyKind::kEasyBackfill;
+  spec.workload = workload::trinity_stream(16, 300, /*offered_load=*/0.5);
+  const auto result = slurmlite::run_simulation(spec, trinity());
+  EXPECT_EQ(result.metrics.jobs_completed, 300);
+  // At rho = 0.5 the queue stays shallow: mean wait well under mean runtime.
+  EXPECT_LT(result.metrics.mean_wait_s, 3600.0);
+}
+
+TEST(StreamWorkload, OverloadBenefitsFromSharing) {
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 16;
+  spec.workload = workload::trinity_stream(16, 250, /*offered_load=*/1.2);
+  spec.seed = 5;
+  spec.controller.strategy = core::StrategyKind::kEasyBackfill;
+  const auto easy = slurmlite::run_simulation(spec, trinity());
+  spec.controller.strategy = core::StrategyKind::kCoBackfill;
+  const auto co = slurmlite::run_simulation(spec, trinity());
+  EXPECT_LT(co.metrics.mean_wait_s, easy.metrics.mean_wait_s);
+}
+
+// --- Failure injection -------------------------------------------------------------------
+
+TEST(FailureInjection, DownNodesShrinkTheMachine) {
+  sim::Engine engine;
+  slurmlite::ControllerConfig config;
+  config.nodes = 8;
+  config.strategy = core::StrategyKind::kEasyBackfill;
+  slurmlite::Controller controller(engine, config, trinity());
+
+  // Take 4 nodes down before any submission.
+  // (Down/drain is an operator action; the controller schedules around it.)
+  const_cast<cluster::Machine&>(controller.machine_state())
+      .set_node_down(0, true);
+  const_cast<cluster::Machine&>(controller.machine_state())
+      .set_node_down(1, true);
+
+  workload::Job job;
+  job.id = 1;
+  job.app = 0;
+  job.nodes = 6;
+  job.submit_time = 0;
+  job.base_runtime = kMinute;
+  job.walltime_limit = kHour;
+  controller.submit(job);
+  engine.run();
+  const auto r = controller.job_records()[0];
+  EXPECT_EQ(r.state, workload::JobState::kCompleted);
+  for (NodeId n : r.alloc_nodes) {
+    EXPECT_GE(n, 2);  // down nodes never allocated
+  }
+}
+
+}  // namespace
+}  // namespace cosched

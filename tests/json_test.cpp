@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "slurmlite/report.hpp"
+#include "util/json.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched {
+namespace {
+
+// --- JsonWriter -----------------------------------------------------------------
+
+TEST(JsonWriter, SimpleObject) {
+  JsonWriter w;
+  w.begin_object()
+      .value("name", "alpha")
+      .value("count", 3)
+      .value("ratio", 0.5)
+      .value("ok", true)
+      .end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"alpha","count":3,"ratio":0.5,"ok":true})");
+}
+
+TEST(JsonWriter, NestedScopesAndArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("xs").value(1.0).value(2.0).end_array();
+  w.begin_object("inner").value("k", "v").end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2],"inner":{"k":"v"}})");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_object().value("i", 0).end_object();
+  w.begin_object().value("i", 1).end_object();
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(JsonWriter, EscapesSpecials) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+  JsonWriter w;
+  w.begin_object().value("k", "line\nbreak").end_object();
+  EXPECT_EQ(w.str(), R"({"k":"line\nbreak"})");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_object().value("x", std::nan("")).end_object();
+  EXPECT_EQ(w.str(), R"({"x":null})");
+}
+
+TEST(JsonWriter, UnbalancedScopesAbort) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_DEATH((void)w.str(), "unclosed JSON scope");
+}
+
+// --- Simulation report -------------------------------------------------------------
+
+TEST(JsonReport, ContainsMetricsStatsAndJobs) {
+  const auto catalog = apps::Catalog::trinity();
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 8;
+  spec.controller.strategy = core::StrategyKind::kCoBackfill;
+  spec.workload = workload::trinity_campaign(8, 20);
+  const auto result = slurmlite::run_simulation(spec, catalog);
+
+  const std::string json = slurmlite::to_json(result, catalog);
+  for (const char* needle :
+       {"\"metrics\"", "\"scheduling_efficiency\"", "\"stats\"",
+        "\"secondary_starts\"", "\"jobs\"", "\"dilation\"",
+        "\"COMPLETED\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  // Structural sanity: balanced braces/brackets, one job object per job.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(json.begin(), json.end(), '{')),
+            2 + result.jobs.size() + 1);  // root + metrics + stats + jobs
+}
+
+TEST(JsonReport, DeterministicForSameRun) {
+  const auto catalog = apps::Catalog::trinity();
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 4;
+  spec.workload = workload::trinity_campaign(4, 10);
+  const auto a = slurmlite::run_simulation(spec, catalog);
+  const auto b = slurmlite::run_simulation(spec, catalog);
+  // scheduler_cpu_ms is host wall-clock and legitimately varies; all
+  // simulated content must match exactly.
+  auto strip_cpu = [](std::string json) {
+    const auto from = json.find("\"scheduler_cpu_ms\"");
+    const auto to = json.find('}', from);
+    return json.erase(from, to - from);
+  };
+  EXPECT_EQ(strip_cpu(slurmlite::to_json(a, catalog)),
+            strip_cpu(slurmlite::to_json(b, catalog)));
+}
+
+}  // namespace
+}  // namespace cosched

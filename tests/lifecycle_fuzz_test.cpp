@@ -1,0 +1,162 @@
+// Randomized lifecycle fuzzing: the execution model under arbitrary
+// co-location churn, and the controller under interleaved submissions and
+// cancellations. Deterministic (seeded), so failures reproduce.
+#include <gtest/gtest.h>
+
+#include "slurmlite/execution.hpp"
+#include "slurmlite/simulation.hpp"
+#include "test_support.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched {
+namespace {
+
+using cosched::testing::make_job;
+
+const apps::Catalog& trinity() {
+  static const apps::Catalog c = apps::Catalog::trinity();
+  return c;
+}
+
+// --- ExecutionModel under random start/finish churn --------------------------------
+
+class ExecutionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutionFuzz, ProgressInvariantsUnderChurn) {
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()), 0xec5);
+  cluster::Machine machine(6, cluster::NodeConfig{});
+  const interference::CorunModel corun;
+  slurmlite::ExecutionModel exec(machine, trinity(), corun);
+
+  struct Live {
+    JobId id;
+    double work_s;
+  };
+  std::vector<Live> live;
+  JobId next = 1;
+  SimTime now = 0;
+
+  for (int step = 0; step < 300; ++step) {
+    now += rng.uniform_int(1, 60) * kSecond;
+    exec.sync(now);
+
+    const double roll = rng.next_double();
+    if (roll < 0.35) {  // start a primary if space
+      const int want = static_cast<int>(rng.uniform_int(1, 3));
+      if (auto nodes = machine.find_free_nodes(want)) {
+        auto job = make_job(next, want, kHour, 3 * kHour,
+                            static_cast<AppId>(next % trinity().size()));
+        machine.allocate_primary(job.id, *nodes);
+        exec.start(job, now);
+        live.push_back({job.id, to_seconds(job.base_runtime)});
+        ++next;
+      }
+    } else if (roll < 0.55) {  // co-allocate if possible
+      const int want = static_cast<int>(rng.uniform_int(1, 2));
+      if (auto nodes = machine.find_shareable_nodes(want, nullptr)) {
+        auto job = make_job(next, want, kHour, 3 * kHour,
+                            static_cast<AppId>(next % trinity().size()));
+        machine.allocate_secondary(job.id, *nodes);
+        exec.start(job, now);
+        live.push_back({job.id, to_seconds(job.base_runtime)});
+        ++next;
+      }
+    } else if (!live.empty()) {  // finish a random job
+      const std::size_t idx =
+          rng.next_below(static_cast<std::uint32_t>(live.size()));
+      exec.finish(live[idx].id);
+      machine.release(live[idx].id);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    exec.refresh_rates();
+
+    // Invariants over every tracked job.
+    for (const auto& j : live) {
+      EXPECT_GE(exec.dilation(j.id), 1.0) << "job " << j.id;
+      EXPECT_LE(exec.dilation(j.id), 3.0) << "job " << j.id;  // sane bound
+      EXPECT_GE(exec.remaining_work_s(j.id), 0.0);
+      EXPECT_LE(exec.progress_s(j.id), j.work_s + 1e-6);
+      EXPECT_GE(exec.predicted_end(j.id, now), now);
+      EXPECT_GE(exec.observed_dilation(j.id, now), 1.0 - 1e-9);
+    }
+    EXPECT_EQ(exec.running_count(), live.size());
+    machine.check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutionFuzz, ::testing::Range(1, 7));
+
+// Progress conservation: without churn, a job's progress equals elapsed /
+// dilation exactly, whatever the sync cadence.
+TEST(ExecutionModel, SyncCadenceDoesNotChangeProgress) {
+  for (int chunks : {1, 7, 100}) {
+    cluster::Machine machine(2, cluster::NodeConfig{});
+    const interference::CorunModel corun;
+    slurmlite::ExecutionModel exec(machine, trinity(), corun);
+    auto j1 = make_job(1, 1, kHour, 3 * kHour, trinity().by_name("GTC").id);
+    auto j2 = make_job(2, 1, kHour, 3 * kHour,
+                       trinity().by_name("miniFE").id);
+    machine.allocate_primary(1, {0});
+    exec.start(j1, 0);
+    machine.allocate_secondary(2, {0});
+    exec.start(j2, 0);
+    exec.refresh_rates();
+
+    const SimTime horizon = 30 * kMinute;
+    for (int i = 1; i <= chunks; ++i) {
+      exec.sync(horizon * i / chunks);
+    }
+    // Same end state regardless of how many syncs happened.
+    EXPECT_NEAR(exec.remaining_work_s(1),
+                3600.0 - to_seconds(horizon) / exec.dilation(1), 1e-6)
+        << chunks << " chunks";
+  }
+}
+
+// --- Controller under interleaved submissions and cancellations --------------------
+
+class CancelFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CancelFuzz, RandomCancellationsKeepSystemConsistent) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Pcg32 rng(seed, 0xca2ce1);
+
+  sim::Engine engine;
+  slurmlite::ControllerConfig config;
+  config.nodes = 8;
+  config.strategy = core::StrategyKind::kCoBackfill;
+  slurmlite::Controller controller(engine, config, trinity());
+
+  workload::Generator generator(workload::trinity_campaign(8, 60),
+                                trinity());
+  Pcg32 wl_rng(seed);
+  const auto jobs = generator.generate(wl_rng);
+  controller.submit_all(jobs);
+
+  // Interleave: run a slice of simulated time, then cancel a random job.
+  SimTime cursor = 0;
+  for (int round = 0; round < 20; ++round) {
+    cursor += rng.uniform_int(1, 30) * kMinute;
+    engine.run_until(cursor);
+    const JobId victim = rng.uniform_int(1, 60);
+    controller.cancel(victim);  // any state; may be a no-op
+    controller.machine_state().check_invariants();
+  }
+  engine.run();
+
+  int finals = 0;
+  for (const auto& job : controller.job_records()) {
+    EXPECT_NE(job.state, workload::JobState::kPending) << job.id;
+    EXPECT_NE(job.state, workload::JobState::kRunning) << job.id;
+    EXPECT_NE(job.state, workload::JobState::kHeld) << job.id;
+    ++finals;
+  }
+  EXPECT_EQ(finals, 60);
+  controller.machine_state().check_invariants();
+  EXPECT_TRUE(engine.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CancelFuzz, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace cosched

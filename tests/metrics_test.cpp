@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+
+namespace cosched::metrics {
+namespace {
+
+workload::Job completed(JobId id, int nodes, SimTime submit, SimTime start,
+                        SimDuration elapsed, std::vector<NodeId> alloc,
+                        SimDuration base = -1) {
+  workload::Job j;
+  j.id = id;
+  j.nodes = nodes;
+  j.submit_time = submit;
+  j.start_time = start;
+  j.end_time = start + elapsed;
+  j.base_runtime = base >= 0 ? base : elapsed;
+  j.walltime_limit = elapsed * 2;
+  j.state = workload::JobState::kCompleted;
+  j.alloc_nodes = std::move(alloc);
+  j.observed_dilation =
+      static_cast<double>(elapsed) / static_cast<double>(j.base_runtime);
+  return j;
+}
+
+TEST(Metrics, EmptyInput) {
+  const auto m = compute({}, 4);
+  EXPECT_EQ(m.jobs_total, 0);
+  EXPECT_EQ(m.jobs_completed, 0);
+  EXPECT_DOUBLE_EQ(m.makespan_s, 0);
+}
+
+TEST(Metrics, SingleExclusiveJob) {
+  // One job, 2 nodes, 100 s, submitted at t=0 and started immediately on a
+  // 4-node machine.
+  const auto j = completed(1, 2, 0, 0, 100 * kSecond, {0, 1});
+  const auto m = compute({j}, 4);
+  EXPECT_EQ(m.jobs_completed, 1);
+  EXPECT_DOUBLE_EQ(m.makespan_s, 100.0);
+  EXPECT_DOUBLE_EQ(m.total_work_node_s, 200.0);
+  EXPECT_DOUBLE_EQ(m.busy_node_s, 200.0);
+  EXPECT_DOUBLE_EQ(m.computational_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(m.scheduling_efficiency, 200.0 / 400.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.5);
+  EXPECT_DOUBLE_EQ(m.mean_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_dilation, 1.0);
+  EXPECT_DOUBLE_EQ(m.shared_node_s, 0.0);
+}
+
+TEST(Metrics, BackToBackJobsPerfectPacking) {
+  const auto j1 = completed(1, 1, 0, 0, 50 * kSecond, {0});
+  const auto j2 = completed(2, 1, 0, 50 * kSecond, 50 * kSecond, {0});
+  const auto m = compute({j1, j2}, 1);
+  EXPECT_DOUBLE_EQ(m.makespan_s, 100.0);
+  EXPECT_DOUBLE_EQ(m.scheduling_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(m.computational_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+}
+
+TEST(Metrics, SharedNodeCountsOnceForBusyTime) {
+  // Two jobs co-resident on node 0 for 100 s, each with base runtime 80 s
+  // (dilated to 100 s): the node is busy 100 s but produced 160 s of work.
+  const auto j1 =
+      completed(1, 1, 0, 0, 100 * kSecond, {0}, /*base=*/80 * kSecond);
+  const auto j2 =
+      completed(2, 1, 0, 0, 100 * kSecond, {0}, /*base=*/80 * kSecond);
+  const auto m = compute({j1, j2}, 1);
+  EXPECT_DOUBLE_EQ(m.busy_node_s, 100.0);
+  EXPECT_DOUBLE_EQ(m.shared_node_s, 100.0);
+  EXPECT_DOUBLE_EQ(m.total_work_node_s, 160.0);
+  EXPECT_DOUBLE_EQ(m.computational_efficiency, 1.6);
+  EXPECT_DOUBLE_EQ(m.scheduling_efficiency, 1.6);
+  EXPECT_NEAR(m.mean_dilation, 1.25, 1e-9);
+}
+
+TEST(Metrics, PartialOverlapAccounting) {
+  // Job 1 on node 0 for [0, 100); job 2 joins for [50, 150).
+  const auto j1 = completed(1, 1, 0, 0, 100 * kSecond, {0});
+  const auto j2 = completed(2, 1, 0, 50 * kSecond, 100 * kSecond, {0});
+  const auto m = compute({j1, j2}, 1);
+  EXPECT_DOUBLE_EQ(m.busy_node_s, 150.0);   // union of intervals
+  EXPECT_DOUBLE_EQ(m.shared_node_s, 50.0);  // the overlap
+}
+
+TEST(Metrics, TimeoutCountsAsLostWork) {
+  auto j = completed(1, 2, 0, 0, 100 * kSecond, {0, 1});
+  j.state = workload::JobState::kTimeout;
+  const auto m = compute({j}, 4);
+  EXPECT_EQ(m.jobs_timeout, 1);
+  EXPECT_EQ(m.jobs_completed, 0);
+  EXPECT_DOUBLE_EQ(m.total_work_node_s, 0.0);    // nothing useful finished
+  EXPECT_DOUBLE_EQ(m.lost_work_node_s, 200.0);   // consumed machine time
+  EXPECT_DOUBLE_EQ(m.computational_efficiency, 0.0);
+}
+
+TEST(Metrics, WaitStatistics) {
+  const auto j1 = completed(1, 1, 0, 0, 10 * kSecond, {0});
+  const auto j2 = completed(2, 1, 0, 100 * kSecond, 10 * kSecond, {0});
+  const auto j3 = completed(3, 1, 0, 200 * kSecond, 10 * kSecond, {0});
+  const auto m = compute({j1, j2, j3}, 1);
+  EXPECT_DOUBLE_EQ(m.mean_wait_s, 100.0);
+  EXPECT_DOUBLE_EQ(m.max_wait_s, 200.0);
+}
+
+TEST(Metrics, PendingJobsOnlyCountInTotal) {
+  workload::Job pending;
+  pending.id = 9;
+  pending.nodes = 1;
+  const auto j = completed(1, 1, 0, 0, 10 * kSecond, {0});
+  const auto m = compute({j, pending}, 1);
+  EXPECT_EQ(m.jobs_total, 2);
+  EXPECT_EQ(m.jobs_completed, 1);
+}
+
+TEST(Metrics, ThroughputMatchesMakespan) {
+  const auto j1 = completed(1, 1, 0, 0, 1800 * kSecond, {0});
+  const auto j2 = completed(2, 1, 0, 1800 * kSecond, 1800 * kSecond, {0});
+  const auto m = compute({j1, j2}, 1);
+  EXPECT_DOUBLE_EQ(m.makespan_s, 3600.0);
+  EXPECT_DOUBLE_EQ(m.throughput_jobs_per_h, 2.0);
+}
+
+TEST(BoundedSlowdown, UsesTenSecondBound) {
+  // 5 s runtime, 5 s wait: turnaround 10 s; bound max(runtime, 10) = 10.
+  auto j = completed(1, 1, 0, 5 * kSecond, 5 * kSecond, {0});
+  EXPECT_DOUBLE_EQ(bounded_slowdown(j), 1.0);
+
+  // 100 s runtime, 100 s wait: slowdown 2.
+  j = completed(1, 1, 0, 100 * kSecond, 100 * kSecond, {0});
+  EXPECT_DOUBLE_EQ(bounded_slowdown(j), 2.0);
+}
+
+TEST(BoundedSlowdown, NeverBelowOne) {
+  const auto j = completed(1, 1, 0, 0, kSecond, {0});
+  EXPECT_DOUBLE_EQ(bounded_slowdown(j), 1.0);
+}
+
+}  // namespace
+}  // namespace cosched::metrics

@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "slurmlite/config.hpp"
+#include "slurmlite/formatters.hpp"
+#include "slurmlite/simulation.hpp"
+#include "test_support.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched::slurmlite {
+namespace {
+
+using cosched::testing::make_job;
+
+const apps::Catalog& trinity() {
+  static const apps::Catalog c = apps::Catalog::trinity();
+  return c;
+}
+
+AppId app_id(const char* name) { return trinity().by_name(name).id; }
+
+ControllerConfig small_config(core::StrategyKind strategy) {
+  ControllerConfig config;
+  config.nodes = 4;
+  config.strategy = strategy;
+  return config;
+}
+
+// --- ExecutionModel ---------------------------------------------------------------
+
+struct ExecFixture {
+  cluster::Machine machine{2, cluster::NodeConfig{}};
+  interference::CorunModel corun{};
+  ExecutionModel exec{machine, trinity(), corun};
+};
+
+TEST(ExecutionModel, ExclusiveJobRunsAtFullRate) {
+  ExecFixture f;
+  auto job = make_job(1, 1, 100 * kSecond, 200 * kSecond, app_id("GTC"));
+  f.machine.allocate_primary(1, {0});
+  f.exec.start(job, 0);
+  f.exec.refresh_rates();
+  EXPECT_DOUBLE_EQ(f.exec.dilation(1), 1.0);
+  EXPECT_EQ(f.exec.predicted_end(1, 0), 100 * kSecond);
+  EXPECT_DOUBLE_EQ(f.exec.remaining_work_s(1), 100.0);
+}
+
+TEST(ExecutionModel, ProgressAccrues) {
+  ExecFixture f;
+  auto job = make_job(1, 1, 100 * kSecond, 200 * kSecond, app_id("GTC"));
+  f.machine.allocate_primary(1, {0});
+  f.exec.start(job, 0);
+  f.exec.refresh_rates();
+  f.exec.sync(40 * kSecond);
+  EXPECT_DOUBLE_EQ(f.exec.remaining_work_s(1), 60.0);
+  EXPECT_EQ(f.exec.predicted_end(1, 40 * kSecond), 100 * kSecond);
+}
+
+TEST(ExecutionModel, CoLocationDilatesBothJobs) {
+  ExecFixture f;
+  auto j1 = make_job(1, 1, 100 * kSecond, 300 * kSecond, app_id("GTC"));
+  auto j2 = make_job(2, 1, 100 * kSecond, 300 * kSecond, app_id("miniFE"));
+  f.machine.allocate_primary(1, {0});
+  f.exec.start(j1, 0);
+  f.exec.refresh_rates();
+  f.machine.allocate_secondary(2, {0});
+  f.exec.start(j2, 0);
+  f.exec.refresh_rates();
+  EXPECT_GT(f.exec.dilation(1), 1.0);
+  EXPECT_GT(f.exec.dilation(2), 1.0);
+  EXPECT_GT(f.exec.predicted_end(1, 0), 100 * kSecond);
+  // The pair is complementary, so neither side doubles.
+  EXPECT_LT(f.exec.dilation(1), 1.5);
+  EXPECT_LT(f.exec.dilation(2), 1.5);
+}
+
+TEST(ExecutionModel, RateRecoversWhenCorunnerLeaves) {
+  ExecFixture f;
+  auto j1 = make_job(1, 1, 100 * kSecond, 300 * kSecond, app_id("GTC"));
+  auto j2 = make_job(2, 1, 30 * kSecond, 300 * kSecond, app_id("miniFE"));
+  f.machine.allocate_primary(1, {0});
+  f.exec.start(j1, 0);
+  f.machine.allocate_secondary(2, {0});
+  f.exec.start(j2, 0);
+  f.exec.refresh_rates();
+  const double dilated = f.exec.dilation(1);
+  EXPECT_GT(dilated, 1.0);
+
+  // Co-runner departs at t=50s.
+  f.exec.sync(50 * kSecond);
+  f.exec.finish(2);
+  f.machine.release(2);
+  f.exec.refresh_rates();
+  EXPECT_DOUBLE_EQ(f.exec.dilation(1), 1.0);
+  // Remaining work takes exactly its exclusive time from here on.
+  const double remaining = f.exec.remaining_work_s(1);
+  EXPECT_EQ(f.exec.predicted_end(1, 50 * kSecond),
+            50 * kSecond + from_seconds(remaining));
+  // Cumulative dilation reflects the shared phase.
+  EXPECT_GT(f.exec.observed_dilation(1, 50 * kSecond), 1.0);
+}
+
+TEST(ExecutionModel, MultiNodeJobPacedBySlowestNode) {
+  ExecFixture f;
+  auto j1 = make_job(1, 2, 100 * kSecond, 300 * kSecond, app_id("GTC"));
+  auto j2 = make_job(2, 1, 100 * kSecond, 300 * kSecond, app_id("miniFE"));
+  f.machine.allocate_primary(1, {0, 1});
+  f.exec.start(j1, 0);
+  f.machine.allocate_secondary(2, {0});  // only node 0 is shared
+  f.exec.start(j2, 0);
+  f.exec.refresh_rates();
+  // Job 1 pays the full co-run dilation although node 1 is unshared (BSP).
+  EXPECT_GT(f.exec.dilation(1), 1.0);
+}
+
+// --- Controller integration through small scripted scenarios --------------------------
+
+TEST(Controller, SingleJobLifecycle) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  auto job = make_job(1, 2, 10 * kMinute, 30 * kMinute, app_id("UMT"));
+  job.submit_time = 5 * kSecond;
+  controller.submit(job);
+  engine.run();
+
+  const auto records = controller.job_records();
+  ASSERT_EQ(records.size(), 1u);
+  const auto& r = records[0];
+  EXPECT_EQ(r.state, workload::JobState::kCompleted);
+  EXPECT_EQ(r.start_time, 5 * kSecond);
+  EXPECT_EQ(r.end_time, 5 * kSecond + 10 * kMinute);
+  EXPECT_DOUBLE_EQ(r.observed_dilation, 1.0);
+  EXPECT_EQ(controller.stats().completions, 1u);
+  EXPECT_EQ(controller.stats().timeouts, 0u);
+  controller.machine_state().check_invariants();
+}
+
+TEST(Controller, WalltimeKillFiresForUnderestimatedJob) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  // Lies about runtime: walltime 1 min but needs 10.
+  controller.submit(make_job(1, 1, 10 * kMinute, kMinute, app_id("UMT")));
+  engine.run();
+  const auto r = controller.job_records()[0];
+  EXPECT_EQ(r.state, workload::JobState::kTimeout);
+  EXPECT_EQ(r.end_time - r.start_time, kMinute);
+  EXPECT_EQ(controller.stats().timeouts, 1u);
+}
+
+TEST(Controller, RejectsOversizeJob) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  controller.submit(make_job(1, 99, kMinute, kHour, 0));
+  engine.run();
+  EXPECT_EQ(controller.job_records()[0].state,
+            workload::JobState::kCancelled);
+}
+
+TEST(Controller, RejectsMalformedSubmissions) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  auto no_id = make_job(kInvalidJob, 1, kMinute, kHour, 0);
+  EXPECT_THROW(controller.submit(no_id), Error);
+  auto bad_app = make_job(1, 1, kMinute, kHour, 99);
+  EXPECT_THROW(controller.submit(bad_app), Error);
+  controller.submit(make_job(2, 1, kMinute, kHour, 0));
+  EXPECT_THROW(controller.submit(make_job(2, 1, kMinute, kHour, 0)), Error);
+}
+
+TEST(Controller, QueuedJobsRunInOrderUnderFcfs) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  // Three 4-node jobs: strictly sequential.
+  for (JobId id = 1; id <= 3; ++id) {
+    controller.submit(make_job(id, 4, 10 * kMinute, 30 * kMinute,
+                               app_id("UMT")));
+  }
+  engine.run();
+  const auto records = controller.job_records();
+  EXPECT_EQ(records[0].start_time, 0);
+  EXPECT_EQ(records[1].start_time, records[0].end_time);
+  EXPECT_EQ(records[2].start_time, records[1].end_time);
+}
+
+TEST(Controller, CoAllocationProducesSharedRun) {
+  sim::Engine engine;
+  Controller controller(engine,
+                        small_config(core::StrategyKind::kCoBackfill),
+                        trinity());
+  // GTC fills the machine; miniFE co-allocates beside it.
+  controller.submit(make_job(1, 4, kHour, 2 * kHour, app_id("GTC")));
+  controller.submit(
+      make_job(2, 2, 20 * kMinute, 40 * kMinute, app_id("miniFE")));
+  engine.run();
+  const auto records = controller.job_records();
+  EXPECT_EQ(records[1].alloc_kind, cluster::AllocationKind::kSecondary);
+  EXPECT_EQ(records[1].start_time, records[0].start_time);  // no wait
+  EXPECT_GT(records[1].observed_dilation, 1.0);
+  EXPECT_GT(records[0].observed_dilation, 1.0);
+  EXPECT_EQ(controller.stats().secondary_starts, 1u);
+  // Both completed within walltime: sharing caused no kill.
+  EXPECT_EQ(controller.stats().timeouts, 0u);
+}
+
+TEST(Controller, PromotionAfterPrimaryCompletes) {
+  sim::Engine engine;
+  Controller controller(engine,
+                        small_config(core::StrategyKind::kCoBackfill),
+                        trinity());
+  // Short primary + longer secondary (deadline gate satisfied because the
+  // secondary's walltime still ends before the primary's walltime end).
+  controller.submit(make_job(1, 4, 30 * kMinute, 3 * kHour, app_id("GTC")));
+  controller.submit(
+      make_job(2, 4, kHour, 2 * kHour, app_id("miniFE")));
+  engine.run();
+  const auto records = controller.job_records();
+  ASSERT_EQ(records[1].alloc_kind, cluster::AllocationKind::kSecondary);
+  EXPECT_EQ(records[0].state, workload::JobState::kCompleted);
+  EXPECT_EQ(records[1].state, workload::JobState::kCompleted);
+  // After job 1 finished, job 2 ran alone at full speed, so its dilation
+  // is strictly less than the co-run dilation it started with.
+  EXPECT_LT(records[1].observed_dilation, 1.3);
+  EXPECT_GT(records[1].observed_dilation, 1.0);
+}
+
+// --- run_simulation ------------------------------------------------------------------
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  SimulationSpec spec;
+  spec.controller = small_config(core::StrategyKind::kCoBackfill);
+  spec.controller.nodes = 8;
+  spec.workload = workload::trinity_campaign(8, 60);
+  spec.seed = 7;
+  const auto a = run_simulation(spec, trinity());
+  const auto b = run_simulation(spec, trinity());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].start_time, b.jobs[i].start_time);
+    EXPECT_EQ(a.jobs[i].end_time, b.jobs[i].end_time);
+    EXPECT_EQ(a.jobs[i].alloc_kind, b.jobs[i].alloc_kind);
+  }
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.metrics.scheduling_efficiency,
+                   b.metrics.scheduling_efficiency);
+}
+
+TEST(Simulation, AllJobsReachFinalState) {
+  SimulationSpec spec;
+  spec.controller = small_config(core::StrategyKind::kFirstFit);
+  spec.workload = workload::trinity_campaign(4, 40);
+  const auto result = run_simulation(spec, trinity());
+  EXPECT_EQ(result.metrics.jobs_completed + result.metrics.jobs_timeout +
+                (result.metrics.jobs_total - result.metrics.jobs_completed -
+                 result.metrics.jobs_timeout),
+            result.metrics.jobs_total);
+  EXPECT_EQ(result.metrics.jobs_completed, 40);
+}
+
+// --- Config parsing -------------------------------------------------------------------
+
+TEST(Config, ParsesFullFile) {
+  std::stringstream in(
+      "# cluster\n"
+      "Nodes=64\n"
+      "CoresPerNode=24\n"
+      "ThreadsPerCore=2\n"
+      "MemoryPerNode=256\n"
+      "SchedulerType=cobackfill\n"
+      "OverSubscribe=YES:2\n"
+      "PairingThreshold=0.2   # picky\n"
+      "MaxDilation=1.25\n");
+  const auto config = parse_config(in);
+  EXPECT_EQ(config.nodes, 64);
+  EXPECT_EQ(config.node_config.cores, 24);
+  EXPECT_EQ(config.node_config.smt_per_core, 2);
+  EXPECT_EQ(config.node_config.memory_gb, 256);
+  EXPECT_EQ(config.strategy, core::StrategyKind::kCoBackfill);
+  EXPECT_DOUBLE_EQ(config.scheduler_options.co.pairing_threshold, 0.2);
+  EXPECT_DOUBLE_EQ(config.scheduler_options.co.max_dilation, 1.25);
+}
+
+TEST(Config, OverSubscribeNoDisablesSmt) {
+  std::stringstream in("Nodes=4\nOverSubscribe=NO\n");
+  EXPECT_EQ(parse_config(in).node_config.smt_per_core, 1);
+}
+
+TEST(Config, CaseInsensitiveKeys) {
+  std::stringstream in("NODES=2\nschedulertype=EASY\n");
+  const auto config = parse_config(in);
+  EXPECT_EQ(config.nodes, 2);
+  EXPECT_EQ(config.strategy, core::StrategyKind::kEasyBackfill);
+}
+
+TEST(Config, RejectsUnknownKeysAndBadValues) {
+  std::stringstream bad_key("Frobnicate=1\n");
+  EXPECT_THROW(parse_config(bad_key), Error);
+  std::stringstream bad_value("Nodes=many\n");
+  EXPECT_THROW(parse_config(bad_value), Error);
+  std::stringstream no_eq("Nodes 4\n");
+  EXPECT_THROW(parse_config(no_eq), Error);
+  std::stringstream bad_oversub("OverSubscribe=MAYBE\n");
+  EXPECT_THROW(parse_config(bad_oversub), Error);
+}
+
+TEST(Config, ExtendedKeys) {
+  std::stringstream in(
+      "Nodes=8\n"
+      "GateMode=learned\n"
+      "WalltimePrediction=YES\n"
+      "QueuePolicy=priority\n"
+      "SwitchSize=4\n"
+      "SwitchPenalty=0.07\n"
+      "Placement=compact\n"
+      "CheckpointInterval=00:30:00\n");
+  const auto config = parse_config(in);
+  EXPECT_EQ(config.scheduler_options.co.gate_mode, core::GateMode::kLearned);
+  EXPECT_TRUE(config.scheduler_options.use_walltime_prediction);
+  EXPECT_EQ(config.queue_policy, QueuePolicy::kPriority);
+  EXPECT_EQ(config.topology.switch_size, 4);
+  EXPECT_DOUBLE_EQ(config.topology.penalty_per_extra_switch, 0.07);
+  EXPECT_EQ(config.placement, cluster::PlacementPolicy::kCompact);
+  EXPECT_EQ(config.checkpoint_interval, 30 * kMinute);
+}
+
+TEST(Config, ExtendedKeysRejectBadValues) {
+  std::stringstream bad_gate("GateMode=psychic\n");
+  EXPECT_THROW(parse_config(bad_gate), Error);
+  std::stringstream bad_policy("QueuePolicy=random\n");
+  EXPECT_THROW(parse_config(bad_policy), Error);
+  std::stringstream bad_place("Placement=wherever\n");
+  EXPECT_THROW(parse_config(bad_place), Error);
+  std::stringstream bad_ckpt("CheckpointInterval=soon\n");
+  EXPECT_THROW(parse_config(bad_ckpt), Error);
+  std::stringstream bad_pred("WalltimePrediction=maybe\n");
+  EXPECT_THROW(parse_config(bad_pred), Error);
+}
+
+TEST(Config, FormatParsesBack) {
+  ControllerConfig config;
+  config.nodes = 16;
+  config.strategy = core::StrategyKind::kCoFirstFit;
+  config.scheduler_options.co.pairing_threshold = 0.15;
+  std::stringstream round(format_config(config));
+  const auto parsed = parse_config(round);
+  EXPECT_EQ(parsed.nodes, 16);
+  EXPECT_EQ(parsed.strategy, core::StrategyKind::kCoFirstFit);
+  EXPECT_DOUBLE_EQ(parsed.scheduler_options.co.pairing_threshold, 0.15);
+}
+
+// --- Formatters smoke --------------------------------------------------------------------
+
+TEST(Formatters, SqueueSinfoSacctRender) {
+  sim::Engine engine;
+  Controller controller(engine,
+                        small_config(core::StrategyKind::kCoBackfill),
+                        trinity());
+  controller.submit(make_job(1, 4, kHour, 2 * kHour, app_id("GTC")));
+  controller.submit(
+      make_job(2, 2, 20 * kMinute, 40 * kMinute, app_id("miniFE")));
+  controller.submit(make_job(3, 4, kHour, 2 * kHour, app_id("MILC")));
+  engine.run_until(10 * kMinute);
+
+  const std::string queue = squeue(controller, trinity());
+  EXPECT_NE(queue.find("RUNNING"), std::string::npos);
+  EXPECT_NE(queue.find("PENDING"), std::string::npos);
+  EXPECT_NE(queue.find("shared"), std::string::npos);
+
+  const std::string info = sinfo(controller.machine_state());
+  EXPECT_NE(info.find("shared 2"), std::string::npos);  // miniFE on 2 nodes
+
+  engine.run();
+  const std::string acct = sacct(controller.job_records(), trinity());
+  EXPECT_NE(acct.find("COMPLETED"), std::string::npos);
+  EXPECT_NE(acct.find("miniFE"), std::string::npos);
+
+  const auto m =
+      metrics::compute(controller.job_records(), 4);
+  const std::string summary = metrics_summary(m);
+  EXPECT_NE(summary.find("scheduling efficiency"), std::string::npos);
+}
+
+TEST(Formatters, SacctShowsTimeoutAndCancelled) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  controller.submit(make_job(1, 1, kHour, kMinute, 0));   // will time out
+  controller.submit(make_job(2, 99, kMinute, kHour, 0));  // oversize
+  engine.run();
+  const std::string acct = sacct(controller.job_records(), trinity());
+  EXPECT_NE(acct.find("TIMEOUT"), std::string::npos);
+  EXPECT_NE(acct.find("CANCELLED"), std::string::npos);
+}
+
+TEST(Formatters, SqueueShowsHeldJobs) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  controller.submit(make_job(1, 4, kHour, 2 * kHour, 0));
+  auto held = make_job(2, 1, kMinute, kHour, 0);
+  held.depends_on = 1;
+  controller.submit(held);
+  engine.run_until(kMinute);
+  // Held jobs are not in the pending queue, so squeue shows only the
+  // running job — and sinfo shows the machine fully busy.
+  const std::string queue = squeue(controller, trinity());
+  EXPECT_NE(queue.find("RUNNING"), std::string::npos);
+  EXPECT_EQ(queue.find("HELD"), std::string::npos);
+  EXPECT_EQ(controller.job(2).state, workload::JobState::kHeld);
+  engine.run();
+  EXPECT_EQ(controller.job(2).state, workload::JobState::kCompleted);
+}
+
+TEST(Controller, UsageTrackerChargesCompletedWork) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  auto job = make_job(1, 2, 30 * kMinute, kHour, 0);
+  job.user = "alice";
+  controller.submit(job);
+  engine.run();
+  // 2 nodes * 1800 s = 3600 node-seconds, decayed negligibly.
+  EXPECT_NEAR(controller.usage().usage("alice", engine.now()), 3600.0, 1.0);
+  EXPECT_DOUBLE_EQ(controller.usage().usage("bob", engine.now()), 0.0);
+}
+
+TEST(Controller, PredictorLearnsFromCompletions) {
+  sim::Engine engine;
+  Controller controller(engine, small_config(core::StrategyKind::kFcfs),
+                        trinity());
+  // Three completions at 50% usage teach the predictor.
+  for (JobId id = 1; id <= 3; ++id) {
+    auto job = make_job(id, 1, 30 * kMinute, kHour, 0);
+    job.user = "carol";
+    controller.submit(job);
+  }
+  engine.run();
+  auto probe = make_job(9, 1, 30 * kMinute, kHour, 0);
+  probe.user = "carol";
+  probe.submit_time = engine.now();
+  controller.submit(probe);
+  // predicted_runtime needs a pending job; query before it starts.
+  EXPECT_LT(controller.predicted_runtime(9), kHour);
+  engine.run();
+}
+
+}  // namespace
+}  // namespace cosched::slurmlite

@@ -1,0 +1,122 @@
+// Shared helpers for the CoSched test suite: job builders and a fake
+// SchedulerHost that lets strategy unit tests drive precise scenarios
+// without a full controller.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "core/scheduler.hpp"
+#include "workload/job.hpp"
+
+namespace cosched::testing {
+
+/// Builds a pending job with sensible defaults; tests override fields.
+inline workload::Job make_job(JobId id, int nodes, SimDuration runtime,
+                              SimDuration walltime, AppId app = 0) {
+  workload::Job job;
+  job.id = id;
+  job.user = "test";
+  job.app = app;
+  job.nodes = nodes;
+  job.submit_time = 0;
+  job.base_runtime = runtime;
+  job.walltime_limit = walltime;
+  job.shareable = true;
+  return job;
+}
+
+/// A SchedulerHost over an in-memory machine and job table. Start actions
+/// mutate the machine and the job records exactly like the controller
+/// does, but without an event engine: tests inspect the resulting state.
+class FakeHost : public core::SchedulerHost {
+ public:
+  FakeHost(int nodes, const apps::Catalog& catalog,
+           cluster::NodeConfig node_config = {},
+           interference::CorunParams corun_params = {})
+      : catalog_(catalog),
+        corun_(corun_params),
+        machine_(nodes, node_config) {}
+
+  /// Adds a pending job to the queue tail.
+  void add_pending(workload::Job job) {
+    const JobId id = job.id;
+    jobs_.emplace(id, std::move(job));
+    pending_.push_back(id);
+  }
+
+  /// Adds a job already running on the given nodes (primary slots).
+  void add_running_primary(workload::Job job, const std::vector<NodeId>& nodes,
+                           SimTime started_at = 0) {
+    job.state = workload::JobState::kRunning;
+    job.start_time = started_at;
+    job.alloc_kind = cluster::AllocationKind::kPrimary;
+    job.alloc_nodes = nodes;
+    const JobId id = job.id;
+    jobs_.emplace(id, std::move(job));
+    machine_.allocate_primary(id, nodes);
+  }
+
+  void set_now(SimTime t) { now_ = t; }
+
+  /// Jobs started by the scheduler during the test, in order, with the
+  /// allocation kind used.
+  struct Start {
+    JobId id;
+    cluster::AllocationKind kind;
+    std::vector<NodeId> nodes;
+  };
+  const std::vector<Start>& starts() const { return starts_; }
+  bool started(JobId id) const {
+    for (const auto& s : starts_) {
+      if (s.id == id) return true;
+    }
+    return false;
+  }
+
+  // --- core::SchedulerHost -----------------------------------------------------
+  SimTime now() const override { return now_; }
+  const cluster::Machine& machine() const override { return machine_; }
+  const std::vector<JobId>& pending() const override { return pending_; }
+  const workload::Job& job(JobId id) const override { return jobs_.at(id); }
+  const apps::AppModel& app_of(JobId id) const override {
+    return catalog_.get(jobs_.at(id).app);
+  }
+  const interference::CorunModel& corun() const override { return corun_; }
+  SimTime walltime_end(JobId running) const override {
+    const auto& j = jobs_.at(running);
+    return j.start_time + j.walltime_limit;
+  }
+  void start_primary(JobId id, const std::vector<NodeId>& nodes) override {
+    machine_.allocate_primary(id, nodes);
+    record_start(id, cluster::AllocationKind::kPrimary, nodes);
+  }
+  void start_secondary(JobId id, const std::vector<NodeId>& nodes) override {
+    machine_.allocate_secondary(id, nodes);
+    record_start(id, cluster::AllocationKind::kSecondary, nodes);
+  }
+
+ private:
+  void record_start(JobId id, cluster::AllocationKind kind,
+                    const std::vector<NodeId>& nodes) {
+    auto& j = jobs_.at(id);
+    j.state = workload::JobState::kRunning;
+    j.start_time = now_;
+    j.alloc_kind = kind;
+    j.alloc_nodes = nodes;
+    pending_.erase(std::find(pending_.begin(), pending_.end(), id));
+    starts_.push_back({id, kind, nodes});
+  }
+
+  const apps::Catalog& catalog_;
+  interference::CorunModel corun_;
+  cluster::Machine machine_;
+  std::unordered_map<JobId, workload::Job> jobs_;
+  std::vector<JobId> pending_;
+  std::vector<Start> starts_;
+  SimTime now_ = 0;
+};
+
+}  // namespace cosched::testing

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "cluster/machine.hpp"
+#include "slurmlite/simulation.hpp"
+#include "test_support.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched::cluster {
+namespace {
+
+TopologyParams switches_of(int size) {
+  return TopologyParams{.switch_size = size,
+                        .penalty_per_extra_switch = 0.05};
+}
+
+// --- Topology geometry --------------------------------------------------------------
+
+TEST(Topology, FlatNetworkHasOneSwitch) {
+  Topology t(TopologyParams{}, 16);
+  EXPECT_TRUE(t.flat());
+  EXPECT_EQ(t.switch_count(), 1);
+  EXPECT_EQ(t.switch_of(0), 0);
+  EXPECT_EQ(t.switch_of(15), 0);
+  EXPECT_DOUBLE_EQ(t.locality_dilation({0, 15}, 0.9), 1.0);
+}
+
+TEST(Topology, SwitchAssignment) {
+  Topology t(switches_of(4), 16);
+  EXPECT_EQ(t.switch_count(), 4);
+  EXPECT_EQ(t.switch_of(0), 0);
+  EXPECT_EQ(t.switch_of(3), 0);
+  EXPECT_EQ(t.switch_of(4), 1);
+  EXPECT_EQ(t.switch_of(15), 3);
+}
+
+TEST(Topology, UnevenLastSwitch) {
+  Topology t(switches_of(4), 10);
+  EXPECT_EQ(t.switch_count(), 3);
+  EXPECT_EQ(t.switch_of(9), 2);
+}
+
+TEST(Topology, SwitchesSpanned) {
+  Topology t(switches_of(4), 16);
+  EXPECT_EQ(t.switches_spanned({0, 1, 2}), 1);
+  EXPECT_EQ(t.switches_spanned({0, 4}), 2);
+  EXPECT_EQ(t.switches_spanned({0, 4, 8, 12}), 4);
+  EXPECT_EQ(t.switches_spanned({}), 0);
+}
+
+TEST(Topology, MinSwitches) {
+  Topology t(switches_of(4), 16);
+  EXPECT_EQ(t.min_switches(1), 1);
+  EXPECT_EQ(t.min_switches(4), 1);
+  EXPECT_EQ(t.min_switches(5), 2);
+  EXPECT_EQ(t.min_switches(16), 4);
+}
+
+TEST(Topology, LocalityDilation) {
+  Topology t(switches_of(4), 16);
+  // Minimal placement: no dilation.
+  EXPECT_DOUBLE_EQ(t.locality_dilation({0, 1, 2, 3}, 0.8), 1.0);
+  // 2 nodes over 2 switches: 1 extra, dilation 1 + 0.05 * 0.8 * 1.
+  EXPECT_DOUBLE_EQ(t.locality_dilation({0, 4}, 0.8), 1.04);
+  // Network-insensitive apps barely notice.
+  EXPECT_DOUBLE_EQ(t.locality_dilation({0, 4}, 0.0), 1.0);
+  // 4 nodes over 4 switches: 3 extra.
+  EXPECT_DOUBLE_EQ(t.locality_dilation({0, 4, 8, 12}, 1.0), 1.15);
+}
+
+// --- Compact placement ----------------------------------------------------------------
+
+TEST(CompactPlacement, SingleSwitchBestFit) {
+  // Switch 0 has 2 free (partially used), switch 1 fully free (4): a
+  // 2-node job best-fits into switch 0's remainder.
+  Machine m(8, NodeConfig{}, switches_of(4), PlacementPolicy::kCompact);
+  m.allocate_primary(1, {0, 1});
+  const auto nodes = m.find_free_nodes(2);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(CompactPlacement, BigJobPrefersWholeFreeSwitch) {
+  Machine m(8, NodeConfig{}, switches_of(4), PlacementPolicy::kCompact);
+  m.allocate_primary(1, {0, 1});
+  const auto nodes = m.find_free_nodes(4);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<NodeId>{4, 5, 6, 7}));
+}
+
+TEST(CompactPlacement, SpillsGreedilyWhenNoSwitchFits) {
+  Machine m(12, NodeConfig{}, switches_of(4), PlacementPolicy::kCompact);
+  m.allocate_primary(1, {0});
+  m.allocate_primary(2, {4, 5});
+  // 6 nodes: no single switch fits; greedy takes the fullest switch
+  // (switch 2: 4 free) then the next fullest (switch 0: 3 free).
+  const auto nodes = m.find_free_nodes(6);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<NodeId>{8, 9, 10, 11, 1, 2}));
+}
+
+TEST(CompactPlacement, LowestIdPolicyIgnoresTopology) {
+  Machine m(8, NodeConfig{}, switches_of(4), PlacementPolicy::kLowestId);
+  m.allocate_primary(1, {0, 1});
+  const auto nodes = m.find_free_nodes(4);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<NodeId>{2, 3, 4, 5}));  // spans 2 switches
+}
+
+TEST(CompactPlacement, PolicyNames) {
+  EXPECT_STREQ(to_string(PlacementPolicy::kLowestId), "lowest-id");
+  EXPECT_STREQ(to_string(PlacementPolicy::kCompact), "compact");
+}
+
+// --- End-to-end: locality affects runtimes and compact placement avoids it -------------
+
+TEST(TopologyEndToEnd, ScatteredPlacementDilatesNetworkApps) {
+  const auto catalog = apps::Catalog::trinity();
+  sim::Engine engine;
+  slurmlite::ControllerConfig config;
+  config.nodes = 8;
+  config.topology = switches_of(4);
+  config.placement = PlacementPolicy::kLowestId;
+  slurmlite::Controller controller(engine, config, catalog);
+  // Occupy nodes 0-1 so the next 4-node job spans both switches.
+  auto filler = cosched::testing::make_job(
+      1, 2, 3 * kHour, 4 * kHour, catalog.by_name("GTC").id);
+  controller.submit(filler);
+  auto netjob = cosched::testing::make_job(
+      2, 4, kHour, 3 * kHour, catalog.by_name("miniGhost").id);
+  netjob.shareable = false;  // isolate the locality effect
+  controller.submit(netjob);
+  engine.run_until(2 * kHour);
+  engine.run();
+  const auto records = controller.job_records();
+  // miniGhost (network 0.55) on {2,3,4,5}: 1 extra switch => 1.0275x.
+  EXPECT_GT(records[1].observed_dilation, 1.02);
+  EXPECT_LT(records[1].observed_dilation, 1.04);
+}
+
+TEST(TopologyEndToEnd, CompactPlacementAvoidsTheDilation) {
+  const auto catalog = apps::Catalog::trinity();
+  sim::Engine engine;
+  slurmlite::ControllerConfig config;
+  config.nodes = 8;
+  config.topology = switches_of(4);
+  config.placement = PlacementPolicy::kCompact;
+  slurmlite::Controller controller(engine, config, catalog);
+  auto filler = cosched::testing::make_job(
+      1, 2, 3 * kHour, 4 * kHour, catalog.by_name("GTC").id);
+  controller.submit(filler);
+  auto netjob = cosched::testing::make_job(
+      2, 4, kHour, 3 * kHour, catalog.by_name("miniGhost").id);
+  netjob.shareable = false;
+  controller.submit(netjob);
+  engine.run();
+  const auto records = controller.job_records();
+  // Compact placement puts the 4-node job on the fully free switch.
+  EXPECT_DOUBLE_EQ(records[1].observed_dilation, 1.0);
+  EXPECT_EQ(records[1].alloc_nodes, (std::vector<NodeId>{4, 5, 6, 7}));
+}
+
+TEST(TopologyEndToEnd, CampaignRunsCleanUnderTopology) {
+  const auto catalog = apps::Catalog::trinity();
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 16;
+  spec.controller.topology = switches_of(4);
+  spec.controller.placement = PlacementPolicy::kCompact;
+  spec.controller.strategy = core::StrategyKind::kCoBackfill;
+  spec.workload = workload::trinity_campaign(16, 100);
+  const auto result = slurmlite::run_simulation(spec, catalog);
+  EXPECT_EQ(result.metrics.jobs_completed, 100);
+  EXPECT_EQ(result.metrics.jobs_timeout, 0);
+}
+
+}  // namespace
+}  // namespace cosched::cluster

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/gantt.hpp"
+#include "trace/swf.hpp"
+#include "workload/generator.hpp"
+
+namespace cosched::trace {
+namespace {
+
+workload::Job finished_job(JobId id, int nodes, SimTime start,
+                           SimDuration runtime,
+                           std::vector<NodeId> alloc) {
+  workload::Job j;
+  j.id = id;
+  j.app = 0;
+  j.nodes = nodes;
+  j.submit_time = 0;
+  j.base_runtime = runtime;
+  j.walltime_limit = runtime * 2;
+  j.state = workload::JobState::kCompleted;
+  j.start_time = start;
+  j.end_time = start + runtime;
+  j.alloc_nodes = std::move(alloc);
+  return j;
+}
+
+TEST(Swf, WriteReadRoundTrip) {
+  std::vector<SwfRecord> records(3);
+  for (int i = 0; i < 3; ++i) {
+    records[static_cast<std::size_t>(i)].job_number = i + 1;
+    records[static_cast<std::size_t>(i)].submit_time = i * 60;
+    records[static_cast<std::size_t>(i)].run_time = 600 + i;
+    records[static_cast<std::size_t>(i)].procs_requested = 1 << i;
+    records[static_cast<std::size_t>(i)].time_requested = 1200;
+    records[static_cast<std::size_t>(i)].status = 1;
+  }
+  std::stringstream stream;
+  write_swf(stream, records, "unit test");
+  const auto parsed = read_swf(stream);
+  ASSERT_EQ(parsed.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const auto& r = parsed[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.job_number, i + 1);
+    EXPECT_EQ(r.submit_time, i * 60);
+    EXPECT_EQ(r.run_time, 600 + i);
+    EXPECT_EQ(r.procs_requested, 1 << i);
+  }
+}
+
+TEST(Swf, SkipsCommentsAndBlanks) {
+  std::stringstream in(
+      "; header comment\n"
+      "\n"
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1 ; trailing\n"
+      ";\n");
+  const auto records = read_swf(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].job_number, 1);
+  EXPECT_EQ(records[0].run_time, 100);
+}
+
+TEST(Swf, RejectsTruncatedLine) {
+  std::stringstream in("1 0 -1 100 4\n");
+  EXPECT_THROW(read_swf(in), Error);
+}
+
+TEST(Swf, JobsFromSwfBasics) {
+  SwfRecord r;
+  r.job_number = 5;
+  r.submit_time = 120;
+  r.run_time = 300;
+  r.time_requested = 600;
+  r.procs_requested = 8;
+  r.user_id = 3;
+  r.app_number = 10;
+  const auto jobs = jobs_from_swf({r}, /*app_count=*/8);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].id, 5);
+  EXPECT_EQ(jobs[0].submit_time, 120 * kSecond);
+  EXPECT_EQ(jobs[0].base_runtime, 300 * kSecond);
+  EXPECT_EQ(jobs[0].walltime_limit, 600 * kSecond);
+  EXPECT_EQ(jobs[0].nodes, 8);
+  EXPECT_EQ(jobs[0].app, 10 % 8);
+}
+
+TEST(Swf, JobsFromSwfClampsWalltimeBelowRuntime) {
+  SwfRecord r;
+  r.job_number = 1;
+  r.run_time = 700;
+  r.time_requested = 600;  // ran past its request (archive artefact)
+  r.procs_requested = 1;
+  const auto jobs = jobs_from_swf({r}, 0);
+  EXPECT_EQ(jobs[0].walltime_limit, jobs[0].base_runtime);
+}
+
+TEST(Swf, JobsFromSwfFallsBackBetweenFields) {
+  SwfRecord only_runtime;
+  only_runtime.job_number = 1;
+  only_runtime.run_time = 300;
+  only_runtime.procs_used = 2;  // no procs_requested
+  const auto jobs = jobs_from_swf({only_runtime}, 0);
+  EXPECT_EQ(jobs[0].nodes, 2);
+  EXPECT_EQ(jobs[0].walltime_limit, 300 * kSecond);
+}
+
+TEST(Swf, JobsFromSwfRejectsUnusable) {
+  SwfRecord r;
+  r.job_number = 1;  // no procs at all
+  EXPECT_THROW(jobs_from_swf({r}, 0), Error);
+}
+
+TEST(Swf, JobsToSwfEncodesStates) {
+  auto j = finished_job(3, 2, 100 * kSecond, 50 * kSecond, {0, 1});
+  j.submit_time = 10 * kSecond;
+  const auto records = jobs_to_swf({j});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].job_number, 3);
+  EXPECT_EQ(records[0].status, 1);
+  EXPECT_EQ(records[0].wait_time, 90);
+  EXPECT_EQ(records[0].run_time, 50);
+  EXPECT_EQ(records[0].procs_used, 2);
+}
+
+TEST(Swf, FullCircleThroughJobs) {
+  auto j1 = finished_job(1, 4, 0, 600 * kSecond, {0, 1, 2, 3});
+  auto j2 = finished_job(2, 1, 60 * kSecond, 120 * kSecond, {4});
+  std::stringstream stream;
+  write_swf(stream, jobs_to_swf({j1, j2}));
+  const auto replay = jobs_from_swf(read_swf(stream), 0);
+  ASSERT_EQ(replay.size(), 2u);
+  EXPECT_EQ(replay[0].nodes, 4);
+  EXPECT_EQ(replay[0].base_runtime, 600 * kSecond);
+  EXPECT_EQ(replay[1].base_runtime, 120 * kSecond);
+}
+
+TEST(Gantt, CsvHasRowPerJobNode) {
+  const auto catalog = apps::Catalog::trinity();
+  const auto j = finished_job(1, 2, 0, 100 * kSecond, {0, 1});
+  std::stringstream out;
+  write_gantt_csv(out, {j}, catalog);
+  std::string line;
+  int rows = 0;
+  while (std::getline(out, line)) ++rows;
+  EXPECT_EQ(rows, 3);  // header + 2 node rows
+}
+
+TEST(Gantt, SkipsUnstartedJobs) {
+  const auto catalog = apps::Catalog::trinity();
+  workload::Job pending;
+  pending.id = 1;
+  pending.app = 0;
+  std::stringstream out;
+  write_gantt_csv(out, {pending}, catalog);
+  std::string all = out.str();
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'), 1);  // header only
+}
+
+TEST(Gantt, AsciiShowsSharingDepth) {
+  const auto j1 = finished_job(1, 1, 0, 100 * kSecond, {0});
+  auto j2 = finished_job(2, 1, 0, 100 * kSecond, {0});
+  j2.alloc_kind = cluster::AllocationKind::kSecondary;
+  const std::string art = ascii_gantt({j1, j2}, 2, 20);
+  EXPECT_NE(art.find('2'), std::string::npos);  // shared depth on node 0
+  EXPECT_NE(art.find('.'), std::string::npos);  // idle node 1
+}
+
+TEST(Gantt, AsciiEmptySchedule) {
+  EXPECT_EQ(ascii_gantt({}, 4, 20), "(empty schedule)\n");
+}
+
+}  // namespace
+}  // namespace cosched::trace

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace cosched {
+namespace {
+
+// --- types ---------------------------------------------------------------------
+
+TEST(Types, SecondsRoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.5), kSecond / 2);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_EQ(from_seconds(to_seconds(123456789)), 123456789);
+}
+
+TEST(Types, FormatDuration) {
+  EXPECT_EQ(format_duration(0), "00:00:00");
+  EXPECT_EQ(format_duration(90 * kSecond), "00:01:30");
+  EXPECT_EQ(format_duration(3 * kHour + 25 * kMinute + 7 * kSecond),
+            "03:25:07");
+  EXPECT_EQ(format_duration(2 * kDay + kHour), "2-01:00:00");
+  EXPECT_EQ(format_duration(-kMinute), "-00:01:00");
+}
+
+TEST(Types, ParseDuration) {
+  EXPECT_EQ(parse_duration("90"), 90 * kSecond);
+  EXPECT_EQ(parse_duration("01:30"), 90 * kSecond);
+  EXPECT_EQ(parse_duration("02:00:00"), 2 * kHour);
+  EXPECT_EQ(parse_duration("1-00:00:00"), kDay);
+  EXPECT_EQ(parse_duration(""), -1);
+  EXPECT_EQ(parse_duration("abc"), -1);
+  EXPECT_EQ(parse_duration("1:2:3:4"), -1);
+  EXPECT_EQ(parse_duration("-5"), -1);
+}
+
+TEST(Types, ParseFormatRoundTrip) {
+  for (SimDuration d : {SimDuration{0}, kSecond, 90 * kSecond, kHour,
+                        kDay + 3 * kHour + 4 * kMinute + 5 * kSecond}) {
+    EXPECT_EQ(parse_duration(format_duration(d)), d) << format_duration(d);
+  }
+}
+
+// --- rng -----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Pcg32 a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, StreamsDiffer) {
+  Pcg32 a(42, 1), b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a.next_u32() == b.next_u32()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, KnownReference) {
+  // Reference values from the canonical pcg32 demo seeding
+  // (pcg32_srandom_r(42u, 54u)).
+  Pcg32 rng(42, 54);
+  EXPECT_EQ(rng.next_u32(), 0xa15c02b7u);
+  EXPECT_EQ(rng.next_u32(), 0x7b47f409u);
+  EXPECT_EQ(rng.next_u32(), 0xba1d3330u);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Pcg32 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Pcg32 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Pcg32 rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Pcg32 rng(4);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Pcg32 rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  EXPECT_NEAR(quantile(std::move(xs), 0.5), std::exp(1.0), 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Pcg32 rng(6);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Pcg32 rng(7);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.weibull(1.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.15);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Pcg32 rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.bounded_pareto(1.5, 2.0, 100.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Pcg32 rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Pcg32 rng(10);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.weighted_index({1.0, 2.0, 1.0})];
+  }
+  EXPECT_NEAR(counts[1] / 30000.0, 0.5, 0.02);
+  EXPECT_NEAR(counts[0] / 30000.0, 0.25, 0.02);
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_index({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Pcg32 rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependence) {
+  Pcg32 parent(13);
+  Pcg32 child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (parent.next_u32() == child.next_u32()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(Stats, OnlineMatchesDirect) {
+  Pcg32 rng(20);
+  std::vector<double> xs;
+  OnlineStats stats;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5, 5);
+    xs.push_back(x);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), mean_of(xs), 1e-9);
+  EXPECT_NEAR(stats.stddev(), stddev_of(xs), 1e-9);
+  EXPECT_EQ(stats.count(), xs.size());
+}
+
+TEST(Stats, OnlineEdgeCases) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.add(7.0);
+  EXPECT_EQ(stats.mean(), 7.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 7.0);
+  EXPECT_EQ(stats.max(), 7.0);
+}
+
+TEST(Stats, MergeEqualsCombined) {
+  Pcg32 rng(21);
+  OnlineStats a, b, all;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.normal(0, 1);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, QuantileInterpolation) {
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({4, 1, 3, 2}, 0.5), 2.5);  // unsorted input
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({42}, 0.99), 42.0);
+}
+
+TEST(Stats, BootstrapCiCoversMean) {
+  Pcg32 rng(22);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(10, 2));
+  Pcg32 boot(23);
+  const auto ci = bootstrap_mean_ci(xs, 0.95, boot);
+  EXPECT_LT(ci.lo, ci.mean);
+  EXPECT_GT(ci.hi, ci.mean);
+  EXPECT_NEAR(ci.mean, 10.0, 0.5);
+  EXPECT_LT(ci.hi - ci.lo, 1.5);
+}
+
+TEST(Stats, BootstrapDegenerate) {
+  Pcg32 rng(24);
+  const auto ci = bootstrap_mean_ci({5.0}, 0.95, rng);
+  EXPECT_EQ(ci.lo, 5.0);
+  EXPECT_EQ(ci.hi, 5.0);
+}
+
+TEST(Stats, HistogramBucketsAndCdf) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 3.5, 9.5}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.5, 1.5
+  EXPECT_EQ(h.count(1), 2u);  // 2.5, 3.5
+  EXPECT_EQ(h.count(4), 1u);  // 9.5
+  const auto cdf = h.cdf();
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.4);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(Table, AlignsColumnsAndFormats) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("b").add(std::int64_t{42});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.row().add("x,y").add("he said \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+// --- flags ---------------------------------------------------------------------
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog",       "--alpha=3",  "--beta", "7",
+                        "positional", "--delta=x y", "--gamma"};
+  Flags flags(7, argv);
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_EQ(flags.get_int("beta", 0), 7);  // "--name value" form
+  EXPECT_TRUE(flags.get_bool("gamma", false));  // bare flag = true
+  EXPECT_EQ(flags.get_string("delta", ""), "x y");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, argv);
+  EXPECT_EQ(flags.get_int("missing", 9), 9);
+  EXPECT_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("missing", false));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=no"};
+  Flags flags(5, argv);
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+}
+
+TEST(Flags, RejectsMalformedValues) {
+  const char* argv[] = {"prog", "--n=abc", "--x=1.2.3", "--b=maybe"};
+  Flags flags(4, argv);
+  EXPECT_THROW(flags.get_int("n", 0), Error);
+  EXPECT_THROW(flags.get_double("x", 0), Error);
+  EXPECT_THROW(flags.get_bool("b", false), Error);
+}
+
+TEST(Flags, TracksUnused) {
+  const char* argv[] = {"prog", "--used=1", "--stray=2"};
+  Flags flags(3, argv);
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "stray");
+}
+
+}  // namespace
+}  // namespace cosched

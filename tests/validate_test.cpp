@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "metrics/validate.hpp"
+#include "slurmlite/simulation.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched::metrics {
+namespace {
+
+workload::Job good_job(JobId id = 1) {
+  workload::Job j;
+  j.id = id;
+  j.nodes = 2;
+  j.submit_time = 0;
+  j.start_time = 10 * kSecond;
+  j.end_time = 110 * kSecond;
+  j.base_runtime = 100 * kSecond;
+  j.walltime_limit = 200 * kSecond;
+  j.observed_dilation = 1.0;
+  j.state = workload::JobState::kCompleted;
+  j.alloc_nodes = {0, 1};
+  return j;
+}
+
+ValidationOptions opts() {
+  return ValidationOptions{.machine_nodes = 4, .slots_per_node = 2};
+}
+
+TEST(Validate, CleanScheduleHasNoViolations) {
+  EXPECT_TRUE(validate_schedule({good_job()}, opts()).empty());
+}
+
+TEST(Validate, EmptyAndUnfinishedIgnored) {
+  workload::Job pending;
+  pending.id = 9;
+  EXPECT_TRUE(validate_schedule({}, opts()).empty());
+  EXPECT_TRUE(validate_schedule({pending}, opts()).empty());
+}
+
+TEST(Validate, DetectsStartBeforeSubmit) {
+  auto j = good_job();
+  j.submit_time = 20 * kSecond;
+  const auto v = validate_schedule({j}, opts());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].message.find("before submission"), std::string::npos);
+  EXPECT_EQ(v[0].job, 1);
+}
+
+TEST(Validate, DetectsAllocationSizeMismatch) {
+  auto j = good_job();
+  j.alloc_nodes = {0};
+  const auto v = validate_schedule({j}, opts());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].message.find("allocation size"), std::string::npos);
+}
+
+TEST(Validate, DetectsWalltimeViolation) {
+  auto j = good_job();
+  j.walltime_limit = 50 * kSecond;  // elapsed is 100 s
+  const auto v = validate_schedule({j}, opts());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].message.find("walltime"), std::string::npos);
+}
+
+TEST(Validate, DetectsOutOfRangeAndDuplicateNodes) {
+  auto j = good_job();
+  j.alloc_nodes = {0, 9};
+  auto v = validate_schedule({j}, opts());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].node, 9);
+
+  j = good_job();
+  j.alloc_nodes = {0, 0};
+  v = validate_schedule({j}, opts());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].message.find("twice"), std::string::npos);
+}
+
+TEST(Validate, DetectsDilationInconsistency) {
+  auto j = good_job();
+  j.observed_dilation = 1.5;  // elapsed says 1.0
+  const auto v = validate_schedule({j}, opts());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].message.find("dilation"), std::string::npos);
+}
+
+TEST(Validate, RequeuedJobsExemptFromDilationCheck) {
+  auto j = good_job();
+  j.observed_dilation = 1.5;
+  j.requeues = 1;  // checkpoint resume: elapsed < base * dilation is fine
+  EXPECT_TRUE(validate_schedule({j}, opts()).empty());
+}
+
+TEST(Validate, DetectsOversubscribedNode) {
+  auto a = good_job(1);
+  auto b = good_job(2);
+  auto c = good_job(3);
+  a.alloc_nodes = b.alloc_nodes = c.alloc_nodes = {0, 1};
+  a.nodes = b.nodes = c.nodes = 2;
+  const auto v = validate_schedule({a, b, c}, opts());
+  // Depth 3 on both nodes with 2 slots: one violation per node.
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].job, kInvalidJob);
+  EXPECT_NE(v[0].message.find("occupancy depth"), std::string::npos);
+}
+
+TEST(Validate, ToStringRendersAll) {
+  auto j = good_job();
+  j.walltime_limit = 50 * kSecond;
+  const auto text = to_string(validate_schedule({j}, opts()));
+  EXPECT_NE(text.find("job 1"), std::string::npos);
+  EXPECT_NE(text.find("walltime"), std::string::npos);
+}
+
+TEST(Validate, RealSimulationsPassForEveryStrategy) {
+  const auto catalog = apps::Catalog::trinity();
+  for (auto kind : core::all_strategies()) {
+    slurmlite::SimulationSpec spec;
+    spec.controller.nodes = 12;
+    spec.controller.strategy = kind;
+    spec.workload = workload::trinity_campaign(12, 80);
+    const auto result = slurmlite::run_simulation(spec, catalog);
+    const auto v = validate_schedule(
+        result.jobs,
+        ValidationOptions{.machine_nodes = 12, .slots_per_node = 2});
+    EXPECT_TRUE(v.empty()) << core::to_string(kind) << ":\n" << to_string(v);
+  }
+}
+
+}  // namespace
+}  // namespace cosched::metrics

@@ -1,0 +1,219 @@
+// cosched — the command-line driver for the simulator.
+//
+//   cosched sim      --config FILE [--workload trace.swf]
+//                    [--campaign trinity|membound|compute] [--jobs N]
+//                    [--stream-load RHO] [--seed N]
+//                    [--sacct] [--gantt out.csv] [--swf-out out.swf]
+//                    [--json out.json]
+//   cosched compare  --config FILE [--jobs N] [--seed N] [--csv]
+//   cosched validate --workload trace.swf [--nodes N]
+//   cosched config   [--config FILE]      # print effective configuration
+//
+// The config file is the slurm.conf-style format (see slurmlite/config.hpp);
+// without --config, built-in defaults apply (32 nodes, 2-way SMT,
+// cobackfill).
+#include <fstream>
+#include <iostream>
+
+#include "metrics/validate.hpp"
+#include "slurmlite/config.hpp"
+#include "slurmlite/report.hpp"
+#include "slurmlite/formatters.hpp"
+#include "slurmlite/simulation.hpp"
+#include "trace/gantt.hpp"
+#include "trace/swf.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/campaign.hpp"
+
+namespace {
+
+using namespace cosched;
+
+int usage() {
+  std::cerr << "usage: cosched <sim|compare|validate|config> [flags]\n"
+               "run with a subcommand; see the header of tools/cosched_cli"
+               ".cpp or README.md for flag details\n";
+  return 2;
+}
+
+slurmlite::ControllerConfig load_config(const Flags& flags) {
+  const std::string path = flags.get_string("config", "");
+  if (path.empty()) {
+    slurmlite::ControllerConfig config;
+    config.strategy = core::StrategyKind::kCoBackfill;
+    return config;
+  }
+  return slurmlite::parse_config_file(path);
+}
+
+workload::GeneratorParams campaign_params(const Flags& flags, int nodes) {
+  const std::string campaign = flags.get_string("campaign", "trinity");
+  const int jobs = static_cast<int>(flags.get_int("jobs", 300));
+  workload::GeneratorParams params;
+  if (campaign == "trinity") {
+    params = workload::trinity_campaign(nodes, jobs);
+  } else if (campaign == "membound") {
+    params = workload::memory_bound_campaign(nodes, jobs);
+  } else if (campaign == "compute") {
+    params = workload::compute_bound_campaign(nodes, jobs);
+  } else {
+    throw Error("unknown --campaign '" + campaign +
+                "' (want trinity|membound|compute)");
+  }
+  const double rho = flags.get_double("stream-load", 0.0);
+  if (rho > 0) {
+    params.arrival = workload::ArrivalMode::kStream;
+    params.offered_load = rho;
+  }
+  return params;
+}
+
+workload::JobList load_or_generate_jobs(const Flags& flags,
+                                        const apps::Catalog& catalog,
+                                        int nodes, std::uint64_t seed) {
+  const std::string trace = flags.get_string("workload", "");
+  if (!trace.empty()) {
+    auto jobs = trace::jobs_from_swf(trace::read_swf_file(trace),
+                                     catalog.size());
+    for (auto& job : jobs) {
+      job.shareable = catalog.get(job.app).shareable;
+    }
+    return jobs;
+  }
+  workload::Generator generator(campaign_params(flags, nodes), catalog);
+  Pcg32 rng(seed, 0xc11);
+  return generator.generate(rng);
+}
+
+int cmd_sim(const Flags& flags) {
+  const auto catalog = apps::Catalog::trinity();
+  const auto config = load_config(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto jobs =
+      load_or_generate_jobs(flags, catalog, config.nodes, seed);
+
+  slurmlite::SimulationSpec spec;
+  spec.controller = config;
+  spec.seed = seed;
+  const auto result = slurmlite::run_jobs(spec, catalog, jobs);
+
+  if (flags.get_bool("sacct", false)) {
+    std::cout << slurmlite::sacct(result.jobs, catalog) << "\n";
+  }
+  std::cout << slurmlite::metrics_summary(result.metrics);
+  std::cout << "strategy: " << core::to_string(config.strategy)
+            << "   co-allocated starts: " << result.stats.secondary_starts
+            << "   scheduler passes: " << result.stats.scheduler_passes
+            << "\n";
+
+  if (const std::string path = flags.get_string("gantt", "");
+      !path.empty()) {
+    trace::write_gantt_csv_file(path, result.jobs, catalog);
+    std::cout << "wrote gantt to " << path << "\n";
+  }
+  if (const std::string path = flags.get_string("swf-out", "");
+      !path.empty()) {
+    trace::write_swf_file(path, trace::jobs_to_swf(result.jobs),
+                          "cosched sim output");
+    std::cout << "wrote SWF to " << path << "\n";
+  }
+  if (const std::string path = flags.get_string("json", ""); !path.empty()) {
+    slurmlite::write_json_file(path, result, catalog);
+    std::cout << "wrote JSON to " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Flags& flags) {
+  const auto catalog = apps::Catalog::trinity();
+  auto config = load_config(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const bool csv = flags.get_bool("csv", false);
+
+  Table t({"strategy", "makespan (h)", "sched eff", "comp eff",
+           "mean wait (min)", "co-starts", "timeouts"});
+  for (auto kind : core::all_strategies()) {
+    config.strategy = kind;
+    slurmlite::SimulationSpec spec;
+    spec.controller = config;
+    spec.workload = campaign_params(flags, config.nodes);
+    spec.seed = seed;
+    const auto r = slurmlite::run_simulation(spec, catalog);
+    t.row()
+        .add(core::to_string(kind))
+        .add(r.metrics.makespan_s / 3600.0, 2)
+        .add(r.metrics.scheduling_efficiency, 3)
+        .add(r.metrics.computational_efficiency, 3)
+        .add(r.metrics.mean_wait_s / 60.0, 1)
+        .add(static_cast<std::int64_t>(r.stats.secondary_starts))
+        .add(r.metrics.jobs_timeout);
+  }
+  t.print(std::cout, csv);
+  return 0;
+}
+
+int cmd_validate(const Flags& flags) {
+  const std::string trace = flags.get_string("workload", "");
+  if (trace.empty()) {
+    std::cerr << "validate requires --workload trace.swf\n";
+    return 2;
+  }
+  const auto catalog = apps::Catalog::trinity();
+  const int nodes = static_cast<int>(flags.get_int("nodes", 32));
+  auto jobs = trace::jobs_from_swf(trace::read_swf_file(trace),
+                                   catalog.size());
+  std::cout << "read " << jobs.size() << " jobs from " << trace << "\n";
+
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = nodes;
+  spec.controller.strategy = core::StrategyKind::kCoBackfill;
+  const auto result = slurmlite::run_jobs(spec, catalog, jobs);
+  const auto violations = metrics::validate_schedule(
+      result.jobs, metrics::ValidationOptions{
+                       .machine_nodes = nodes,
+                       .slots_per_node =
+                           spec.controller.node_config.smt_per_core});
+  if (violations.empty()) {
+    std::cout << "replay OK: " << result.metrics.jobs_completed
+              << " completed, " << result.metrics.jobs_timeout
+              << " hit walltime; schedule passes all invariants\n";
+    return 0;
+  }
+  std::cout << "schedule violations:\n" << metrics::to_string(violations);
+  return 1;
+}
+
+int cmd_config(const Flags& flags) {
+  std::cout << slurmlite::format_config(load_config(flags));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const Flags flags(argc - 1, argv + 1);
+    int rc;
+    if (command == "sim") {
+      rc = cmd_sim(flags);
+    } else if (command == "compare") {
+      rc = cmd_compare(flags);
+    } else if (command == "validate") {
+      rc = cmd_validate(flags);
+    } else if (command == "config") {
+      rc = cmd_config(flags);
+    } else {
+      return usage();
+    }
+    for (const auto& unknown : flags.unused()) {
+      std::cerr << "warning: unused flag --" << unknown << "\n";
+    }
+    return rc;
+  } catch (const cosched::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
