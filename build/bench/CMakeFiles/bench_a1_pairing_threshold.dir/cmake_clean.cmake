@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_pairing_threshold.dir/bench_a1_pairing_threshold.cpp.o"
+  "CMakeFiles/bench_a1_pairing_threshold.dir/bench_a1_pairing_threshold.cpp.o.d"
+  "bench_a1_pairing_threshold"
+  "bench_a1_pairing_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_pairing_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

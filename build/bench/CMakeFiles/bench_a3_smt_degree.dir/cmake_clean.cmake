@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_smt_degree.dir/bench_a3_smt_degree.cpp.o"
+  "CMakeFiles/bench_a3_smt_degree.dir/bench_a3_smt_degree.cpp.o.d"
+  "bench_a3_smt_degree"
+  "bench_a3_smt_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_smt_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a4_scheduler_cost.cpp" "bench/CMakeFiles/bench_a4_scheduler_cost.dir/bench_a4_scheduler_cost.cpp.o" "gcc" "bench/CMakeFiles/bench_a4_scheduler_cost.dir/bench_a4_scheduler_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cosched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/interference/CMakeFiles/cosched_interference.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cosched_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cosched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

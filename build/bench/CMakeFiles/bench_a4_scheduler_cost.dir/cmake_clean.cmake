@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_scheduler_cost.dir/bench_a4_scheduler_cost.cpp.o"
+  "CMakeFiles/bench_a4_scheduler_cost.dir/bench_a4_scheduler_cost.cpp.o.d"
+  "bench_a4_scheduler_cost"
+  "bench_a4_scheduler_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_scheduler_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a5_gate_mode.cpp" "bench/CMakeFiles/bench_a5_gate_mode.dir/bench_a5_gate_mode.cpp.o" "gcc" "bench/CMakeFiles/bench_a5_gate_mode.dir/bench_a5_gate_mode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slurmlite/CMakeFiles/cosched_slurmlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cosched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cosched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cosched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/interference/CMakeFiles/cosched_interference.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cosched_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cosched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

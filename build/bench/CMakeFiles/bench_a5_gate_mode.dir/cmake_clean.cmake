@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_gate_mode.dir/bench_a5_gate_mode.cpp.o"
+  "CMakeFiles/bench_a5_gate_mode.dir/bench_a5_gate_mode.cpp.o.d"
+  "bench_a5_gate_mode"
+  "bench_a5_gate_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_gate_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_walltime_prediction.dir/bench_a6_walltime_prediction.cpp.o"
+  "CMakeFiles/bench_a6_walltime_prediction.dir/bench_a6_walltime_prediction.cpp.o.d"
+  "bench_a6_walltime_prediction"
+  "bench_a6_walltime_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_walltime_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

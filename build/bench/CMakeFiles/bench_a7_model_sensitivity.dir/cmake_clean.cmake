@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_model_sensitivity.dir/bench_a7_model_sensitivity.cpp.o"
+  "CMakeFiles/bench_a7_model_sensitivity.dir/bench_a7_model_sensitivity.cpp.o.d"
+  "bench_a7_model_sensitivity"
+  "bench_a7_model_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_model_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

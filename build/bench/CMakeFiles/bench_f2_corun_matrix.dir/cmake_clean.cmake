@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_corun_matrix.dir/bench_f2_corun_matrix.cpp.o"
+  "CMakeFiles/bench_f2_corun_matrix.dir/bench_f2_corun_matrix.cpp.o.d"
+  "bench_f2_corun_matrix"
+  "bench_f2_corun_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_corun_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

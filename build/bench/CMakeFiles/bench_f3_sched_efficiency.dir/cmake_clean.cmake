@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_sched_efficiency.dir/bench_f3_sched_efficiency.cpp.o"
+  "CMakeFiles/bench_f3_sched_efficiency.dir/bench_f3_sched_efficiency.cpp.o.d"
+  "bench_f3_sched_efficiency"
+  "bench_f3_sched_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_sched_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_slowdown_cdf.dir/bench_f6_slowdown_cdf.cpp.o"
+  "CMakeFiles/bench_f6_slowdown_cdf.dir/bench_f6_slowdown_cdf.cpp.o.d"
+  "bench_f6_slowdown_cdf"
+  "bench_f6_slowdown_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_slowdown_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_topology.dir/bench_f7_topology.cpp.o"
+  "CMakeFiles/bench_f7_topology.dir/bench_f7_topology.cpp.o.d"
+  "bench_f7_topology"
+  "bench_f7_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

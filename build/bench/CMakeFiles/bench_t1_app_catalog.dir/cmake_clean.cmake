@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_app_catalog.dir/bench_t1_app_catalog.cpp.o"
+  "CMakeFiles/bench_t1_app_catalog.dir/bench_t1_app_catalog.cpp.o.d"
+  "bench_t1_app_catalog"
+  "bench_t1_app_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_app_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

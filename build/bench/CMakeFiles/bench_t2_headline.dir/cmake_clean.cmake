@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_headline.dir/bench_t2_headline.cpp.o"
+  "CMakeFiles/bench_t2_headline.dir/bench_t2_headline.cpp.o.d"
+  "bench_t2_headline"
+  "bench_t2_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

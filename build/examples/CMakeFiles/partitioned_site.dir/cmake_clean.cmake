@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_site.dir/partitioned_site.cpp.o"
+  "CMakeFiles/partitioned_site.dir/partitioned_site.cpp.o.d"
+  "partitioned_site"
+  "partitioned_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

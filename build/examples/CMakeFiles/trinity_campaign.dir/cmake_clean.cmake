@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_campaign.dir/trinity_campaign.cpp.o"
+  "CMakeFiles/trinity_campaign.dir/trinity_campaign.cpp.o.d"
+  "trinity_campaign"
+  "trinity_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

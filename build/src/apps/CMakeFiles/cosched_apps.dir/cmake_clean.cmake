@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_apps.dir/app_model.cpp.o"
+  "CMakeFiles/cosched_apps.dir/app_model.cpp.o.d"
+  "CMakeFiles/cosched_apps.dir/catalog.cpp.o"
+  "CMakeFiles/cosched_apps.dir/catalog.cpp.o.d"
+  "libcosched_apps.a"
+  "libcosched_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_cluster.dir/machine.cpp.o"
+  "CMakeFiles/cosched_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/cosched_cluster.dir/node.cpp.o"
+  "CMakeFiles/cosched_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/cosched_cluster.dir/topology.cpp.o"
+  "CMakeFiles/cosched_cluster.dir/topology.cpp.o.d"
+  "libcosched_cluster.a"
+  "libcosched_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pairing.cpp" "src/core/CMakeFiles/cosched_core.dir/pairing.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/pairing.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/core/CMakeFiles/cosched_core.dir/priority.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/priority.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/cosched_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/core/CMakeFiles/cosched_core.dir/strategies.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/strategies.cpp.o.d"
+  "/root/repo/src/core/strategy_common.cpp" "src/core/CMakeFiles/cosched_core.dir/strategy_common.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/strategy_common.cpp.o.d"
+  "/root/repo/src/core/walltime_predictor.cpp" "src/core/CMakeFiles/cosched_core.dir/walltime_predictor.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/walltime_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interference/CMakeFiles/cosched_interference.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cosched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cosched_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

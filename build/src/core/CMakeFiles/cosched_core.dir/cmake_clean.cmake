@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_core.dir/pairing.cpp.o"
+  "CMakeFiles/cosched_core.dir/pairing.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/priority.cpp.o"
+  "CMakeFiles/cosched_core.dir/priority.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/profile.cpp.o"
+  "CMakeFiles/cosched_core.dir/profile.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/strategies.cpp.o"
+  "CMakeFiles/cosched_core.dir/strategies.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/strategy_common.cpp.o"
+  "CMakeFiles/cosched_core.dir/strategy_common.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/walltime_predictor.cpp.o"
+  "CMakeFiles/cosched_core.dir/walltime_predictor.cpp.o.d"
+  "libcosched_core.a"
+  "libcosched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interference/corun_model.cpp" "src/interference/CMakeFiles/cosched_interference.dir/corun_model.cpp.o" "gcc" "src/interference/CMakeFiles/cosched_interference.dir/corun_model.cpp.o.d"
+  "/root/repo/src/interference/estimator.cpp" "src/interference/CMakeFiles/cosched_interference.dir/estimator.cpp.o" "gcc" "src/interference/CMakeFiles/cosched_interference.dir/estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cosched_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

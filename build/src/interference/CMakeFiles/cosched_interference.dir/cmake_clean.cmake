@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_interference.dir/corun_model.cpp.o"
+  "CMakeFiles/cosched_interference.dir/corun_model.cpp.o.d"
+  "CMakeFiles/cosched_interference.dir/estimator.cpp.o"
+  "CMakeFiles/cosched_interference.dir/estimator.cpp.o.d"
+  "libcosched_interference.a"
+  "libcosched_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

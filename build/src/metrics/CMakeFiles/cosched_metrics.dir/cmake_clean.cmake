@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/cosched_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/cosched_metrics.dir/validate.cpp.o"
+  "CMakeFiles/cosched_metrics.dir/validate.cpp.o.d"
+  "libcosched_metrics.a"
+  "libcosched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_sim.dir/engine.cpp.o"
+  "CMakeFiles/cosched_sim.dir/engine.cpp.o.d"
+  "libcosched_sim.a"
+  "libcosched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

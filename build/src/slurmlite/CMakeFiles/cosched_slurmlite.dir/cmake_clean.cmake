@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_slurmlite.dir/config.cpp.o"
+  "CMakeFiles/cosched_slurmlite.dir/config.cpp.o.d"
+  "CMakeFiles/cosched_slurmlite.dir/controller.cpp.o"
+  "CMakeFiles/cosched_slurmlite.dir/controller.cpp.o.d"
+  "CMakeFiles/cosched_slurmlite.dir/execution.cpp.o"
+  "CMakeFiles/cosched_slurmlite.dir/execution.cpp.o.d"
+  "CMakeFiles/cosched_slurmlite.dir/formatters.cpp.o"
+  "CMakeFiles/cosched_slurmlite.dir/formatters.cpp.o.d"
+  "CMakeFiles/cosched_slurmlite.dir/partitions.cpp.o"
+  "CMakeFiles/cosched_slurmlite.dir/partitions.cpp.o.d"
+  "CMakeFiles/cosched_slurmlite.dir/report.cpp.o"
+  "CMakeFiles/cosched_slurmlite.dir/report.cpp.o.d"
+  "CMakeFiles/cosched_slurmlite.dir/simulation.cpp.o"
+  "CMakeFiles/cosched_slurmlite.dir/simulation.cpp.o.d"
+  "libcosched_slurmlite.a"
+  "libcosched_slurmlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_slurmlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

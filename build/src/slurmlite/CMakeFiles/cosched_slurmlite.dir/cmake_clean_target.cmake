@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcosched_slurmlite.a"
+)

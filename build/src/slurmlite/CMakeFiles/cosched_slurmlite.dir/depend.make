@@ -1,0 +1,2 @@
+# Empty dependencies file for cosched_slurmlite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_trace.dir/gantt.cpp.o"
+  "CMakeFiles/cosched_trace.dir/gantt.cpp.o.d"
+  "CMakeFiles/cosched_trace.dir/swf.cpp.o"
+  "CMakeFiles/cosched_trace.dir/swf.cpp.o.d"
+  "libcosched_trace.a"
+  "libcosched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

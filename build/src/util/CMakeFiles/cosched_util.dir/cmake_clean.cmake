@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_util.dir/check.cpp.o"
+  "CMakeFiles/cosched_util.dir/check.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/flags.cpp.o"
+  "CMakeFiles/cosched_util.dir/flags.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/json.cpp.o"
+  "CMakeFiles/cosched_util.dir/json.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/log.cpp.o"
+  "CMakeFiles/cosched_util.dir/log.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/rng.cpp.o"
+  "CMakeFiles/cosched_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/stats.cpp.o"
+  "CMakeFiles/cosched_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/table.cpp.o"
+  "CMakeFiles/cosched_util.dir/table.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/types.cpp.o"
+  "CMakeFiles/cosched_util.dir/types.cpp.o.d"
+  "libcosched_util.a"
+  "libcosched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_workload.dir/campaign.cpp.o"
+  "CMakeFiles/cosched_workload.dir/campaign.cpp.o.d"
+  "CMakeFiles/cosched_workload.dir/generator.cpp.o"
+  "CMakeFiles/cosched_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/cosched_workload.dir/job.cpp.o"
+  "CMakeFiles/cosched_workload.dir/job.cpp.o.d"
+  "libcosched_workload.a"
+  "libcosched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/cosched_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/cancel_test.cpp" "tests/CMakeFiles/cosched_tests.dir/cancel_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/cancel_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/cosched_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/cosched_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/cosched_tests.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/energy_test.cpp.o.d"
+  "/root/repo/tests/estimator_test.cpp" "tests/CMakeFiles/cosched_tests.dir/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/estimator_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/cosched_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/cosched_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interference_test.cpp" "tests/CMakeFiles/cosched_tests.dir/interference_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/interference_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/cosched_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/lifecycle_fuzz_test.cpp" "tests/CMakeFiles/cosched_tests.dir/lifecycle_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/lifecycle_fuzz_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/cosched_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/partitions_test.cpp" "tests/CMakeFiles/cosched_tests.dir/partitions_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/partitions_test.cpp.o.d"
+  "/root/repo/tests/predictor_test.cpp" "tests/CMakeFiles/cosched_tests.dir/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/predictor_test.cpp.o.d"
+  "/root/repo/tests/priority_test.cpp" "tests/CMakeFiles/cosched_tests.dir/priority_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/priority_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/cosched_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/slurmlite_test.cpp" "tests/CMakeFiles/cosched_tests.dir/slurmlite_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/slurmlite_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/cosched_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/cosched_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/cosched_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/validate_test.cpp" "tests/CMakeFiles/cosched_tests.dir/validate_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/validate_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/cosched_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/cosched_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slurmlite/CMakeFiles/cosched_slurmlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cosched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cosched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cosched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/interference/CMakeFiles/cosched_interference.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cosched_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cosched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

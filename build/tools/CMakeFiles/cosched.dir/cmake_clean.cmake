@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched.dir/cosched_cli.cpp.o"
+  "CMakeFiles/cosched.dir/cosched_cli.cpp.o.d"
+  "cosched"
+  "cosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
