@@ -47,11 +47,10 @@ int main(int argc, char** argv) {
     const auto &se_base = base[1], &se_co = co[1];
     const auto &to_base = base[2], &to_co = co[2];
 
-    auto pct = [](const bench::SweepPoint& base,
-                  const bench::SweepPoint& co) {
+    auto pct = [](const bench::SweepPoint& lhs, const bench::SweepPoint& rhs) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%+.1f%%",
-                    (co.mean / base.mean - 1.0) * 100.0);
+                    (rhs.mean / lhs.mean - 1.0) * 100.0);
       return std::string(buf);
     };
 

@@ -48,7 +48,7 @@ struct AppModel {
   AppId id = -1;
   std::string name;
   AppClass app_class = AppClass::kBalanced;
-  StressVector stress;
+  StressVector stress{};
 
   /// Serial fraction for the Amdahl/latency scaling curve. The paper's
   /// motivation is exactly that such apps cannot saturate all cores/nodes.

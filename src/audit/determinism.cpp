@@ -1,0 +1,29 @@
+#include "audit/determinism.hpp"
+
+namespace cosched::audit {
+
+void mix_jobs(Fnv64& hash, const workload::JobList& jobs) {
+  hash.mix_u64(jobs.size());
+  for (const workload::Job& job : jobs) {
+    hash.mix_i64(job.id)
+        .mix_byte(static_cast<std::uint8_t>(job.state))
+        .mix_i64(job.submit_time)
+        .mix_i64(job.start_time)
+        .mix_i64(job.end_time)
+        .mix_byte(static_cast<std::uint8_t>(job.alloc_kind))
+        .mix_double(job.observed_dilation)
+        .mix_i64(job.requeues);
+    hash.mix_u64(job.alloc_nodes.size());
+    for (NodeId n : job.alloc_nodes) hash.mix_i64(n);
+  }
+}
+
+DeterminismReport check_determinism(
+    const std::function<RunDigest()>& run_once) {
+  DeterminismReport report;
+  report.first = run_once();
+  report.second = run_once();
+  return report;
+}
+
+}  // namespace cosched::audit

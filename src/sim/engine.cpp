@@ -40,6 +40,19 @@ bool Engine::cancel(EventId id) {
 
 bool Engine::is_cancelled(EventId) const { return false; }
 
+void Engine::add_observer(EventObserver* observer) {
+  COSCHED_CHECK(observer != nullptr);
+  COSCHED_CHECK(std::find(observers_.begin(), observers_.end(), observer) ==
+                observers_.end());
+  observers_.push_back(observer);
+}
+
+void Engine::remove_observer(EventObserver* observer) {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  COSCHED_CHECK_MSG(it != observers_.end(), "observer was never registered");
+  observers_.erase(it);
+}
+
 void Engine::pop_entry(Entry& out) {
   std::pop_heap(heap_.begin(), heap_.end());
   out = std::move(heap_.back());
@@ -58,6 +71,9 @@ bool Engine::step() {
   --live_events_;
   ++executed_;
   entry.fn();
+  for (EventObserver* observer : observers_) {
+    observer->on_event_executed(entry.time, entry.priority, entry.id);
+  }
   return true;
 }
 

@@ -33,6 +33,16 @@ enum class EventPriority : std::int8_t {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// Observes the executed event stream. Observers are notified after each
+/// event's callback returns, with the event's metadata; the audit layer
+/// uses this seam for invariant validation and determinism hashing.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  virtual void on_event_executed(SimTime when, EventPriority priority,
+                                 EventId id) = 0;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -69,6 +79,12 @@ class Engine {
   std::size_t pending() const { return live_events_; }
   std::size_t executed() const { return executed_; }
 
+  /// Registers an observer notified after every executed event, in
+  /// registration order. The observer must outlive the engine or be
+  /// removed first; adding the same observer twice is an error.
+  void add_observer(EventObserver* observer);
+  void remove_observer(EventObserver* observer);
+
  private:
   struct Entry {
     SimTime time;
@@ -96,6 +112,7 @@ class Engine {
   EventId next_id_ = 1;
   std::size_t live_events_ = 0;
   std::size_t executed_ = 0;
+  std::vector<EventObserver*> observers_;
 
   bool is_cancelled(EventId id) const;
   void pop_entry(Entry& out);

@@ -17,11 +17,11 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
       execution_(machine_, catalog_, corun_),
       scheduler_(core::make_scheduler(config.strategy,
                                       config.scheduler_options)),
+      estimator_(catalog.size()),
+      checkpoint_interval_(config.checkpoint_interval),
       queue_policy_(config.queue_policy),
       priority_(config.priority_weights, config.nodes),
-      requeue_on_failure_(config.requeue_on_failure),
-      estimator_(catalog.size()),
-      checkpoint_interval_(config.checkpoint_interval) {
+      requeue_on_failure_(config.requeue_on_failure) {
   COSCHED_REQUIRE(config.checkpoint_interval >= 0,
                   "checkpoint interval must be non-negative");
   for (const NodeFailure& failure : config.failures) {
@@ -77,6 +77,23 @@ workload::JobList Controller::job_records() const {
   out.reserve(submit_order_.size());
   for (JobId id : submit_order_) out.push_back(jobs_.at(id));
   return out;
+}
+
+audit::StateCounts Controller::audit_state_counts() const {
+  audit::StateCounts counts;
+  // Counting is order-independent, so iterating the hash map is safe here.
+  for (const auto& [id, job] : jobs_) {  // cosched-lint: allow(no-unordered-iteration)
+    (void)id;
+    switch (job.state) {
+      case workload::JobState::kPending: ++counts.pending; break;
+      case workload::JobState::kHeld: ++counts.held; break;
+      case workload::JobState::kRunning: ++counts.running; break;
+      case workload::JobState::kCompleted: ++counts.completed; break;
+      case workload::JobState::kTimeout: ++counts.timeout; break;
+      case workload::JobState::kCancelled: ++counts.cancelled; break;
+    }
+  }
+  return counts;
 }
 
 std::vector<JobId> Controller::running_ids() const {
@@ -200,9 +217,11 @@ void Controller::run_scheduler_pass() {
   ++stats_.scheduler_passes;
   in_pass_ = true;
   execution_.sync(now());
-  const auto t0 = std::chrono::steady_clock::now();
+  // Host clock measures real decision cost only; it never feeds back into
+  // simulated state, so it cannot break determinism.
+  const auto t0 = std::chrono::steady_clock::now();  // cosched-lint: allow(no-wallclock)
   scheduler_->schedule(*this);
-  stats_.scheduler_cpu += std::chrono::steady_clock::now() - t0;
+  stats_.scheduler_cpu += std::chrono::steady_clock::now() - t0;  // cosched-lint: allow(no-wallclock)
   in_pass_ = false;
   // Starts changed co-residency; settle rates and completion events once
   // per pass rather than per start.

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "apps/catalog.hpp"
+#include "audit/auditor.hpp"
 #include "cluster/machine.hpp"
 #include "core/priority.hpp"
 #include "core/scheduler.hpp"
@@ -76,7 +77,8 @@ struct ControllerStats {
   std::chrono::nanoseconds scheduler_cpu{0};
 };
 
-class Controller final : public core::SchedulerHost {
+class Controller final : public core::SchedulerHost,
+                         public audit::SystemView {
  public:
   Controller(sim::Engine& engine, const ControllerConfig& config,
              const apps::Catalog& catalog);
@@ -127,6 +129,16 @@ class Controller final : public core::SchedulerHost {
 
   /// Decayed per-user usage for fair-share (read-only access for tools).
   const core::UsageTracker& usage() const { return usage_; }
+
+  // --- audit::SystemView -------------------------------------------------------
+  const cluster::Machine& audit_machine() const override { return machine_; }
+  audit::StateCounts audit_state_counts() const override;
+  std::vector<JobId> audit_running_jobs() const override {
+    return running_ids();
+  }
+  const workload::Job& audit_job(JobId id) const override { return job(id); }
+  std::size_t audit_queue_length() const override { return pending_.size(); }
+  std::size_t audit_submitted() const override { return jobs_.size(); }
 
  private:
   workload::Job& job_mutable(JobId id);

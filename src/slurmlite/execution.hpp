@@ -10,7 +10,7 @@
 // events.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "apps/catalog.hpp"
 #include "cluster/machine.hpp"
@@ -80,7 +80,9 @@ class ExecutionModel {
   const cluster::Machine& machine_;
   const apps::Catalog& catalog_;
   const interference::CorunModel& corun_;
-  std::unordered_map<JobId, Running> running_;
+  // Ordered map: sync/refresh loops run in JobId order, so floating-point
+  // progress updates replay identically run to run (determinism audit).
+  std::map<JobId, Running> running_;
 };
 
 }  // namespace cosched::slurmlite

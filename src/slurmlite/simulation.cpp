@@ -1,15 +1,50 @@
 #include "slurmlite/simulation.hpp"
 
+#include <optional>
+
+#include "audit/auditor.hpp"
 #include "sim/engine.hpp"
 #include "util/check.hpp"
 
 namespace cosched::slurmlite {
+
+namespace {
+
+bool audit_enabled(AuditMode mode) {
+  switch (mode) {
+    case AuditMode::kOn:
+      return true;
+    case AuditMode::kOff:
+      return false;
+    case AuditMode::kAuto:
+#ifdef NDEBUG
+      return false;
+#else
+      return true;
+#endif
+  }
+  return false;
+}
+
+}  // namespace
 
 SimulationResult run_jobs(const SimulationSpec& spec,
                           const apps::Catalog& catalog,
                           const workload::JobList& jobs) {
   sim::Engine engine;
   Controller controller(engine, spec.controller, catalog);
+
+  std::optional<audit::StateAuditor> auditor;
+  if (audit_enabled(spec.audit)) {
+    auditor.emplace(controller);
+    engine.add_observer(&*auditor);
+  }
+  std::optional<audit::EventStreamHasher> hasher;
+  if (spec.hash_events) {
+    hasher.emplace();
+    engine.add_observer(&*hasher);
+  }
+
   controller.submit_all(jobs);
   engine.run();
 
@@ -19,6 +54,10 @@ SimulationResult run_jobs(const SimulationSpec& spec,
       metrics::compute(result.jobs, controller.machine_state().node_count());
   result.stats = controller.stats();
   result.events_executed = engine.executed();
+  if (hasher) {
+    audit::mix_jobs(hasher->hash(), result.jobs);
+    result.event_stream_hash = hasher->digest();
+  }
 
   // Post-run invariants: machine drained, every job reached a final state.
   controller.machine_state().check_invariants();
@@ -36,6 +75,20 @@ SimulationResult run_simulation(const SimulationSpec& spec,
   workload::Generator generator(spec.workload, catalog);
   Pcg32 rng(spec.seed, /*stream=*/0x5eed);
   return run_jobs(spec, catalog, generator.generate(rng));
+}
+
+audit::RunDigest run_digest(const SimulationSpec& spec,
+                            const apps::Catalog& catalog) {
+  SimulationSpec hashed = spec;
+  hashed.hash_events = true;
+  const SimulationResult result = run_simulation(hashed, catalog);
+  return audit::RunDigest{result.event_stream_hash, result.events_executed};
+}
+
+audit::DeterminismReport check_determinism(const SimulationSpec& spec,
+                                           const apps::Catalog& catalog) {
+  return audit::check_determinism(
+      [&] { return run_digest(spec, catalog); });
 }
 
 }  // namespace cosched::slurmlite

@@ -6,16 +6,29 @@
 #include <cstdint>
 
 #include "apps/catalog.hpp"
+#include "audit/determinism.hpp"
 #include "metrics/metrics.hpp"
 #include "slurmlite/controller.hpp"
 #include "workload/generator.hpp"
 
 namespace cosched::slurmlite {
 
+/// Whether the run installs the post-event invariant auditor
+/// (audit::StateAuditor). kAuto enables it in debug builds (!NDEBUG) so
+/// every debug-build test audits for free; release builds opt in with kOn.
+enum class AuditMode : std::int8_t {
+  kAuto,
+  kOn,
+  kOff,
+};
+
 struct SimulationSpec {
   ControllerConfig controller{};
   workload::GeneratorParams workload{};
   std::uint64_t seed = 1;
+  AuditMode audit = AuditMode::kAuto;
+  /// Compute SimulationResult::event_stream_hash (determinism checks).
+  bool hash_events = false;
 };
 
 struct SimulationResult {
@@ -23,6 +36,9 @@ struct SimulationResult {
   metrics::ScheduleMetrics metrics;  ///< computed over `jobs`
   ControllerStats stats;
   std::size_t events_executed = 0;
+  /// FNV-1a digest of the executed event stream folded with the final job
+  /// records; 0 unless SimulationSpec::hash_events was set.
+  std::uint64_t event_stream_hash = 0;
 };
 
 /// Generates a workload from spec.workload (seeded) and runs it.
@@ -33,5 +49,14 @@ SimulationResult run_simulation(const SimulationSpec& spec,
 SimulationResult run_jobs(const SimulationSpec& spec,
                           const apps::Catalog& catalog,
                           const workload::JobList& jobs);
+
+/// One hashed run of the seeded simulation (forces hash_events).
+audit::RunDigest run_digest(const SimulationSpec& spec,
+                            const apps::Catalog& catalog);
+
+/// Runs the same seeded simulation twice and compares the event-stream
+/// digests; a divergence means the simulator is nondeterministic.
+audit::DeterminismReport check_determinism(const SimulationSpec& spec,
+                                           const apps::Catalog& catalog);
 
 }  // namespace cosched::slurmlite

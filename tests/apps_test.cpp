@@ -62,7 +62,10 @@ TEST(Catalog, TrinityHasEightKnownApps) {
 }
 
 TEST(Catalog, TrinityStressVectorsInRange) {
-  for (const auto& app : Catalog::trinity().all()) {
+  // Keep the catalog alive: all() returns a reference into it, and the
+  // range-for would otherwise iterate a dangling vector of the temporary.
+  const Catalog c = Catalog::trinity();
+  for (const auto& app : c.all()) {
     EXPECT_GT(app.stress.issue, 0.0) << app.name;
     EXPECT_LE(app.stress.issue, 1.0) << app.name;
     EXPECT_GT(app.stress.membw, 0.0) << app.name;

@@ -110,9 +110,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(core::all_strategies()),
                        ::testing::Values(1, 2, 3)),
     [](const ::testing::TestParamInfo<std::tuple<core::StrategyKind, int>>&
-           info) {
-      return std::string(core::to_string(std::get<0>(info.param))) + "_s" +
-             std::to_string(std::get<1>(info.param));
+           p) {
+      return std::string(core::to_string(std::get<0>(p.param))) + "_s" +
+             std::to_string(std::get<1>(p.param));
     });
 
 // --- Cross-strategy orderings (the paper's qualitative results) -------------------------

@@ -161,9 +161,9 @@ TEST_P(TrinityPairProperty, PairwiseInvariants) {
 INSTANTIATE_TEST_SUITE_P(
     AllPairs, TrinityPairProperty,
     ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 8)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return "a" + std::to_string(std::get<0>(info.param)) + "_b" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& p) {
+      return "a" + std::to_string(std::get<0>(p.param)) + "_b" +
+             std::to_string(std::get<1>(p.param));
     });
 
 // Calibration acceptance (DESIGN.md): the matrix must contain both winning

@@ -1,0 +1,11 @@
+// Fixture: exact comparisons against floating-point literals.
+bool checks(double x, int n) {
+  bool a = (x == 1.0);      // cosched-lint: expect(no-float-equality)
+  bool b = (x != 0.5);      // cosched-lint: expect(no-float-equality)
+  bool c = (2.5e-3 == x);   // cosched-lint: expect(no-float-equality)
+  bool d = (x == 1.0f);     // cosched-lint: expect(no-float-equality)
+  bool e = (n == 1);        // integer comparison: clean
+  bool f = (n != 0x1F);     // hex integer: clean
+  bool g = (x > 1.0);       // ordering against a literal: clean
+  return a || b || c || d || e || f || g;
+}

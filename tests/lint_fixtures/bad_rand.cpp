@@ -1,0 +1,21 @@
+// Fixture: every banned RNG spelling must produce a no-rand finding.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::srand(42);                       // cosched-lint: expect(no-rand)
+  int a = std::rand();                  // cosched-lint: expect(no-rand)
+  std::random_device rd;                // cosched-lint: expect(no-rand)
+  double b = drand48();                 // cosched-lint: expect(no-rand)
+  return a + static_cast<int>(rd()) + static_cast<int>(b);
+}
+
+// Identifiers that merely contain the banned names must not match.
+int randomize_nothing() {
+  int strand = 1;   // not srand
+  int operand = 2;  // not rand
+  return strand + operand;
+}
+
+// Mentions inside strings and comments must not match either: "std::rand()".
+const char* doc = "call srand() then rand()";

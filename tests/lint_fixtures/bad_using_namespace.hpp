@@ -1,0 +1,8 @@
+// Fixture: namespace pollution in a header.
+#pragma once
+
+#include <string>
+
+using namespace std;  // cosched-lint: expect(no-using-namespace-std)
+
+inline string shout(const string& s) { return s + "!"; }

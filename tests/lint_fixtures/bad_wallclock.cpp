@@ -1,0 +1,23 @@
+// Fixture: wall-clock time sources must produce no-wallclock findings.
+#include <chrono>
+#include <ctime>
+
+long stamps() {
+  auto a = std::chrono::system_clock::now();           // cosched-lint: expect(no-wallclock)
+  auto b = std::chrono::steady_clock::now();           // cosched-lint: expect(no-wallclock)
+  auto c = std::chrono::high_resolution_clock::now();  // cosched-lint: expect(no-wallclock)
+  long t0 = std::time(nullptr);                        // cosched-lint: expect(no-wallclock)
+  long t1 = time(0);                                   // cosched-lint: expect(no-wallclock)
+  long t2 = time(NULL);                                // cosched-lint: expect(no-wallclock)
+  return a.time_since_epoch().count() + b.time_since_epoch().count() +
+         c.time_since_epoch().count() + t0 + t1 + t2;
+}
+
+struct Job {
+  long start = 0;
+  long wait_time(long now) const { return now - start; }
+  long time(long base) const { return base + start; }  // member named time
+};
+
+// time() with a real argument and member accessors must not match.
+long fine(const Job& job) { return job.wait_time(9) + job.time(1); }

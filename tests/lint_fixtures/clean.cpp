@@ -1,0 +1,40 @@
+// Fixture: code that superficially resembles violations but is clean.
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// Identifiers that merely contain banned substrings.
+int operand_strand(int operand, int strand) { return operand + strand; }
+
+// Banned names inside strings and comments must be ignored:
+// std::rand(), std::chrono::system_clock::now(), time(nullptr).
+const char* kDoc = "never call std::rand() or time(0) in simulation code";
+const char* kRaw = R"doc(
+  std::random_device rd;  // looks like a violation, but it is raw-string text
+)doc";
+
+// Member functions named time/rand are fine; wall-clock rule targets frees.
+struct Job {
+  long time(int scale) const { return scale * 10L; }
+  long submit_time = 0;
+};
+
+long uses_members(const Job& job) { return job.time(2) + job.submit_time; }
+
+// Digit separators must not confuse the char-literal scanner.
+long big() { return 1'000'000L + 2'500; }
+
+// Float comparisons with tolerance, and integer equality: both clean.
+bool close(double a, double b) { return (a > b ? a - b : b - a) < 1e-9; }
+bool is_one(int n) { return n == 1; }
+
+// Ordered map iteration is always fine, even in decision paths.
+long sum(const std::map<int, long>& m) {
+  long total = 0;
+  for (const auto& [key, value] : m) total += key + value;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// Fixture: header without #pragma once or a guard. cosched-lint: expect(include-guard)
+#include <vector>
+
+inline int twice(int x) { return 2 * x; }

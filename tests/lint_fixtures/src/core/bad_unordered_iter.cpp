@@ -1,0 +1,38 @@
+// Fixture: range-for over unordered containers in decision-path code
+// (the fixture path contains src/core/, which marks it decision-path).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "unordered_decl.hpp"
+
+double local_iteration() {
+  std::unordered_map<int, double> scores = {{1, 0.5}};
+  double sum = 0;
+  for (const auto& [id, score] : scores) {  // cosched-lint: expect(no-unordered-iteration)
+    sum += static_cast<double>(id) + score;
+  }
+  return sum;
+}
+
+double cross_file_iteration(const Registry& registry) {
+  double sum = 0;
+  for (const auto& [id, weight] : registry.weights_) {  // cosched-lint: expect(no-unordered-iteration)
+    sum += static_cast<double>(id) * weight;
+  }
+  for (long id : registry.seen_) {  // cosched-lint: expect(no-unordered-iteration)
+    sum += static_cast<double>(id);
+  }
+  return sum;
+}
+
+// Ordered iteration and lookups stay clean.
+int fine(const std::vector<int>& order,
+         const std::unordered_map<int, double>& scores) {
+  int hits = 0;
+  for (int id : order) {
+    hits += scores.count(id) > 0 ? 1 : 0;
+  }
+  for (int i = 0; i < 3; ++i) hits += i;  // classic for: clean
+  return hits;
+}

@@ -1,0 +1,11 @@
+// Fixture: unordered containers declared in a header; iterating them in a
+// sibling .cpp must still be caught (cross-file name collection).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+struct Registry {
+  std::unordered_map<int, double> weights_;
+  std::unordered_set<long> seen_;
+};

@@ -1,0 +1,17 @@
+// Fixture: real violations silenced with allow() annotations.
+// No expect() lines here — the self-test asserts zero findings.
+#include <chrono>
+#include <cstdlib>
+
+int suppressed_rand() {
+  return std::rand();  // cosched-lint: allow(no-rand)
+}
+
+long suppressed_clock() {
+  auto now = std::chrono::steady_clock::now();  // cosched-lint: allow(*)
+  return now.time_since_epoch().count();
+}
+
+bool suppressed_float_eq(double x) {
+  return x == 0.25;  // cosched-lint: allow(no-float-equality)
+}

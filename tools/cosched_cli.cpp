@@ -7,12 +7,15 @@
 //                    [--json out.json]
 //   cosched compare  --config FILE [--jobs N] [--seed N] [--csv]
 //   cosched validate --workload trace.swf [--nodes N]
+//   cosched audit    [--strategy NAME|all] [--seed N] [--jobs N]
+//                    [--campaign trinity|membound|compute] [--config FILE]
 //   cosched config   [--config FILE]      # print effective configuration
 //
 // The config file is the slurm.conf-style format (see slurmlite/config.hpp);
 // without --config, built-in defaults apply (32 nodes, 2-way SMT,
 // cobackfill).
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 
 #include "metrics/validate.hpp"
@@ -31,7 +34,7 @@ namespace {
 using namespace cosched;
 
 int usage() {
-  std::cerr << "usage: cosched <sim|compare|validate|config> [flags]\n"
+  std::cerr << "usage: cosched <sim|compare|validate|audit|config> [flags]\n"
                "run with a subcommand; see the header of tools/cosched_cli"
                ".cpp or README.md for flag details\n";
   return 2;
@@ -184,6 +187,53 @@ int cmd_validate(const Flags& flags) {
   return 1;
 }
 
+// Runs every requested strategy twice with the same seed, with the state
+// auditor forced on, and compares the FNV-1a digests of the two event
+// streams.  Any divergence means hidden nondeterminism in a decision path.
+int cmd_audit(const Flags& flags) {
+  const auto catalog = apps::Catalog::trinity();
+  auto config = load_config(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string which = flags.get_string("strategy", "all");
+
+  std::vector<core::StrategyKind> strategies;
+  if (which == "all") {
+    for (auto kind : core::all_strategies()) strategies.push_back(kind);
+  } else {
+    strategies.push_back(core::parse_strategy(which));
+  }
+
+  int divergent = 0;
+  for (auto kind : strategies) {
+    config.strategy = kind;
+    slurmlite::SimulationSpec spec;
+    spec.controller = config;
+    spec.workload = campaign_params(flags, config.nodes);
+    spec.seed = seed;
+    spec.audit = slurmlite::AuditMode::kOn;
+    const auto report = slurmlite::check_determinism(spec, catalog);
+    std::cout << std::left << std::setw(14) << core::to_string(kind)
+              << " seed=" << seed << "  events=" << report.first.events
+              << "  hash=" << std::hex << std::setfill('0') << std::setw(16)
+              << report.first.hash << std::dec << std::setfill(' ');
+    if (report.deterministic()) {
+      std::cout << "  deterministic\n";
+    } else {
+      ++divergent;
+      std::cout << "  DIVERGED (second run: events=" << report.second.events
+                << " hash=" << std::hex << std::setfill('0') << std::setw(16)
+                << report.second.hash << std::dec << std::setfill(' ')
+                << ")\n";
+    }
+  }
+  if (divergent > 0) {
+    std::cerr << divergent << " strategy(ies) produced divergent event "
+                 "streams across identical seeded runs\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_config(const Flags& flags) {
   std::cout << slurmlite::format_config(load_config(flags));
   return 0;
@@ -203,6 +253,8 @@ int main(int argc, char** argv) {
       rc = cmd_compare(flags);
     } else if (command == "validate") {
       rc = cmd_validate(flags);
+    } else if (command == "audit") {
+      rc = cmd_audit(flags);
     } else if (command == "config") {
       rc = cmd_config(flags);
     } else {

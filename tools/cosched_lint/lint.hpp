@@ -1,0 +1,76 @@
+// cosched_lint: project-specific static analysis for the CoSched tree.
+//
+// The simulator's evidentiary value rests on determinism, so the lint
+// bans the classic ways nondeterminism leaks into C++ simulation code and
+// a few hygiene hazards:
+//
+//   no-rand                  rand/srand/drand48/random_device/random_shuffle
+//                            (use cosched::Pcg32, util/rng.hpp)
+//   no-wallclock             chrono system/steady/high_resolution clocks,
+//                            gettimeofday/clock_gettime, and argless time()
+//                            (use sim::Engine::now())
+//   no-unordered-iteration   range-for over an unordered_map/unordered_set
+//                            in decision-path code (src/core, src/sim,
+//                            src/slurmlite) — hash order is not specified
+//   no-float-equality        == / != against a floating-point literal
+//   no-using-namespace-std   `using namespace std` in a header
+//   include-guard            header lacks #pragma once (or a classic guard)
+//
+// A finding on a line is silenced by a trailing
+//   // cosched-lint: allow(<rule>[, <rule>...])    (or allow(*))
+// comment on that same line. Fixture files for the self-test declare the
+// findings they must produce with
+//   // cosched-lint: expect(<rule>)
+//
+// The tool is standalone (no cosched library dependencies) so it can lint
+// the very code that implements the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cosched::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// A source file prepared for scanning: `raw` is the text as written
+/// (suppression and expectation comments are read from here); `code` has
+/// comments and string/character literals blanked out, preserving line
+/// and column positions.
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+bool is_header(const std::string& path);
+/// True for the directories whose iteration order feeds scheduling
+/// decisions: src/core/, src/sim/, src/slurmlite/.
+bool in_decision_path(const std::string& path);
+
+/// Reads and preprocesses one file. Throws std::runtime_error on I/O error.
+SourceFile load_source(const std::string& path);
+
+/// Lints the whole file set. A single call sees every file so that
+/// unordered containers declared in one file (a header) are recognised
+/// when iterated in another (its .cpp). Findings are sorted by
+/// (file, line, rule); suppressed findings are dropped.
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files);
+
+/// A `cosched-lint: expect(<rule>)` annotation in a fixture file.
+struct Expectation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+};
+
+std::vector<Expectation> expectations(const SourceFile& file);
+
+const std::vector<std::string>& rule_names();
+
+}  // namespace cosched::lint

@@ -1,0 +1,199 @@
+// cosched_lint command-line driver.
+//
+//   cosched_lint [--root DIR] [paths...]   lint src/ tools/ bench/ under
+//                                          DIR (default .), or the given
+//                                          files/directories; exit 1 on
+//                                          findings
+//   cosched_lint --self-test DIR           scan fixture files under DIR and
+//                                          verify the produced findings
+//                                          match their expect() annotations
+//   cosched_lint --list-rules              print the rule names
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using cosched::lint::Finding;
+using cosched::lint::SourceFile;
+
+namespace {
+
+bool has_source_extension(const fs::path& path) {
+  static const std::set<std::string> kExtensions = {
+      ".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".hxx"};
+  return kExtensions.count(path.extension().string()) > 0;
+}
+
+bool skip_path(const std::string& generic, bool include_fixtures) {
+  if (generic.find("/.git/") != std::string::npos) return true;
+  if (generic.find("/build") != std::string::npos) return true;
+  if (!include_fixtures &&
+      generic.find("lint_fixtures") != std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> collect(const std::string& target,
+                                 bool include_fixtures) {
+  std::vector<std::string> out;
+  const fs::path root(target);
+  if (fs::is_regular_file(root)) {
+    out.push_back(root.generic_string());
+    return out;
+  }
+  if (!fs::is_directory(root)) return out;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string generic = entry.path().generic_string();
+    if (skip_path(generic, include_fixtures)) continue;
+    if (has_source_extension(entry.path())) out.push_back(generic);
+  }
+  return out;
+}
+
+std::vector<SourceFile> load_all(const std::vector<std::string>& paths) {
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    files.push_back(cosched::lint::load_source(path));
+  }
+  return files;
+}
+
+int run_self_test(const std::string& dir) {
+  std::vector<std::string> paths = collect(dir, /*include_fixtures=*/true);
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::cerr << "cosched_lint: no fixture files under " << dir << "\n";
+    return 2;
+  }
+  const std::vector<SourceFile> files = load_all(paths);
+
+  using Key = std::tuple<std::string, int, std::string>;  // file, line, rule
+  std::set<Key> expected;
+  for (const SourceFile& file : files) {
+    for (const auto& e : cosched::lint::expectations(file)) {
+      expected.insert({e.file, e.line, e.rule});
+    }
+  }
+  std::set<Key> produced;
+  for (const Finding& f : cosched::lint::run_lint(files)) {
+    produced.insert({f.file, f.line, f.rule});
+  }
+
+  int mismatches = 0;
+  for (const Key& k : expected) {
+    if (!produced.count(k)) {
+      ++mismatches;
+      std::cerr << "MISSING  " << std::get<0>(k) << ":" << std::get<1>(k)
+                << " expected [" << std::get<2>(k) << "] was not produced\n";
+    }
+  }
+  for (const Key& k : produced) {
+    if (!expected.count(k)) {
+      ++mismatches;
+      std::cerr << "SPURIOUS " << std::get<0>(k) << ":" << std::get<1>(k)
+                << " produced [" << std::get<2>(k)
+                << "] without an expect() annotation\n";
+    }
+  }
+  if (mismatches > 0) {
+    std::cerr << "cosched_lint self-test FAILED: " << mismatches
+              << " mismatch(es)\n";
+    return 1;
+  }
+  std::cout << "cosched_lint self-test OK: " << expected.size()
+            << " expected finding(s) matched across " << files.size()
+            << " fixture file(s)\n";
+  return 0;
+}
+
+int run_tree(const std::vector<std::string>& targets) {
+  std::vector<std::string> paths;
+  for (const std::string& target : targets) {
+    const auto collected = collect(target, /*include_fixtures=*/false);
+    paths.insert(paths.end(), collected.begin(), collected.end());
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  if (paths.empty()) {
+    std::cerr << "cosched_lint: no source files to scan\n";
+    return 2;
+  }
+  const std::vector<Finding> findings =
+      cosched::lint::run_lint(load_all(paths));
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << findings.size() << " finding(s) in " << paths.size()
+              << " scanned file(s); silence intentional uses with "
+                 "// cosched-lint: allow(<rule>)\n";
+    return 1;
+  }
+  std::cout << "cosched_lint: " << paths.size() << " file(s) clean\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string self_test_dir;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& flag) -> std::string {
+      if (arg.size() > flag.size() && arg.rfind(flag + "=", 0) == 0) {
+        return arg.substr(flag.size() + 1);
+      }
+      if (i + 1 >= argc) {
+        std::cerr << "cosched_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root" || arg.rfind("--root=", 0) == 0) {
+      root = value("--root");
+    } else if (arg == "--self-test" || arg.rfind("--self-test=", 0) == 0) {
+      self_test_dir = value("--self-test");
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : cosched::lint::rule_names()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: cosched_lint [--root DIR] [paths...] | "
+                   "--self-test DIR | --list-rules\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cosched_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  try {
+    if (!self_test_dir.empty()) return run_self_test(self_test_dir);
+    std::vector<std::string> targets = positional;
+    if (targets.empty()) {
+      for (const char* sub : {"src", "tools", "bench"}) {
+        const fs::path p = fs::path(root) / sub;
+        if (fs::exists(p)) targets.push_back(p.generic_string());
+      }
+    }
+    return run_tree(targets);
+  } catch (const std::exception& e) {
+    std::cerr << "cosched_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
