@@ -11,25 +11,32 @@ int main(int argc, char** argv) {
   const std::vector<double> thetas{0.0,  0.10, 0.30, 0.43,
                                    0.50, 0.60, 0.70, 0.80};
 
-  Table t({"theta", "sched eff", "comp eff", "co-starts", "mean dilation",
-           "shared node-h"});
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
   for (double theta : thetas) {
     slurmlite::SimulationSpec spec;
     spec.controller.nodes = env.nodes;
     spec.controller.strategy = core::StrategyKind::kCoBackfill;
     spec.controller.scheduler_options.co.pairing_threshold = theta;
     spec.workload = workload::trinity_campaign(env.nodes, env.jobs);
-    const auto points = bench::sweep_metrics(
-        spec, catalog, env.seeds,
-        {[](const auto& r) { return r.metrics.scheduling_efficiency; },
-         [](const auto& r) { return r.metrics.computational_efficiency; },
-         [](const auto& r) {
-           return static_cast<double>(r.stats.secondary_starts);
-         },
-         [](const auto& r) { return r.metrics.mean_dilation; },
-         [](const auto& r) { return r.metrics.shared_node_s / 3600.0; }});
+    protos.push_back(std::move(spec));
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.scheduling_efficiency; },
+       [](const auto& r) { return r.metrics.computational_efficiency; },
+       [](const auto& r) {
+         return static_cast<double>(r.stats.secondary_starts);
+       },
+       [](const auto& r) { return r.metrics.mean_dilation; },
+       [](const auto& r) { return r.metrics.shared_node_s / 3600.0; }});
+
+  Table t({"theta", "sched eff", "comp eff", "co-starts", "mean dilation",
+           "shared node-h"});
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const auto& points = grid[i];
     t.row()
-        .add(theta, 2)
+        .add(thetas[i], 2)
         .add(points[0].mean, 3)
         .add(points[1].mean, 3)
         .add(points[2].mean, 1)

@@ -21,12 +21,13 @@ int main(int argc, char** argv) {
                         {"tight (1.1-1.3)", 1.1, 1.3},
                         {"default (1.5-3.0)", 1.5, 3.0},
                         {"sloppy (2.0-6.0)", 2.0, 6.0}};
+  const std::vector<core::StrategyKind> strategies{
+      core::StrategyKind::kEasyBackfill, core::StrategyKind::kCoBackfill};
 
-  Table t({"estimate band", "strategy", "sched eff", "mean wait (min)",
-           "co-starts", "timeouts"});
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
   for (const auto& band : bands) {
-    for (auto kind : {core::StrategyKind::kEasyBackfill,
-                      core::StrategyKind::kCoBackfill}) {
+    for (auto kind : strategies) {
       slurmlite::SimulationSpec spec;
       spec.controller.nodes = env.nodes;
       spec.controller.strategy = kind;
@@ -36,16 +37,26 @@ int main(int argc, char** argv) {
       // Keep the no-overhead guarantee: cap dilation at the band floor.
       spec.controller.scheduler_options.co.max_dilation =
           std::min(1.40, band.lo);
-      const auto points = bench::sweep_metrics(
-          spec, catalog, env.seeds,
-          {[](const auto& r) { return r.metrics.scheduling_efficiency; },
-           [](const auto& r) { return r.metrics.mean_wait_s / 60.0; },
-           [](const auto& r) {
-             return static_cast<double>(r.stats.secondary_starts);
-           },
-           [](const auto& r) {
-             return static_cast<double>(r.metrics.jobs_timeout);
-           }});
+      protos.push_back(std::move(spec));
+    }
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.scheduling_efficiency; },
+       [](const auto& r) { return r.metrics.mean_wait_s / 60.0; },
+       [](const auto& r) {
+         return static_cast<double>(r.stats.secondary_starts);
+       },
+       [](const auto& r) {
+         return static_cast<double>(r.metrics.jobs_timeout);
+       }});
+
+  Table t({"estimate band", "strategy", "sched eff", "mean wait (min)",
+           "co-starts", "timeouts"});
+  std::size_t p = 0;
+  for (const auto& band : bands) {
+    for (auto kind : strategies) {
+      const auto& points = grid[p++];
       t.row()
           .add(band.label)
           .add(core::to_string(kind))

@@ -9,8 +9,6 @@ int main(int argc, char** argv) {
   const auto env = bench::BenchEnv::from_flags(flags);
   const auto catalog = apps::Catalog::trinity();
 
-  Table t({"SMT degree", "dilation cap", "sched eff", "comp eff",
-           "co-starts", "mean dilation", "timeouts"});
   struct Point {
     int smt;
     double cap;
@@ -19,28 +17,40 @@ int main(int argc, char** argv) {
   // safety gate?" — they trade the no-overhead guarantee for insight, so
   // the workload's estimate floor (1.5) no longer covers the cap and a few
   // timeouts may appear.
-  for (const Point p : {Point{1, 1.4}, Point{2, 1.4}, Point{4, 1.4},
-                        Point{2, 1.8}, Point{4, 1.8}}) {
+  const std::vector<Point> grid_points{Point{1, 1.4}, Point{2, 1.4},
+                                       Point{4, 1.4}, Point{2, 1.8},
+                                       Point{4, 1.8}};
+
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
+  for (const Point& p : grid_points) {
     slurmlite::SimulationSpec spec;
     spec.controller.nodes = env.nodes;
     spec.controller.node_config.smt_per_core = p.smt;
     spec.controller.strategy = core::StrategyKind::kCoBackfill;
     spec.controller.scheduler_options.co.max_dilation = p.cap;
     spec.workload = workload::trinity_campaign(env.nodes, env.jobs);
-    const auto points = bench::sweep_metrics(
-        spec, catalog, env.seeds,
-        {[](const auto& r) { return r.metrics.scheduling_efficiency; },
-         [](const auto& r) { return r.metrics.computational_efficiency; },
-         [](const auto& r) {
-           return static_cast<double>(r.stats.secondary_starts);
-         },
-         [](const auto& r) { return r.metrics.mean_dilation; },
-         [](const auto& r) {
-           return static_cast<double>(r.metrics.jobs_timeout);
-         }});
+    protos.push_back(std::move(spec));
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.scheduling_efficiency; },
+       [](const auto& r) { return r.metrics.computational_efficiency; },
+       [](const auto& r) {
+         return static_cast<double>(r.stats.secondary_starts);
+       },
+       [](const auto& r) { return r.metrics.mean_dilation; },
+       [](const auto& r) {
+         return static_cast<double>(r.metrics.jobs_timeout);
+       }});
+
+  Table t({"SMT degree", "dilation cap", "sched eff", "comp eff",
+           "co-starts", "mean dilation", "timeouts"});
+  for (std::size_t i = 0; i < grid_points.size(); ++i) {
+    const auto& points = grid[i];
     t.row()
-        .add(p.smt)
-        .add(p.cap, 1)
+        .add(grid_points[i].smt)
+        .add(grid_points[i].cap, 1)
         .add(points[0].mean, 3)
         .add(points[1].mean, 3)
         .add(points[2].mean, 1)

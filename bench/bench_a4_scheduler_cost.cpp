@@ -1,7 +1,10 @@
 // R-A4: scheduler decision-path cost (host wall-clock, google-benchmark).
 // Supports the paper's "no overhead" claim on its second axis: the
 // co-allocation-aware passes must not be meaningfully more expensive per
-// decision than their baselines, across queue depths.
+// decision than their baselines, across queue depths — and, since the
+// Machine free-capacity index, across machine sizes: the node-count sweep
+// (second Args dimension) measures that candidate scans now walk free
+// nodes instead of all nodes.
 #include <benchmark/benchmark.h>
 
 #include "core/strategies.hpp"
@@ -49,8 +52,8 @@ std::unique_ptr<FakeHost> make_scenario(int nodes, int depth) {
 }
 
 void run_strategy(benchmark::State& state, core::StrategyKind kind) {
-  const int nodes = 32;
-  const int depth = static_cast<int>(state.range(0));
+  const int nodes = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
   const auto scheduler = core::make_scheduler(kind);
   for (auto _ : state) {
     state.PauseTiming();
@@ -59,8 +62,17 @@ void run_strategy(benchmark::State& state, core::StrategyKind kind) {
     scheduler->schedule(*host);
     benchmark::DoNotOptimize(host->starts().size());
   }
-  state.SetLabel(std::string(core::to_string(kind)) + " depth=" +
-                 std::to_string(depth));
+  state.SetLabel(std::string(core::to_string(kind)) + " nodes=" +
+                 std::to_string(nodes) + " depth=" + std::to_string(depth));
+}
+
+// First Args value: machine size (nodes); second: pending-queue depth.
+// The depth sweep holds nodes at the paper's 32; the node sweep holds
+// depth at 64 to expose the per-candidate scan cost the capacity index
+// removes.
+void sweep_args(benchmark::internal::Benchmark* b) {
+  b->Args({32, 16})->Args({32, 64})->Args({32, 256});
+  b->Args({64, 64})->Args({128, 64})->Args({256, 64});
 }
 
 void BM_Fcfs(benchmark::State& s) {
@@ -82,12 +94,12 @@ void BM_CoBackfill(benchmark::State& s) {
   run_strategy(s, core::StrategyKind::kCoBackfill);
 }
 
-BENCHMARK(BM_Fcfs)->Arg(16)->Arg(64)->Arg(256);
-BENCHMARK(BM_FirstFit)->Arg(16)->Arg(64)->Arg(256);
-BENCHMARK(BM_Easy)->Arg(16)->Arg(64)->Arg(256);
-BENCHMARK(BM_Conservative)->Arg(16)->Arg(64)->Arg(256);
-BENCHMARK(BM_CoFirstFit)->Arg(16)->Arg(64)->Arg(256);
-BENCHMARK(BM_CoBackfill)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Fcfs)->Apply(sweep_args);
+BENCHMARK(BM_FirstFit)->Apply(sweep_args);
+BENCHMARK(BM_Easy)->Apply(sweep_args);
+BENCHMARK(BM_Conservative)->Apply(sweep_args);
+BENCHMARK(BM_CoFirstFit)->Apply(sweep_args);
+BENCHMARK(BM_CoBackfill)->Apply(sweep_args);
 
 }  // namespace
 

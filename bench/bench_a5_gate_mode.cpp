@@ -17,30 +17,38 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto env = bench::BenchEnv::from_flags(flags);
   const auto catalog = apps::Catalog::trinity();
+  const std::vector<core::GateMode> modes{core::GateMode::kOracle,
+                                          core::GateMode::kClassRule,
+                                          core::GateMode::kLearned};
 
-  Table t({"gate", "sched eff", "comp eff", "co-starts", "timeouts",
-           "lost work (node-h)"});
-  for (core::GateMode mode :
-       {core::GateMode::kOracle, core::GateMode::kClassRule,
-        core::GateMode::kLearned}) {
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
+  for (core::GateMode mode : modes) {
     slurmlite::SimulationSpec spec;
     spec.controller.nodes = env.nodes;
     spec.controller.strategy = core::StrategyKind::kCoBackfill;
     spec.controller.scheduler_options.co.gate_mode = mode;
     spec.workload = workload::trinity_campaign(env.nodes, env.jobs);
-    const auto points = bench::sweep_metrics(
-        spec, catalog, env.seeds,
-        {[](const auto& r) { return r.metrics.scheduling_efficiency; },
-         [](const auto& r) { return r.metrics.computational_efficiency; },
-         [](const auto& r) {
-           return static_cast<double>(r.stats.secondary_starts);
-         },
-         [](const auto& r) {
-           return static_cast<double>(r.metrics.jobs_timeout);
-         },
-         [](const auto& r) { return r.metrics.lost_work_node_s / 3600.0; }});
+    protos.push_back(std::move(spec));
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.scheduling_efficiency; },
+       [](const auto& r) { return r.metrics.computational_efficiency; },
+       [](const auto& r) {
+         return static_cast<double>(r.stats.secondary_starts);
+       },
+       [](const auto& r) {
+         return static_cast<double>(r.metrics.jobs_timeout);
+       },
+       [](const auto& r) { return r.metrics.lost_work_node_s / 3600.0; }});
+
+  Table t({"gate", "sched eff", "comp eff", "co-starts", "timeouts",
+           "lost work (node-h)"});
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const auto& points = grid[i];
     t.row()
-        .add(core::to_string(mode))
+        .add(core::to_string(modes[i]))
         .add(points[0].mean, 3)
         .add(points[1].mean, 3)
         .add(points[2].mean, 1)

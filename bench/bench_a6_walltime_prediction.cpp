@@ -16,12 +16,13 @@ int main(int argc, char** argv) {
   };
   const Band bands[] = {{"mild (1.5-3.0)", 1.5, 3.0},
                         {"heavy (3.0-5.0)", 3.0, 5.0}};
+  const std::vector<core::StrategyKind> strategies{
+      core::StrategyKind::kEasyBackfill, core::StrategyKind::kCoBackfill};
 
-  Table t({"estimates", "strategy", "prediction", "mean wait (min)",
-           "p95 wait (min)", "sched eff", "timeouts"});
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
   for (const auto& band : bands) {
-    for (auto kind : {core::StrategyKind::kEasyBackfill,
-                      core::StrategyKind::kCoBackfill}) {
+    for (auto kind : strategies) {
       for (bool predict : {false, true}) {
         slurmlite::SimulationSpec spec;
         spec.controller.nodes = env.nodes;
@@ -30,14 +31,26 @@ int main(int argc, char** argv) {
         spec.workload = workload::trinity_stream(env.nodes, env.jobs, 1.1);
         spec.workload.est_factor_min = band.lo;
         spec.workload.est_factor_max = band.hi;
-        const auto points = bench::sweep_metrics(
-            spec, catalog, env.seeds,
-            {[](const auto& r) { return r.metrics.mean_wait_s / 60.0; },
-             [](const auto& r) { return r.metrics.p95_wait_s / 60.0; },
-             [](const auto& r) { return r.metrics.scheduling_efficiency; },
-             [](const auto& r) {
-               return static_cast<double>(r.metrics.jobs_timeout);
-             }});
+        protos.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.mean_wait_s / 60.0; },
+       [](const auto& r) { return r.metrics.p95_wait_s / 60.0; },
+       [](const auto& r) { return r.metrics.scheduling_efficiency; },
+       [](const auto& r) {
+         return static_cast<double>(r.metrics.jobs_timeout);
+       }});
+
+  Table t({"estimates", "strategy", "prediction", "mean wait (min)",
+           "p95 wait (min)", "sched eff", "timeouts"});
+  std::size_t p = 0;
+  for (const auto& band : bands) {
+    for (auto kind : strategies) {
+      for (bool predict : {false, true}) {
+        const auto& points = grid[p++];
         t.row()
             .add(band.label)
             .add(core::to_string(kind))

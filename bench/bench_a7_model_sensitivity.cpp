@@ -33,25 +33,33 @@ int main(int argc, char** argv) {
        {.smt_base_penalty = 0.15}},
   };
 
-  Table t({"model setting", "easy sched eff", "cobackfill sched eff",
-           "sched gain", "comp gain", "timeouts"});
+  // One batch: (easy, cobackfill) per model setting.
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
   for (const auto& setting : settings) {
     slurmlite::SimulationSpec spec;
     spec.controller.nodes = env.nodes;
     spec.controller.corun_params = setting.params;
     spec.workload = workload::trinity_campaign(env.nodes, env.jobs);
-
-    const std::vector<bench::MetricFn> metrics{
-        [](const auto& r) { return r.metrics.scheduling_efficiency; },
-        [](const auto& r) { return r.metrics.computational_efficiency; },
-        [](const auto& r) {
-          return static_cast<double>(r.metrics.jobs_timeout);
-        }};
     spec.controller.strategy = core::StrategyKind::kEasyBackfill;
-    const auto base = bench::sweep_metrics(spec, catalog, env.seeds, metrics);
+    protos.push_back(spec);
     spec.controller.strategy = core::StrategyKind::kCoBackfill;
-    const auto co = bench::sweep_metrics(spec, catalog, env.seeds, metrics);
+    protos.push_back(spec);
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.scheduling_efficiency; },
+       [](const auto& r) { return r.metrics.computational_efficiency; },
+       [](const auto& r) {
+         return static_cast<double>(r.metrics.jobs_timeout);
+       }});
 
+  Table t({"model setting", "easy sched eff", "cobackfill sched eff",
+           "sched gain", "comp gain", "timeouts"});
+  std::size_t p = 0;
+  for (const auto& setting : settings) {
+    const auto& base = grid[p++];
+    const auto& co = grid[p++];
     auto pct = [](double b, double c) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%+.1f%%", (c / b - 1.0) * 100.0);

@@ -1,6 +1,16 @@
 // Shared machinery for the reproduction benches: multi-seed simulation
 // sweeps with mean +/- bootstrap-CI aggregation, and uniform flag handling
-// (--csv, --seeds, --nodes, --jobs).
+// (--csv, --seeds, --nodes, --jobs, --seed, --threads).
+//
+// Sweeps fan their (seed, config) cells out over a runner::ParallelRunner
+// (share-nothing; results collected in submission order), so aggregates
+// are bit-identical for every --threads value — tests/runner_test.cpp and
+// tests/golden_test.cpp enforce that. Cell seeds come from
+// derive_seed(base seed, cell index) (util/rng.hpp) rather than the raw
+// loop index: raw 1..n seeds are low-entropy and correlated across
+// subsystem streams, while the SplitMix64 derivation decorrelates cells
+// yet keeps them identical across configs, so paired-seed strategy
+// comparisons stay valid.
 #pragma once
 
 #include <functional>
@@ -9,8 +19,10 @@
 #include <vector>
 
 #include "apps/catalog.hpp"
+#include "runner/runner.hpp"
 #include "slurmlite/simulation.hpp"
 #include "util/flags.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/campaign.hpp"
@@ -22,6 +34,10 @@ struct BenchEnv {
   int seeds = 3;
   int nodes = 32;
   int jobs = 500;
+  /// Worker threads for the sweep cells; 0 = hardware_concurrency.
+  int threads = 0;
+  /// Root of the per-cell seed derivation (--seed).
+  std::uint64_t base_seed = 1;
 
   static BenchEnv from_flags(const Flags& flags) {
     BenchEnv env;
@@ -29,6 +45,8 @@ struct BenchEnv {
     env.seeds = static_cast<int>(flags.get_int("seeds", 3));
     env.nodes = static_cast<int>(flags.get_int("nodes", 32));
     env.jobs = static_cast<int>(flags.get_int("jobs", 500));
+    env.threads = static_cast<int>(flags.get_int("threads", 0));
+    env.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     return env;
   }
 };
@@ -43,42 +61,63 @@ struct SweepPoint {
   double ci_hi = 0;
 };
 
-/// Runs `spec` for seeds 1..n (varying spec.seed) and aggregates `metric`.
-inline SweepPoint sweep_metric(slurmlite::SimulationSpec spec,
-                               const apps::Catalog& catalog, int seeds,
-                               const MetricFn& metric) {
-  std::vector<double> values;
-  values.reserve(static_cast<std::size_t>(seeds));
-  for (int s = 1; s <= seeds; ++s) {
-    spec.seed = static_cast<std::uint64_t>(s);
-    values.push_back(metric(slurmlite::run_simulation(spec, catalog)));
-  }
-  Pcg32 boot(0xb007);
-  const auto ci = bootstrap_mean_ci(values, 0.95, boot);
-  return {ci.mean, ci.lo, ci.hi};
-}
-
-/// Runs `spec` once per seed and aggregates several metrics from the same
-/// simulations (avoids re-simulating per metric).
-inline std::vector<SweepPoint> sweep_metrics(
-    slurmlite::SimulationSpec spec, const apps::Catalog& catalog, int seeds,
+/// Runs every (proto, seed) cell of the grid in ONE pool batch —
+/// protos.size() * env.seeds independent simulations — and aggregates
+/// `metrics` per proto. Cell seeds are derive_seed(env.base_seed, s) with
+/// s the seed index, identical across protos (paired comparisons).
+/// Returns one vector of SweepPoints (metrics.size() entries) per proto,
+/// in proto order.
+inline std::vector<std::vector<SweepPoint>> sweep_grid(
+    runner::ParallelRunner& pool,
+    const std::vector<slurmlite::SimulationSpec>& protos,
+    const apps::Catalog& catalog, const BenchEnv& env,
     const std::vector<MetricFn>& metrics) {
-  std::vector<std::vector<double>> values(metrics.size());
-  for (int s = 1; s <= seeds; ++s) {
-    spec.seed = static_cast<std::uint64_t>(s);
-    const auto result = slurmlite::run_simulation(spec, catalog);
-    for (std::size_t m = 0; m < metrics.size(); ++m) {
-      values[m].push_back(metrics[m](result));
+  const auto seeds = static_cast<std::size_t>(env.seeds);
+  std::vector<slurmlite::SimulationSpec> cells;
+  cells.reserve(protos.size() * seeds);
+  for (const auto& proto : protos) {
+    for (std::size_t s = 0; s < seeds; ++s) {
+      cells.push_back(proto);
+      cells.back().seed = derive_seed(env.base_seed, s);
     }
   }
-  std::vector<SweepPoint> out;
-  out.reserve(metrics.size());
-  for (auto& v : values) {
-    Pcg32 boot(0xb007);
-    const auto ci = bootstrap_mean_ci(v, 0.95, boot);
-    out.push_back({ci.mean, ci.lo, ci.hi});
+  const auto results = runner::run_specs(pool, cells, catalog);
+
+  std::vector<std::vector<SweepPoint>> out;
+  out.reserve(protos.size());
+  for (std::size_t p = 0; p < protos.size(); ++p) {
+    std::vector<SweepPoint> points;
+    points.reserve(metrics.size());
+    for (const MetricFn& metric : metrics) {
+      std::vector<double> values;
+      values.reserve(seeds);
+      for (std::size_t s = 0; s < seeds; ++s) {
+        values.push_back(metric(results[p * seeds + s]));
+      }
+      Pcg32 boot(0xb007);
+      const auto ci = bootstrap_mean_ci(values, 0.95, boot);
+      points.push_back({ci.mean, ci.lo, ci.hi});
+    }
+    out.push_back(std::move(points));
   }
   return out;
+}
+
+/// Runs `spec` once per seed cell and aggregates several metrics from the
+/// same simulations (avoids re-simulating per metric).
+inline std::vector<SweepPoint> sweep_metrics(
+    runner::ParallelRunner& pool, const slurmlite::SimulationSpec& spec,
+    const apps::Catalog& catalog, const BenchEnv& env,
+    const std::vector<MetricFn>& metrics) {
+  return sweep_grid(pool, {spec}, catalog, env, metrics).front();
+}
+
+/// Single-metric convenience wrapper over sweep_metrics.
+inline SweepPoint sweep_metric(runner::ParallelRunner& pool,
+                               const slurmlite::SimulationSpec& spec,
+                               const apps::Catalog& catalog,
+                               const BenchEnv& env, const MetricFn& metric) {
+  return sweep_metrics(pool, spec, catalog, env, {metric}).front();
 }
 
 /// Formats "mean [lo, hi]" for table cells.

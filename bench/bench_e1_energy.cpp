@@ -10,19 +10,27 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto env = bench::BenchEnv::from_flags(flags);
   const auto catalog = apps::Catalog::trinity();
+  const auto strategies = core::all_strategies();
 
-  Table t({"strategy", "energy (kWh)", "work/kWh (node-h)", "vs easy"});
-  double easy_work_per_kwh = 0;
-  for (auto kind : core::all_strategies()) {
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
+  for (auto kind : strategies) {
     slurmlite::SimulationSpec spec;
     spec.controller.nodes = env.nodes;
     spec.controller.strategy = kind;
     spec.workload = workload::trinity_campaign(env.nodes, env.jobs);
-    const auto points = bench::sweep_metrics(
-        spec, catalog, env.seeds,
-        {[](const auto& r) { return r.metrics.energy_kwh; },
-         [](const auto& r) { return r.metrics.work_node_h_per_kwh; }});
-    if (kind == core::StrategyKind::kEasyBackfill) {
+    protos.push_back(std::move(spec));
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.energy_kwh; },
+       [](const auto& r) { return r.metrics.work_node_h_per_kwh; }});
+
+  Table t({"strategy", "energy (kWh)", "work/kWh (node-h)", "vs easy"});
+  double easy_work_per_kwh = 0;
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const auto& points = grid[i];
+    if (strategies[i] == core::StrategyKind::kEasyBackfill) {
       easy_work_per_kwh = points[1].mean;
     }
     char delta[32] = "-";
@@ -31,7 +39,7 @@ int main(int argc, char** argv) {
                     (points[1].mean / easy_work_per_kwh - 1.0) * 100.0);
     }
     t.row()
-        .add(core::to_string(kind))
+        .add(core::to_string(strategies[i]))
         .add(points[0].mean, 1)
         .add(points[1].mean, 3)
         .add(std::string(delta));

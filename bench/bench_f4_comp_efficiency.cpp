@@ -13,19 +13,29 @@ int main(int argc, char** argv) {
   for (auto kind : core::all_strategies()) {
     header.emplace_back(core::to_string(kind));
   }
-  Table t(header);
+
+  // All (size, strategy, seed) cells in one batch over the pool.
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
   for (int jobs : sizes) {
-    t.row().add(jobs);
     for (auto kind : core::all_strategies()) {
       slurmlite::SimulationSpec spec;
       spec.controller.nodes = env.nodes;
       spec.controller.strategy = kind;
       spec.workload = workload::trinity_campaign(env.nodes, jobs);
-      const auto point =
-          bench::sweep_metric(spec, catalog, env.seeds, [](const auto& r) {
-            return r.metrics.computational_efficiency;
-          });
-      t.add(point.mean, 3);
+      protos.push_back(std::move(spec));
+    }
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.computational_efficiency; }});
+
+  Table t(header);
+  std::size_t p = 0;
+  for (int jobs : sizes) {
+    t.row().add(jobs);
+    for ([[maybe_unused]] auto kind : core::all_strategies()) {
+      t.add(grid[p++].front().mean, 3);
     }
   }
   bench::emit(t, env,

@@ -11,21 +11,31 @@ int main(int argc, char** argv) {
   const std::vector<core::StrategyKind> strategies{
       core::StrategyKind::kEasyBackfill, core::StrategyKind::kCoBackfill};
 
-  Table t({"offered load", "strategy", "mean wait (min)", "p95 wait (min)",
-           "makespan (h)", "utilization"});
+  // All (load, strategy, seed) cells in one batch over the pool.
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
   for (double rho : loads) {
     for (auto kind : strategies) {
       slurmlite::SimulationSpec spec;
       spec.controller.nodes = env.nodes;
       spec.controller.strategy = kind;
       spec.workload = workload::trinity_stream(env.nodes, env.jobs, rho);
+      protos.push_back(std::move(spec));
+    }
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.mean_wait_s / 60.0; },
+       [](const auto& r) { return r.metrics.p95_wait_s / 60.0; },
+       [](const auto& r) { return r.metrics.makespan_s / 3600.0; },
+       [](const auto& r) { return r.metrics.utilization; }});
 
-      const auto points = bench::sweep_metrics(
-          spec, catalog, env.seeds,
-          {[](const auto& r) { return r.metrics.mean_wait_s / 60.0; },
-           [](const auto& r) { return r.metrics.p95_wait_s / 60.0; },
-           [](const auto& r) { return r.metrics.makespan_s / 3600.0; },
-           [](const auto& r) { return r.metrics.utilization; }});
+  Table t({"offered load", "strategy", "mean wait (min)", "p95 wait (min)",
+           "makespan (h)", "utilization"});
+  std::size_t p = 0;
+  for (double rho : loads) {
+    for (auto kind : strategies) {
+      const auto& points = grid[p++];
       t.row()
           .add(rho, 1)
           .add(core::to_string(kind))

@@ -9,13 +9,15 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto env = bench::BenchEnv::from_flags(flags);
   const auto catalog = apps::Catalog::trinity();
+  const std::vector<cluster::PlacementPolicy> placements{
+      cluster::PlacementPolicy::kLowestId, cluster::PlacementPolicy::kCompact};
+  const std::vector<core::StrategyKind> strategies{
+      core::StrategyKind::kEasyBackfill, core::StrategyKind::kCoBackfill};
 
-  Table t({"placement", "strategy", "sched eff", "mean dilation",
-           "mean wait (min)"});
-  for (auto placement : {cluster::PlacementPolicy::kLowestId,
-                         cluster::PlacementPolicy::kCompact}) {
-    for (auto kind : {core::StrategyKind::kEasyBackfill,
-                      core::StrategyKind::kCoBackfill}) {
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
+  for (auto placement : placements) {
+    for (auto kind : strategies) {
       slurmlite::SimulationSpec spec;
       spec.controller.nodes = env.nodes;
       spec.controller.topology =
@@ -24,11 +26,21 @@ int main(int argc, char** argv) {
       spec.controller.placement = placement;
       spec.controller.strategy = kind;
       spec.workload = workload::trinity_campaign(env.nodes, env.jobs);
-      const auto points = bench::sweep_metrics(
-          spec, catalog, env.seeds,
-          {[](const auto& r) { return r.metrics.scheduling_efficiency; },
-           [](const auto& r) { return r.metrics.mean_dilation; },
-           [](const auto& r) { return r.metrics.mean_wait_s / 60.0; }});
+      protos.push_back(std::move(spec));
+    }
+  }
+  const auto grid = bench::sweep_grid(
+      pool, protos, catalog, env,
+      {[](const auto& r) { return r.metrics.scheduling_efficiency; },
+       [](const auto& r) { return r.metrics.mean_dilation; },
+       [](const auto& r) { return r.metrics.mean_wait_s / 60.0; }});
+
+  Table t({"placement", "strategy", "sched eff", "mean dilation",
+           "mean wait (min)"});
+  std::size_t p = 0;
+  for (auto placement : placements) {
+    for (auto kind : strategies) {
+      const auto& points = grid[p++];
       t.row()
           .add(cluster::to_string(placement))
           .add(core::to_string(kind))

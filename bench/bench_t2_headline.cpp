@@ -29,20 +29,30 @@ int main(int argc, char** argv) {
        core::StrategyKind::kCoFirstFit},
   };
 
-  Table t({"strategy pair", "metric", "standard", "node sharing",
-           "improvement", "paper"});
+  // One batch: (standard, sharing) per row, each swept over all seeds.
+  runner::ParallelRunner pool(env.threads);
+  std::vector<slurmlite::SimulationSpec> protos;
   for (const auto& row : rows) {
-    const std::vector<bench::MetricFn> metrics{
-        [](const auto& r) { return r.metrics.computational_efficiency; },
-        [](const auto& r) { return r.metrics.scheduling_efficiency; },
-        [](const auto& r) {
-          return static_cast<double>(r.metrics.jobs_timeout);
-        }};
     auto s = spec;
     s.controller.strategy = row.standard;
-    const auto base = bench::sweep_metrics(s, catalog, env.seeds, metrics);
+    protos.push_back(s);
     s.controller.strategy = row.sharing;
-    const auto co = bench::sweep_metrics(s, catalog, env.seeds, metrics);
+    protos.push_back(s);
+  }
+  const std::vector<bench::MetricFn> metrics{
+      [](const auto& r) { return r.metrics.computational_efficiency; },
+      [](const auto& r) { return r.metrics.scheduling_efficiency; },
+      [](const auto& r) {
+        return static_cast<double>(r.metrics.jobs_timeout);
+      }};
+  const auto grid = bench::sweep_grid(pool, protos, catalog, env, metrics);
+
+  Table t({"strategy pair", "metric", "standard", "node sharing",
+           "improvement", "paper"});
+  std::size_t p = 0;
+  for (const auto& row : rows) {
+    const auto& base = grid[p++];
+    const auto& co = grid[p++];
     const auto &ce_base = base[0], &ce_co = co[0];
     const auto &se_base = base[1], &se_co = co[1];
     const auto &to_base = base[2], &to_co = co[2];

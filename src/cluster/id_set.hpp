@@ -1,0 +1,132 @@
+// A fixed-capacity ordered set of node ids backed by a bitmap.
+//
+// This is the storage behind the Machine's free-capacity index. The two
+// operations that matter are both on simulator hot paths: membership
+// updates happen on every allocate/release (one per touched node), and
+// ordered iteration happens on every candidate scan the schedulers run.
+// A bitmap gives O(1) insert/erase (vs O(log n) tree rebalancing) and
+// cache-friendly ascending iteration that skips empty regions a word
+// (64 nodes) at a time — node ids are dense [0, node_count), so the
+// bitmap is also the smallest representation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace cosched::cluster {
+
+class NodeIdSet {
+ public:
+  NodeIdSet() = default;
+  explicit NodeIdSet(int capacity) { reset(capacity); }
+
+  /// Empties the set and fixes the id universe to [0, capacity).
+  void reset(int capacity) {
+    COSCHED_CHECK(capacity >= 0);
+    words_.assign((static_cast<std::size_t>(capacity) + 63) / 64, 0);
+    capacity_ = capacity;
+    size_ = 0;
+  }
+
+  int capacity() const { return capacity_; }
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(NodeId id) const {
+    COSCHED_CHECK(id >= 0 && id < capacity_);
+    return (words_[word_of(id)] >> bit_of(id)) & 1u;
+  }
+
+  /// Inserts `id`; returns true if it was newly added.
+  bool insert(NodeId id) {
+    COSCHED_CHECK(id >= 0 && id < capacity_);
+    std::uint64_t& w = words_[word_of(id)];
+    const std::uint64_t mask = std::uint64_t{1} << bit_of(id);
+    if (w & mask) return false;
+    w |= mask;
+    ++size_;
+    return true;
+  }
+
+  /// Removes `id`; returns true if it was present.
+  bool erase(NodeId id) {
+    COSCHED_CHECK(id >= 0 && id < capacity_);
+    std::uint64_t& w = words_[word_of(id)];
+    const std::uint64_t mask = std::uint64_t{1} << bit_of(id);
+    if (!(w & mask)) return false;
+    w &= ~mask;
+    --size_;
+    return true;
+  }
+
+  /// Forward iteration in ascending id order (the deterministic lowest-id
+  /// placement order).
+  class const_iterator {
+   public:
+    using value_type = NodeId;
+
+    NodeId operator*() const {
+      return static_cast<NodeId>(word_ * 64 +
+                                 static_cast<std::size_t>(
+                                     std::countr_zero(bits_)));
+    }
+    const_iterator& operator++() {
+      bits_ &= bits_ - 1;  // clear lowest set bit
+      skip_empty_words();
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return word_ == other.word_ && bits_ == other.bits_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    friend class NodeIdSet;
+    const_iterator(const std::vector<std::uint64_t>* words,
+                   std::size_t word)
+        : words_(words), word_(word) {
+      if (word_ < words_->size()) bits_ = (*words_)[word_];
+      skip_empty_words();
+    }
+    void skip_empty_words() {
+      while (bits_ == 0 && ++word_ < words_->size()) {
+        bits_ = (*words_)[word_];
+      }
+      if (bits_ == 0) word_ = words_->size();  // canonical end
+    }
+
+    const std::vector<std::uint64_t>* words_ = nullptr;
+    std::size_t word_ = 0;
+    std::uint64_t bits_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(&words_, 0); }
+  const_iterator end() const { return const_iterator(&words_, words_.size()); }
+
+  friend bool operator==(const NodeIdSet& a, const NodeIdSet& b) {
+    return a.capacity_ == b.capacity_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const NodeIdSet& a, const NodeIdSet& b) {
+    return !(a == b);
+  }
+
+ private:
+  static std::size_t word_of(NodeId id) {
+    return static_cast<std::size_t>(id) / 64;
+  }
+  static unsigned bit_of(NodeId id) {
+    return static_cast<unsigned>(id) % 64;
+  }
+
+  std::vector<std::uint64_t> words_;
+  int capacity_ = 0;
+  int size_ = 0;
+};
+
+}  // namespace cosched::cluster

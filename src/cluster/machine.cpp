@@ -11,10 +11,12 @@ Machine::Machine(int node_count, const NodeConfig& config,
       placement_(placement) {
   COSCHED_CHECK(node_count > 0);
   nodes_.reserve(static_cast<std::size_t>(node_count));
+  free_primary_.reset(node_count);
+  free_secondary_.reset(node_count);
   for (int i = 0; i < node_count; ++i) {
     nodes_.emplace_back(static_cast<NodeId>(i), config);
+    free_primary_.insert(static_cast<NodeId>(i));
   }
-  free_primary_count_ = node_count;
 }
 
 const Node& Machine::node(NodeId id) const {
@@ -41,31 +43,28 @@ int Machine::up_node_count() const {
 
 std::optional<std::vector<NodeId>> Machine::find_free_nodes(int count) const {
   COSCHED_CHECK(count > 0);
-  if (count > free_primary_count_) return std::nullopt;
+  if (count > free_node_count()) return std::nullopt;
   if (placement_ == PlacementPolicy::kCompact && !topology_.flat()) {
     return find_free_nodes_compact(count);
   }
+  // Lowest-id placement: the index is already in id order, take its head.
   std::vector<NodeId> out;
   out.reserve(static_cast<std::size_t>(count));
-  for (const auto& node : nodes_) {
-    if (node.primary_free()) {
-      out.push_back(node.id());
-      if (static_cast<int>(out.size()) == count) return out;
-    }
+  for (NodeId id : free_primary_) {
+    out.push_back(id);
+    if (static_cast<int>(out.size()) == count) break;
   }
-  return std::nullopt;  // free count was stale — recount guards this
+  return out;
 }
 
 std::optional<std::vector<NodeId>> Machine::find_free_nodes_compact(
     int count) const {
-  // Free nodes grouped by leaf switch.
+  // Free nodes grouped by leaf switch (walks the index, not all nodes).
   std::vector<std::vector<NodeId>> per_switch(
       static_cast<std::size_t>(topology_.switch_count()));
-  for (const auto& node : nodes_) {
-    if (node.primary_free()) {
-      per_switch[static_cast<std::size_t>(topology_.switch_of(node.id()))]
-          .push_back(node.id());
-    }
+  for (NodeId id : free_primary_) {
+    per_switch[static_cast<std::size_t>(topology_.switch_of(id))]
+        .push_back(id);
   }
   // Best fit when one switch suffices: the switch with the smallest free
   // count that still fits (preserve big holes for big jobs).
@@ -109,12 +108,12 @@ std::optional<std::vector<NodeId>> Machine::find_free_nodes_compact(
 std::optional<std::vector<NodeId>> Machine::find_shareable_nodes(
     int count, const std::function<bool(JobId)>& primary_ok) const {
   COSCHED_CHECK(count > 0);
+  if (count > static_cast<int>(free_secondary_.size())) return std::nullopt;
   std::vector<NodeId> out;
   out.reserve(static_cast<std::size_t>(count));
-  for (const auto& node : nodes_) {
-    if (!node.secondary_free()) continue;
-    if (primary_ok && !primary_ok(node.primary_job())) continue;
-    out.push_back(node.id());
+  for (NodeId id : free_secondary_) {
+    if (primary_ok && !primary_ok(node(id).primary_job())) continue;
+    out.push_back(id);
     if (static_cast<int>(out.size()) == count) return out;
   }
   return std::nullopt;
@@ -122,9 +121,8 @@ std::optional<std::vector<NodeId>> Machine::find_shareable_nodes(
 
 std::vector<JobId> Machine::primaries_with_free_secondary() const {
   std::vector<JobId> out;
-  for (const auto& node : nodes_) {
-    if (!node.secondary_free()) continue;
-    const JobId p = node.primary_job();
+  for (NodeId id : free_secondary_) {
+    const JobId p = node(id).primary_job();
     if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
   }
   return out;
@@ -134,16 +132,21 @@ void Machine::allocate_primary(JobId job, const std::vector<NodeId>& nodes) {
   COSCHED_CHECK_MSG(!allocations_.count(job),
                     "job " << job << " is already allocated");
   COSCHED_CHECK(!nodes.empty());
-  for (NodeId id : nodes) node_mutable(id).assign_primary(job);
+  for (NodeId id : nodes) {
+    node_mutable(id).assign_primary(job);
+    resync_node(id);
+  }
   allocations_[job] = Allocation{job, AllocationKind::kPrimary, nodes};
-  free_primary_count_ -= static_cast<int>(nodes.size());
 }
 
 void Machine::allocate_secondary(JobId job, const std::vector<NodeId>& nodes) {
   COSCHED_CHECK_MSG(!allocations_.count(job),
                     "job " << job << " is already allocated");
   COSCHED_CHECK(!nodes.empty());
-  for (NodeId id : nodes) node_mutable(id).assign_secondary(job);
+  for (NodeId id : nodes) {
+    node_mutable(id).assign_secondary(job);
+    resync_node(id);
+  }
   allocations_[job] = Allocation{job, AllocationKind::kSecondary, nodes};
 }
 
@@ -154,19 +157,14 @@ Allocation Machine::release(JobId job) {
   Allocation alloc = std::move(it->second);
   allocations_.erase(it);
   for (NodeId id : alloc.nodes) {
-    Node& n = node_mutable(id);
-    const bool was_primary_here = (n.primary_job() == job);
-    n.remove(job);
-    if (was_primary_here) {
-      // If a secondary was promoted to primary, reflect the promotion in
-      // that job's allocation record: the node is now a primary-kind hold
-      // for it. Allocation.kind describes how the job *started*, so we keep
-      // the record's kind but nothing else changes; free accounting is
-      // recomputed below.
-      (void)was_primary_here;
-    }
+    // A departing primary may promote a secondary (the surviving job now
+    // owns the core's first threads); Allocation.kind describes how a job
+    // *started*, so the promoted job's record is untouched. resync derives
+    // the node's free-capacity membership from the post-remove slot state
+    // either way.
+    node_mutable(id).remove(job);
+    resync_node(id);
   }
-  recount_free();
   return alloc;
 }
 
@@ -192,20 +190,31 @@ std::vector<JobId> Machine::co_residents(JobId job) const {
 
 void Machine::set_node_down(NodeId id, bool down) {
   node_mutable(id).set_down(down);
-  recount_free();
+  resync_node(id);
 }
 
-void Machine::recount_free() {
-  free_primary_count_ = 0;
-  for (const auto& node : nodes_) {
-    free_primary_count_ += node.primary_free() ? 1 : 0;
+void Machine::resync_node(NodeId id) {
+  const Node& n = nodes_[static_cast<std::size_t>(id)];
+  if (n.primary_free()) {
+    free_primary_.insert(id);
+  } else {
+    free_primary_.erase(id);
+  }
+  if (n.secondary_free()) {
+    free_secondary_.insert(id);
+  } else {
+    free_secondary_.erase(id);
   }
 }
 
 void Machine::check_invariants() const {
-  int free_count = 0;
+  // Brute-force recomputation of the free-capacity index: the maintained
+  // sets must match a full rescan exactly, node for node.
+  NodeIdSet expect_primary(node_count());
+  NodeIdSet expect_secondary(node_count());
   for (const auto& node : nodes_) {
-    free_count += node.primary_free() ? 1 : 0;
+    if (node.primary_free()) expect_primary.insert(node.id());
+    if (node.secondary_free()) expect_secondary.insert(node.id());
     // Secondary occupancy implies a primary.
     if (!node.secondary_jobs().empty()) {
       COSCHED_CHECK_MSG(node.primary_job() != kInvalidJob,
@@ -213,9 +222,14 @@ void Machine::check_invariants() const {
                                 << " has secondaries without a primary");
     }
   }
-  COSCHED_CHECK_MSG(free_count == free_primary_count_,
-                    "free primary count drifted: cached "
-                        << free_primary_count_ << " actual " << free_count);
+  COSCHED_CHECK_MSG(expect_primary == free_primary_,
+                    "free-primary index drifted: holds "
+                        << free_primary_.size() << " node(s), rescan found "
+                        << expect_primary.size());
+  COSCHED_CHECK_MSG(expect_secondary == free_secondary_,
+                    "free-secondary index drifted: holds "
+                        << free_secondary_.size() << " node(s), rescan found "
+                        << expect_secondary.size());
   for (const auto& [job, alloc] : allocations_) {
     COSCHED_CHECK(job == alloc.job);
     for (NodeId id : alloc.nodes) {

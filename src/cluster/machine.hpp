@@ -1,5 +1,17 @@
 // The machine: a set of nodes plus the allocation bookkeeping that maps
 // jobs to the nodes and slot kinds they occupy.
+//
+// Scheduler-facing queries are served from an incrementally maintained
+// free-capacity index instead of O(nodes) rescans: two ordered id sets
+// (bitmaps, see id_set.hpp) track the nodes with a free primary slot and
+// the nodes with a free secondary slot. Nodes are homogeneous, so within
+// each set every member offers the same free hardware-thread count and the
+// sort key reduces to the node id — exactly the order the deterministic
+// lowest-id placement needs. Every mutation path (allocate, release with
+// promotion, node up/down) resyncs only the touched nodes, making updates
+// O(k) for a k-node allocation while find_free_nodes/find_shareable_nodes
+// walk free nodes only. check_invariants() cross-checks the index against
+// a brute-force rescan; tests/cluster_test.cpp fuzzes that agreement.
 #pragma once
 
 #include <functional>
@@ -7,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/id_set.hpp"
 #include "cluster/node.hpp"
 #include "cluster/topology.hpp"
 #include "util/types.hpp"
@@ -39,12 +52,13 @@ class Machine {
   const Topology& topology() const { return topology_; }
   PlacementPolicy placement() const { return placement_; }
   const Node& node(NodeId id) const;
-  Node& node_mutable(NodeId id);
 
   // --- Queries --------------------------------------------------------------
 
   /// Nodes with a free primary slot (idle, up).
-  int free_node_count() const { return free_primary_count_; }
+  int free_node_count() const {
+    return static_cast<int>(free_primary_.size());
+  }
 
   /// Nodes that currently host at least one job.
   int busy_node_count() const;
@@ -67,6 +81,11 @@ class Machine {
   /// All distinct primary jobs that currently have >= 1 node with a free
   /// secondary slot. Used by pairing heuristics.
   std::vector<JobId> primaries_with_free_secondary() const;
+
+  /// Ids of nodes with a free secondary slot, ascending — the maintained
+  /// index co-allocation candidate scans iterate instead of rescanning
+  /// every node.
+  const NodeIdSet& free_secondary_nodes() const { return free_secondary_; }
 
   // --- Allocation -----------------------------------------------------------
 
@@ -98,14 +117,23 @@ class Machine {
   std::optional<std::vector<NodeId>> find_free_nodes_compact(
       int count) const;
 
+  /// Node mutations go through Machine so the capacity index stays
+  /// coherent; external callers use the allocation/failure API above.
+  Node& node_mutable(NodeId id);
+
+  /// Re-derives node `id`'s membership in both free-capacity sets from its
+  /// current slot state. Called after every mutation of that node.
+  void resync_node(NodeId id);
+
   NodeConfig config_;
   Topology topology_;
   PlacementPolicy placement_;
   std::vector<Node> nodes_;
   std::unordered_map<JobId, Allocation> allocations_;
-  int free_primary_count_ = 0;
-
-  void recount_free();
+  /// Free-capacity index: ids of nodes with a free primary slot, and ids of
+  /// nodes with a free secondary slot (see file comment).
+  NodeIdSet free_primary_;
+  NodeIdSet free_secondary_;
 };
 
 }  // namespace cosched::cluster

@@ -55,6 +55,10 @@ class Node {
   /// All distinct jobs on the node, primary first.
   std::vector<JobId> jobs() const;
 
+  /// Raw slot contents (slot 0 = primary, kInvalidJob = free slot).
+  /// Allocation-free alternative to jobs() for hot scheduler scans.
+  const std::vector<JobId>& slot_jobs() const { return slots_; }
+
   /// Number of jobs currently on the node.
   int job_count() const;
 

@@ -33,22 +33,40 @@ std::optional<double> CoAllocator::admissible(SchedulerHost& host,
   if (!cand.shareable || !cand_app.shareable) {
     return std::nullopt;
   }
+  if (!host.machine().node(node_id).secondary_free()) return std::nullopt;
+  resident_scratch_.clear();
+  return node_admissible(
+      host, Candidate{&cand, &cand_app, host.now() + cand.walltime_limit},
+      node_id, respect_deadline);
+}
+
+std::optional<double> CoAllocator::node_admissible(
+    SchedulerHost& host, const Candidate& cand, NodeId node_id,
+    bool respect_deadline) const {
   const cluster::Node& node = host.machine().node(node_id);
-  if (!node.secondary_free()) return std::nullopt;
+  const apps::AppModel& cand_app = *cand.app;
 
   // Consent and (optionally) deadline checks are common to every gate.
-  const auto residents = node.jobs();
-  std::vector<const apps::AppModel*> resident_apps;
-  resident_apps.reserve(residents.size());
-  for (JobId resident : residents) {
-    const workload::Job& r = host.job(resident);
-    if (!r.shareable || !host.app_of(resident).shareable) return std::nullopt;
-    resident_apps.push_back(&host.app_of(resident));
+  // Walk the raw slots (no allocation) and resolve each resident's host
+  // lookups through the per-pass memo.
+  std::vector<const apps::AppModel*>& resident_apps = apps_scratch_;
+  resident_apps.clear();
+  for (JobId resident : node.slot_jobs()) {
+    if (resident == kInvalidJob) continue;
+    auto [it, fresh] = resident_scratch_.try_emplace(resident);
+    if (fresh) {
+      const workload::Job& r = host.job(resident);
+      const apps::AppModel& app = host.app_of(resident);
+      it->second = Resident{r.shareable && app.shareable, &app,
+                            host.walltime_end(resident)};
+    }
+    const Resident& r = it->second;
+    if (!r.shareable) return std::nullopt;
+    resident_apps.push_back(r.app);
     if (respect_deadline) {
       // The candidate must be gone (by walltime bound) before any resident
       // primary's walltime end, so reservation math stays valid.
-      const SimTime cand_end = host.now() + cand.walltime_limit;
-      if (cand_end > host.walltime_end(resident)) return std::nullopt;
+      if (cand.walltime_end > r.walltime_end) return std::nullopt;
     }
   }
 
@@ -137,16 +155,31 @@ std::optional<double> CoAllocator::admissible(SchedulerHost& host,
 
 std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
     SchedulerHost& host, JobId candidate, bool respect_deadline) const {
-  const int wanted = host.job(candidate).nodes;
-  std::vector<std::pair<double, NodeId>> ranked;  // (-throughput, node)
+  const workload::Job& cand = host.job(candidate);
+  const apps::AppModel& cand_app = host.app_of(candidate);
+  if (!cand.shareable || !cand_app.shareable) return std::nullopt;
+  const Candidate ctx{&cand, &cand_app,
+                      host.now() + cand.walltime_limit};
+  const int wanted = cand.nodes;
   const cluster::Machine& machine = host.machine();
-  for (NodeId n = 0; n < machine.node_count(); ++n) {
-    if (auto score = admissible(host, candidate, n, respect_deadline)) {
+  std::vector<std::pair<double, NodeId>>& ranked =
+      ranked_scratch_;  // (-throughput, node)
+  ranked.clear();
+  resident_scratch_.clear();
+  // The candidate scan walks the machine's free-secondary index (ascending
+  // node id, same order as the historical full rescan) instead of testing
+  // every node.
+  for (NodeId n : machine.free_secondary_nodes()) {
+    if (auto score = node_admissible(host, ctx, n, respect_deadline)) {
       ranked.emplace_back(-*score, n);
     }
   }
   if (static_cast<int>(ranked.size()) < wanted) return std::nullopt;
-  std::sort(ranked.begin(), ranked.end());
+  // Only the best `wanted` entries are taken; keys (-score, id) are unique,
+  // so a partial sort yields exactly the full sort's prefix.
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(wanted),
+                    ranked.end());
   std::vector<NodeId> nodes;
   nodes.reserve(static_cast<std::size_t>(wanted));
   for (int i = 0; i < wanted; ++i) {

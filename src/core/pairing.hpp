@@ -43,6 +43,30 @@ class CoAllocator {
   static constexpr double kLearnedFallbackScore = 1.0;
 
  private:
+  /// Candidate-side state, fetched once per select_nodes pass instead of
+  /// once per scanned node (host lookups are virtual map accesses).
+  struct Candidate {
+    const workload::Job* job;
+    const apps::AppModel* app;
+    SimTime walltime_end;  ///< now + walltime_limit, for deadline gates
+  };
+
+  /// Memoized resident-side state. The same running job occupies many
+  /// nodes (a k-node primary appears in k scans), so one pass resolves
+  /// each resident's host lookups exactly once.
+  struct Resident {
+    bool shareable;
+    const apps::AppModel* app;
+    SimTime walltime_end;
+  };
+
+  /// The per-node gate body behind admissible()/select_nodes(); assumes
+  /// the node's secondary slot is free and the candidate side is already
+  /// shareable.
+  std::optional<double> node_admissible(SchedulerHost& host,
+                                        const Candidate& cand, NodeId node,
+                                        bool respect_deadline) const;
+
   CoAllocationOptions options_;
   /// Oracle-mode gate outcomes per (resident-app, candidate-app) pair.
   /// Stress vectors and gate options are immutable, so the two-job gate
@@ -50,6 +74,13 @@ class CoAllocator {
   /// of co-allocation passes (recomputing pair slowdowns per node).
   mutable std::unordered_map<std::uint64_t, std::optional<double>>
       oracle_pair_cache_;
+  /// Scan scratch, reused across calls so the per-node/per-candidate hot
+  /// path allocates nothing in steady state. A CoAllocator belongs to one
+  /// scheduler, which belongs to one (single-threaded) simulation cell, so
+  /// mutable scratch needs no synchronization.
+  mutable std::unordered_map<JobId, Resident> resident_scratch_;
+  mutable std::vector<const apps::AppModel*> apps_scratch_;
+  mutable std::vector<std::pair<double, NodeId>> ranked_scratch_;
 };
 
 }  // namespace cosched::core

@@ -1,6 +1,7 @@
 #include "core/strategy_common.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/check.hpp"
 
@@ -19,6 +20,9 @@ std::vector<SimTime> node_free_times(SchedulerHost& host) {
   const cluster::Machine& machine = host.machine();
   std::vector<SimTime> out(static_cast<std::size_t>(machine.node_count()),
                            kTimeInfinity);
+  // A k-node job is resident on k nodes; memoize its walltime end so each
+  // running job costs one host lookup per pass instead of one per node.
+  std::unordered_map<JobId, SimTime> walltime_ends;
   for (NodeId n = 0; n < machine.node_count(); ++n) {
     const cluster::Node& node = machine.node(n);
     if (node.is_down()) continue;
@@ -27,8 +31,11 @@ std::vector<SimTime> node_free_times(SchedulerHost& host) {
       continue;
     }
     SimTime latest = host.now();
-    for (JobId resident : node.jobs()) {
-      latest = std::max(latest, host.walltime_end(resident));
+    for (JobId resident : node.slot_jobs()) {
+      if (resident == kInvalidJob) continue;
+      auto [it, fresh] = walltime_ends.try_emplace(resident);
+      if (fresh) it->second = host.walltime_end(resident);
+      latest = std::max(latest, it->second);
     }
     out[static_cast<std::size_t>(n)] = latest;
   }

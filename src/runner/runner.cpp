@@ -1,0 +1,119 @@
+#include "runner/runner.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cosched::runner {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelRunner::ParallelRunner(int threads)
+    : threads_(resolve_threads(threads)) {
+  // One thread means the caller runs every cell inline; only spawn workers
+  // when there is real parallelism to be had.
+  if (threads_ == 1) return;
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ParallelRunner::for_each(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Serial reference path: run inline, first failure propagates directly.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  COSCHED_CHECK_MSG(fn_ == nullptr, "ParallelRunner::for_each re-entered");
+  fn_ = &fn;
+  count_ = count;
+  next_ = 0;
+  in_flight_ = 0;
+  failed_ = false;
+  error_ = nullptr;
+  ++batch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return next_ >= count_ && in_flight_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ParallelRunner::worker_loop() {
+  std::uint64_t seen_batch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || batch_ != seen_batch; });
+    if (stop_) return;
+    seen_batch = batch_;
+    drain_batch(lock);
+  }
+}
+
+void ParallelRunner::drain_batch(std::unique_lock<std::mutex>& lock) {
+  // Called with mu_ held; claims cells until none remain, releasing the
+  // lock around each cell's execution.
+  while (next_ < count_) {
+    const std::size_t cell = next_++;
+    ++in_flight_;
+    const std::function<void(std::size_t)>* fn = fn_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn)(cell);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    --in_flight_;
+    if (err && (!failed_ || cell < error_cell_)) {
+      // Keep the failure a serial loop would have hit first.
+      failed_ = true;
+      error_cell_ = cell;
+      error_ = err;
+    }
+    if (next_ >= count_ && in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+std::vector<slurmlite::SimulationResult> run_specs(
+    ParallelRunner& pool, const std::vector<slurmlite::SimulationSpec>& specs,
+    const apps::Catalog& catalog) {
+  return pool.map<slurmlite::SimulationResult>(
+      specs.size(), [&](std::size_t i) {
+        return slurmlite::run_simulation(specs[i], catalog);
+      });
+}
+
+std::vector<slurmlite::SimulationResult> run_seed_sweep(
+    ParallelRunner& pool, const slurmlite::SimulationSpec& proto,
+    const apps::Catalog& catalog, std::uint64_t base_seed, int cells) {
+  COSCHED_CHECK(cells >= 0);
+  std::vector<slurmlite::SimulationSpec> specs(
+      static_cast<std::size_t>(cells), proto);
+  for (std::size_t c = 0; c < specs.size(); ++c) {
+    specs[c].seed = derive_seed(base_seed, c);
+  }
+  return run_specs(pool, specs, catalog);
+}
+
+}  // namespace cosched::runner

@@ -1,8 +1,13 @@
 // Minimal streaming JSON writer (no DOM): correct escaping, automatic
 // comma placement, scope balancing checked at destruction. Used by the
 // report module to export simulation results for downstream analysis.
+// Plus a small recursive-descent parser (JsonValue / parse_json) for
+// reading the writer's output back — the golden-metrics regression suite
+// round-trips its pinned baselines through it.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,5 +51,51 @@ class JsonWriter {
   /// (no comma needed). Empty at the root.
   std::vector<bool> first_;
 };
+
+/// A parsed JSON document node. Numbers are stored as double (sufficient
+/// for the metric baselines this parser serves); object keys are ordered
+/// so documents re-serialize deterministically.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; abort (COSCHED_CHECK) on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object access. `at` aborts on a missing key; `find` returns nullptr.
+  const JsonValue& at(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  /// Object keys in document order.
+  std::vector<std::string> keys() const;
+
+  // Construction (used by the parser and by tests).
+  static JsonValue null();
+  static JsonValue boolean(bool v);
+  static JsonValue number(double v);
+  static JsonValue string(std::string v);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing
+/// else). Throws cosched::Error with a line/column location on malformed
+/// input.
+JsonValue parse_json(const std::string& text);
 
 }  // namespace cosched

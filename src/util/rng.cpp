@@ -5,6 +5,21 @@
 
 namespace cosched {
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t cell) {
+  // The golden-ratio increment is SplitMix64's stream step; offsetting by
+  // (cell + 1) keeps cell 0 distinct from the bare base seed.
+  return splitmix64(base + (cell + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
 Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
     : state_(0), inc_((stream << 1u) | 1u) {
   next_u32();

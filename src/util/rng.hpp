@@ -14,6 +14,21 @@
 
 namespace cosched {
 
+/// SplitMix64 finalizer: a bijective avalanche mix of `x` (Steele et al.,
+/// "Fast splittable pseudorandom number generators"). Every output bit
+/// depends on every input bit, so consecutive inputs give statistically
+/// independent outputs.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Derives the seed for experiment cell `cell` of a sweep rooted at
+/// `base`. Raw loop indices (1, 2, 3, ...) are low-entropy seeds; routing
+/// (base, cell) through SplitMix64 decorrelates the per-cell RNG streams
+/// while keeping the derivation pure, so sweeps stay reproducible and the
+/// same cell index yields the same seed across configs (paired-seed
+/// comparisons remain valid). The exact values are pinned by a test —
+/// changing this function invalidates tests/golden/*.json.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t cell);
+
 /// PCG32 (Melissa O'Neill's pcg32_random_r): 64-bit state, 32-bit output,
 /// period 2^64 per stream, 2^63 selectable streams.
 class Pcg32 {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/machine.hpp"
+#include "util/rng.hpp"
 
 namespace cosched::cluster {
 namespace {
@@ -227,6 +228,129 @@ TEST(Machine, SecondarySpanningTwoPrimaries) {
   EXPECT_EQ(m.node(0).primary_job(), 3);
   EXPECT_EQ(m.co_residents(3), (std::vector<JobId>{2}));
   m.check_invariants();
+}
+
+// --- Free-capacity index --------------------------------------------------------
+
+// The index must agree with a brute-force rescan of every node, node for
+// node, after any mutation. check_invariants() performs exactly that
+// comparison, so each step below both exercises an index update path and
+// cross-checks it.
+
+/// Brute-force reference for the query results served from the index.
+struct Rescan {
+  std::vector<NodeId> free_primary;
+  std::vector<NodeId> free_secondary;
+
+  explicit Rescan(const Machine& m) {
+    for (NodeId id = 0; id < m.node_count(); ++id) {
+      if (m.node(id).primary_free()) free_primary.push_back(id);
+      if (m.node(id).secondary_free()) free_secondary.push_back(id);
+    }
+  }
+};
+
+TEST(MachineCapacityIndex, QueriesMatchRescanThroughLifecycle) {
+  Machine m(8, smt2());
+  m.allocate_primary(1, {0, 1, 2, 3});
+  m.allocate_secondary(2, {1, 2});
+  m.allocate_primary(3, {4});
+  m.set_node_down(7, true);
+  const Rescan ref(m);
+  EXPECT_EQ(m.free_node_count(), static_cast<int>(ref.free_primary.size()));
+  EXPECT_EQ(m.find_free_nodes(2),
+            std::optional<std::vector<NodeId>>({ref.free_primary[0],
+                                                ref.free_primary[1]}));
+  // free secondary slots: nodes 0,3 (primary 1 alone) and 4 (primary 3).
+  EXPECT_EQ(ref.free_secondary, (std::vector<NodeId>{0, 3, 4}));
+  const auto shareable = m.find_shareable_nodes(3, nullptr);
+  ASSERT_TRUE(shareable.has_value());
+  EXPECT_EQ(*shareable, ref.free_secondary);
+  m.check_invariants();
+}
+
+TEST(MachineCapacityIndex, ReleaseWithPromotionResyncsTouchedNodes) {
+  Machine m(4, smt2());
+  m.allocate_primary(1, {0, 1});
+  m.allocate_secondary(2, {0, 1});
+  EXPECT_EQ(m.free_node_count(), 2);
+  EXPECT_FALSE(m.find_shareable_nodes(1, nullptr).has_value());
+  m.release(1);  // job 2 promotes to primary on both nodes
+  EXPECT_EQ(m.free_node_count(), 2);  // nodes 2,3 — 0,1 now run job 2
+  const auto shareable = m.find_shareable_nodes(2, nullptr);
+  ASSERT_TRUE(shareable.has_value());
+  EXPECT_EQ(*shareable, (std::vector<NodeId>{0, 1}));
+  m.check_invariants();
+}
+
+// Randomized alloc/release/down-node sequences; after every operation the
+// incrementally maintained index must agree with the brute-force rescan
+// (check_invariants aborts on drift) and the query results must match the
+// reference.
+TEST(MachineCapacityIndex, FuzzAgainstBruteForceRescan) {
+  Pcg32 rng(0xf022);
+  for (int round = 0; round < 20; ++round) {
+    const int nodes = 2 + static_cast<int>(rng.next_below(14));
+    Machine m(nodes, smt2());
+    std::vector<JobId> live;
+    JobId next_job = 1;
+    for (int step = 0; step < 200; ++step) {
+      const Rescan ref(m);
+      const std::uint32_t op = rng.next_below(10);
+      if (op < 4 && !ref.free_primary.empty()) {
+        // Primary allocation of a random width from the free pool.
+        const int width =
+            1 + static_cast<int>(rng.next_below(
+                    static_cast<std::uint32_t>(ref.free_primary.size())));
+        const auto picked = m.find_free_nodes(width);
+        ASSERT_TRUE(picked.has_value());
+        ASSERT_EQ(picked->size(), static_cast<std::size_t>(width));
+        m.allocate_primary(next_job, *picked);
+        live.push_back(next_job++);
+      } else if (op < 6 && !ref.free_secondary.empty()) {
+        const int width =
+            1 + static_cast<int>(rng.next_below(
+                    static_cast<std::uint32_t>(ref.free_secondary.size())));
+        const auto picked = m.find_shareable_nodes(width, nullptr);
+        ASSERT_TRUE(picked.has_value());
+        m.allocate_secondary(next_job, *picked);
+        live.push_back(next_job++);
+      } else if (op < 8 && !live.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint32_t>(live.size())));
+        m.release(live[pick]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        // Toggle a node's service state; only empty nodes may go down.
+        const NodeId id =
+            static_cast<NodeId>(rng.next_below(
+                static_cast<std::uint32_t>(nodes)));
+        if (m.node(id).is_down()) {
+          m.set_node_down(id, false);
+        } else if (m.node(id).job_count() == 0) {
+          m.set_node_down(id, true);
+        }
+      }
+      m.check_invariants();
+      // Queries must be served from the same state the rescan sees.
+      const Rescan now(m);
+      EXPECT_EQ(m.free_node_count(),
+                static_cast<int>(now.free_primary.size()));
+      if (!now.free_primary.empty()) {
+        const auto head = m.find_free_nodes(1);
+        ASSERT_TRUE(head.has_value());
+        EXPECT_EQ(head->front(), now.free_primary.front());
+      }
+      if (!now.free_secondary.empty()) {
+        const auto share = m.find_shareable_nodes(
+            static_cast<int>(now.free_secondary.size()), nullptr);
+        ASSERT_TRUE(share.has_value());
+        EXPECT_EQ(*share, now.free_secondary);
+      } else {
+        EXPECT_FALSE(m.find_shareable_nodes(1, nullptr).has_value());
+      }
+    }
+  }
 }
 
 }  // namespace

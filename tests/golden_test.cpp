@@ -1,0 +1,175 @@
+// Golden-metrics regression suite.
+//
+// For every strategy, a small pinned experiment (16 nodes, 120-job Trinity
+// campaign, 3 cells seeded with derive_seed(1, cell)) is run through the
+// ParallelRunner and compared against a committed baseline in
+// tests/golden/<strategy>.json: scheduling efficiency, computational
+// efficiency, makespan, mean wait, secondary starts, executed events, and
+// the FNV-1a event-stream digest per cell. Any drift — a behaviour change
+// in the scheduler, workload generation, seed derivation, or the event
+// engine — fails the suite.
+//
+// Refreshing the baselines after an INTENDED behaviour change:
+//
+//   ./build/tests/cosched_tests --update-golden --gtest_filter='Golden*'
+//
+// (or set COSCHED_UPDATE_GOLDEN=1). Commit the rewritten tests/golden/
+// files together with the change that moved the numbers, and say why in
+// the commit message. Digests are compared exactly; floating-point
+// metrics at 1e-9 relative tolerance (the files store 10 significant
+// digits).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "runner/runner.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched {
+namespace {
+
+constexpr int kNodes = 16;
+constexpr int kJobs = 120;
+constexpr int kCells = 3;
+constexpr std::uint64_t kBaseSeed = 1;
+
+bool update_mode() {
+  const char* v = std::getenv("COSCHED_UPDATE_GOLDEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::string golden_path(core::StrategyKind kind) {
+  return std::string(COSCHED_GOLDEN_DIR) + "/" + core::to_string(kind) +
+         ".json";
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::vector<slurmlite::SimulationResult> run_pinned_experiment(
+    core::StrategyKind kind) {
+  const auto catalog = apps::Catalog::trinity();
+  slurmlite::SimulationSpec proto;
+  proto.controller.nodes = kNodes;
+  proto.controller.strategy = kind;
+  proto.workload = workload::trinity_campaign(kNodes, kJobs);
+  proto.hash_events = true;
+  runner::ParallelRunner pool(1);  // 1 vs N is pinned by runner_test
+  return runner::run_seed_sweep(pool, proto, catalog, kBaseSeed, kCells);
+}
+
+std::string to_golden_json(
+    const std::vector<slurmlite::SimulationResult>& cells) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("config")
+      .value("nodes", kNodes)
+      .value("jobs", kJobs)
+      .value("cells", kCells)
+      .value("base_seed", static_cast<std::int64_t>(kBaseSeed))
+      .end_object();
+  w.begin_array("cells");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto& r = cells[c];
+    w.begin_object()
+        .value("seed", hex64(derive_seed(kBaseSeed, c)))
+        .value("digest", hex64(r.event_stream_hash))
+        .value("events", static_cast<std::int64_t>(r.events_executed))
+        .value("sched_eff", r.metrics.scheduling_efficiency)
+        .value("comp_eff", r.metrics.computational_efficiency)
+        .value("makespan_s", r.metrics.makespan_s)
+        .value("mean_wait_s", r.metrics.mean_wait_s)
+        .value("secondary_starts",
+               static_cast<std::int64_t>(r.stats.secondary_starts))
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void expect_near_rel(double expect, double actual, const char* what,
+                     std::size_t cell) {
+  const double tol = 1e-9 * std::max({std::fabs(expect), std::fabs(actual),
+                                      1.0});
+  EXPECT_NEAR(actual, expect, tol) << what << " drifted in cell " << cell;
+}
+
+class Golden : public ::testing::TestWithParam<core::StrategyKind> {};
+
+TEST_P(Golden, MetricsMatchPinnedBaseline) {
+  const auto kind = GetParam();
+  const auto cells = run_pinned_experiment(kind);
+  const std::string path = golden_path(kind);
+
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << to_golden_json(cells) << "\n";
+    SUCCEED() << "rewrote " << path;
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden baseline " << path
+      << " — run cosched_tests --update-golden to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const JsonValue golden = parse_json(buf.str());
+
+  const auto& config = golden.at("config");
+  ASSERT_EQ(static_cast<int>(config.at("nodes").as_number()), kNodes);
+  ASSERT_EQ(static_cast<int>(config.at("jobs").as_number()), kJobs);
+  ASSERT_EQ(static_cast<int>(config.at("cells").as_number()), kCells);
+
+  const auto& want = golden.at("cells").as_array();
+  ASSERT_EQ(want.size(), cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto& w = want[c];
+    const auto& r = cells[c];
+    EXPECT_EQ(w.at("seed").as_string(), hex64(derive_seed(kBaseSeed, c)))
+        << "seed derivation changed (cell " << c << ")";
+    EXPECT_EQ(w.at("digest").as_string(), hex64(r.event_stream_hash))
+        << "event-stream digest drifted in cell " << c
+        << " — scheduler behaviour changed; if intended, refresh with "
+           "--update-golden";
+    EXPECT_EQ(static_cast<std::size_t>(w.at("events").as_number()),
+              r.events_executed)
+        << "cell " << c;
+    expect_near_rel(w.at("sched_eff").as_number(),
+                    r.metrics.scheduling_efficiency, "sched_eff", c);
+    expect_near_rel(w.at("comp_eff").as_number(),
+                    r.metrics.computational_efficiency, "comp_eff", c);
+    expect_near_rel(w.at("makespan_s").as_number(), r.metrics.makespan_s,
+                    "makespan_s", c);
+    expect_near_rel(w.at("mean_wait_s").as_number(), r.metrics.mean_wait_s,
+                    "mean_wait_s", c);
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  w.at("secondary_starts").as_number()),
+              static_cast<std::int64_t>(r.stats.secondary_starts))
+        << "cell " << c;
+  }
+}
+
+std::string golden_name(
+    const ::testing::TestParamInfo<core::StrategyKind>& info) {
+  return core::to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, Golden,
+                         ::testing::ValuesIn(core::all_strategies()),
+                         golden_name);
+
+}  // namespace
+}  // namespace cosched

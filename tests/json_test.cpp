@@ -61,6 +61,77 @@ TEST(JsonWriter, UnbalancedScopesAbort) {
   EXPECT_DEATH((void)w.str(), "unclosed JSON scope");
 }
 
+// --- JSON parser -----------------------------------------------------------------
+
+TEST(JsonParser, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse_json("6.02e23").as_number(), 6.02e23);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParser, ParsesNestedStructure) {
+  const auto v = parse_json(
+      R"({"name":"alpha","xs":[1,2,3],"inner":{"ok":true,"n":null}})");
+  EXPECT_EQ(v.at("name").as_string(), "alpha");
+  ASSERT_EQ(v.at("xs").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("xs").as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(v.at("inner").at("ok").as_bool());
+  EXPECT_TRUE(v.at("inner").at("n").is_null());
+  EXPECT_EQ(v.keys(), (std::vector<std::string>{"name", "xs", "inner"}));
+  EXPECT_FALSE(v.has("absent"));
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(JsonParser, DecodesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd")").as_string(),
+            std::string("a\"b\\c\nd") + '\x01');
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .value("digest", "0x00ff00ff00ff00ff")
+      .value("sched_eff", 0.9234567891)
+      .value("events", std::int64_t{123456});
+  w.begin_array("xs").value(1.5).value(-2.25).end_array();
+  w.end_object();
+  const auto v = parse_json(w.str());
+  EXPECT_EQ(v.at("digest").as_string(), "0x00ff00ff00ff00ff");
+  EXPECT_DOUBLE_EQ(v.at("sched_eff").as_number(), 0.9234567891);
+  EXPECT_DOUBLE_EQ(v.at("events").as_number(), 123456.0);
+  EXPECT_DOUBLE_EQ(v.at("xs").as_array()[1].as_number(), -2.25);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("[1,]2"), Error);
+  EXPECT_THROW(parse_json("{\"k\" 1}"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+  EXPECT_THROW(parse_json("trie"), Error);
+  EXPECT_THROW(parse_json("1 2"), Error);
+  EXPECT_THROW(parse_json("--3"), Error);
+  // Location is reported for debugging hand-edited goldens.
+  try {
+    parse_json("{\"k\":\n  oops}");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParser, AccessorsCheckKind) {
+  const auto v = parse_json(R"({"n":1})");
+  EXPECT_DEATH((void)v.as_array(), "not an array");
+  EXPECT_DEATH((void)v.at("n").as_string(), "not a string");
+  EXPECT_DEATH((void)v.at("missing"), "no key");
+}
+
 // --- Simulation report -------------------------------------------------------------
 
 TEST(JsonReport, ContainsMetricsStatsAndJobs) {

@@ -1,0 +1,27 @@
+// Fixture: bare thread spawns outside src/runner/ must produce
+// no-raw-thread findings; queries on the thread type must not.
+#include <thread>
+
+void spawn() {
+  std::thread t([] {});                    // cosched-lint: expect(no-raw-thread)
+  t.join();
+  std::jthread j([] {});                   // cosched-lint: expect(no-raw-thread)
+}
+
+unsigned queries_are_fine() {
+  // Static queries don't spawn anything.
+  return std::thread::hardware_concurrency();
+}
+
+void mentions_do_not_match() {
+  // Strings and comments never match: "std::thread t;".
+  const char* doc = "std::thread";
+  (void)doc;
+  int thread = 0;  // bare ident without std:: qualifier
+  (void)thread;
+}
+
+void suppressed_spawn() {
+  std::thread t([] {});  // cosched-lint: allow(no-raw-thread)
+  t.join();
+}

@@ -1,0 +1,10 @@
+// Fixture: src/runner/ is the one place allowed to spawn threads, so this
+// file must produce no findings (the self-test fails on SPURIOUS ones).
+#include <thread>
+#include <vector>
+
+void pool() {
+  std::vector<std::thread> workers;
+  workers.emplace_back([] {});
+  for (std::thread& w : workers) w.join();
+}

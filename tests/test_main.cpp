@@ -1,0 +1,26 @@
+// Custom gtest main: adds the repo-specific `--update-golden` flag, which
+// tells tests/golden_test.cpp to rewrite the pinned baselines under
+// tests/golden/ instead of comparing against them.
+//
+//   ./build/tests/cosched_tests --update-golden --gtest_filter='Golden*'
+//
+// The flag is transported to the golden tests via the environment
+// (COSCHED_UPDATE_GOLDEN=1 works too, e.g. under ctest) so the test code
+// itself needs no argv plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      setenv("COSCHED_UPDATE_GOLDEN", "1", 1);
+      for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -6,6 +6,8 @@
 //                    [--sacct] [--gantt out.csv] [--swf-out out.swf]
 //                    [--json out.json]
 //   cosched compare  --config FILE [--jobs N] [--seed N] [--csv]
+//                    [--threads N]   # parallel fan-out; output is
+//                                    # identical for every N
 //   cosched validate --workload trace.swf [--nodes N]
 //   cosched audit    [--strategy NAME|all] [--seed N] [--jobs N]
 //                    [--campaign trinity|membound|compute] [--config FILE]
@@ -19,6 +21,7 @@
 #include <iostream>
 
 #include "metrics/validate.hpp"
+#include "runner/runner.hpp"
 #include "slurmlite/config.hpp"
 #include "slurmlite/report.hpp"
 #include "slurmlite/formatters.hpp"
@@ -134,15 +137,27 @@ int cmd_compare(const Flags& flags) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const bool csv = flags.get_bool("csv", false);
 
-  Table t({"strategy", "makespan (h)", "sched eff", "comp eff",
-           "mean wait (min)", "co-starts", "timeouts"});
+  // One independent simulation per strategy; fan them over the pool and
+  // print in strategy order (results land in submission-order slots, so
+  // the table is identical for every --threads value).
+  runner::ParallelRunner pool(
+      static_cast<int>(flags.get_int("threads", 0)));
+  std::vector<slurmlite::SimulationSpec> specs;
   for (auto kind : core::all_strategies()) {
     config.strategy = kind;
     slurmlite::SimulationSpec spec;
     spec.controller = config;
     spec.workload = campaign_params(flags, config.nodes);
     spec.seed = seed;
-    const auto r = slurmlite::run_simulation(spec, catalog);
+    specs.push_back(std::move(spec));
+  }
+  const auto results = runner::run_specs(pool, specs, catalog);
+
+  Table t({"strategy", "makespan (h)", "sched eff", "comp eff",
+           "mean wait (min)", "co-starts", "timeouts"});
+  std::size_t i = 0;
+  for (auto kind : core::all_strategies()) {
+    const auto& r = results[i++];
     t.row()
         .add(core::to_string(kind))
         .add(r.metrics.makespan_s / 3600.0, 2)

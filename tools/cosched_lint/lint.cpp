@@ -448,6 +448,27 @@ void scan_unordered_iteration(const std::vector<Token>& tokens,
   }
 }
 
+/// Thread spawns are confined to src/runner/ (the ParallelRunner): one
+/// audited pool instead of ad-hoc threads, so the share-nothing and
+/// determinism contracts have a single enforcement point.
+void scan_raw_thread(const std::vector<Token>& tokens, const SourceFile& file,
+                     std::vector<Finding>& findings) {
+  if (file.path.find("src/runner/") != std::string::npos) return;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (t.text != "thread" && t.text != "jthread") continue;
+    if (tokens[i - 1].text != "::" || tokens[i - 2].text != "std") continue;
+    // std::thread::hardware_concurrency() and other statics are queries,
+    // not spawns.
+    if (i + 1 < tokens.size() && tokens[i + 1].text == "::") continue;
+    findings.push_back({file.path, t.line, "no-raw-thread",
+                        "bare std::" + t.text +
+                            " outside src/runner/; route parallelism "
+                            "through runner::ParallelRunner"});
+  }
+}
+
 }  // namespace
 
 // --- Public API --------------------------------------------------------------
@@ -503,6 +524,7 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
     scan_using_namespace_std(tokens, file, local);
     scan_include_guard(file, local);
     scan_unordered_iteration(tokens, file, unordered_names, local);
+    scan_raw_thread(tokens, file, local);
     for (Finding& f : local) {
       if (!suppressed(file, f.line, f.rule)) {
         findings.push_back(std::move(f));
@@ -536,6 +558,7 @@ const std::vector<std::string>& rule_names() {
       "no-float-equality",
       "no-using-namespace-std",
       "include-guard",
+      "no-raw-thread",
   };
   return names;
 }
