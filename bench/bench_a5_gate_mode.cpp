@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
       "push jobs past tight walltimes (timeouts/lost work > 0); learned "
       "sits between them and converges toward oracle as the campaign "
       "progresses and pair history accumulates.");
+  bench::finish(env);
   return 0;
 }

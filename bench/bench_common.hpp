@@ -13,12 +13,16 @@
 // comparisons stay valid.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/catalog.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
 #include "runner/runner.hpp"
 #include "slurmlite/simulation.hpp"
 #include "util/flags.hpp"
@@ -38,6 +42,14 @@ struct BenchEnv {
   int threads = 0;
   /// Root of the per-cell seed derivation (--seed).
   std::uint64_t base_seed = 1;
+  /// --profile: arm the wall-clock phase profiler; finish() reports it.
+  bool profile = false;
+  /// --metrics-json FILE: every sweep cell records into its own registry;
+  /// sweep_grid merges them here and finish() writes the JSON dump.
+  std::string metrics_json;
+  /// Merged cell metrics (shared so env copies observe the same registry);
+  /// non-null exactly when --metrics-json was given.
+  std::shared_ptr<obs::Registry> registry;
 
   static BenchEnv from_flags(const Flags& flags) {
     BenchEnv env;
@@ -47,6 +59,15 @@ struct BenchEnv {
     env.jobs = static_cast<int>(flags.get_int("jobs", 500));
     env.threads = static_cast<int>(flags.get_int("threads", 0));
     env.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    env.profile = flags.get_bool("profile", false);
+    env.metrics_json = flags.get_string("metrics-json", "");
+    if (!env.metrics_json.empty()) {
+      env.registry = std::make_shared<obs::Registry>();
+    }
+    if (env.profile) {
+      obs::profiler_reset();
+      obs::set_profiling_enabled(true);
+    }
     return env;
   }
 };
@@ -81,7 +102,18 @@ inline std::vector<std::vector<SweepPoint>> sweep_grid(
       cells.back().seed = derive_seed(env.base_seed, s);
     }
   }
+  // --metrics-json: a private registry per cell (share-nothing under the
+  // pool), merged into env.registry after the batch drains.
+  std::vector<std::unique_ptr<obs::Registry>> cell_registries;
+  if (env.registry != nullptr) {
+    cell_registries.reserve(cells.size());
+    for (auto& cell : cells) {
+      cell_registries.push_back(std::make_unique<obs::Registry>());
+      cell.controller.registry = cell_registries.back().get();
+    }
+  }
   const auto results = runner::run_specs(pool, cells, catalog);
+  for (const auto& reg : cell_registries) env.registry->merge_from(*reg);
 
   std::vector<std::vector<SweepPoint>> out;
   out.reserve(protos.size());
@@ -137,6 +169,25 @@ inline void emit(const Table& table, const BenchEnv& env,
   table.print(std::cout, env.csv);
   if (!env.csv && !note.empty()) {
     std::cout << "\n" << note << "\n";
+  }
+}
+
+/// Observability epilogue, called once before a bench exits: writes the
+/// merged --metrics-json dump and prints the --profile phase table. Both
+/// go to stderr so --csv stdout pipelines stay clean.
+inline void finish(const BenchEnv& env) {
+  if (env.registry != nullptr && !env.metrics_json.empty()) {
+    std::ofstream out(env.metrics_json);
+    if (!out.good()) {
+      throw Error("cannot write '" + env.metrics_json + "'");
+    }
+    out << env.registry->to_json() << "\n";
+    std::cerr << "wrote metrics to " << env.metrics_json << "\n";
+  }
+  if (env.profile) {
+    obs::set_profiling_enabled(false);
+    const std::string report = obs::profiler_report();
+    if (!report.empty()) std::cerr << report;
   }
 }
 

@@ -46,5 +46,6 @@ int main(int argc, char** argv) {
                   "firstfit, fcfs worst; the co strategies exceed 1.0 "
                   "because SMT sharing packs more work than exclusive "
                   "machine-time allows.");
+  bench::finish(env);
   return 0;
 }

@@ -65,7 +65,7 @@ void StateAuditor::validate(SimTime now) const {
 }
 
 void StateAuditor::on_event_executed(SimTime when, sim::EventPriority,
-                                     sim::EventId) {
+                                     sim::EventId, const char*) {
   COSCHED_CHECK_MSG(when >= last_time_,
                     "event timestamps went backwards: " << when << " after "
                                                         << last_time_);

@@ -65,7 +65,7 @@ class StateAuditor final : public sim::EventObserver {
   void validate(SimTime now) const;
 
   void on_event_executed(SimTime when, sim::EventPriority priority,
-                         sim::EventId id) override;
+                         sim::EventId id, const char* label) override;
 
   std::size_t events_audited() const { return audited_; }
 

@@ -22,7 +22,9 @@ namespace cosched::audit {
 class EventStreamHasher final : public sim::EventObserver {
  public:
   void on_event_executed(SimTime when, sim::EventPriority priority,
-                         sim::EventId id) override {
+                         sim::EventId id, const char* /*label*/) override {
+    // The label deliberately stays out of the digest: it is observability
+    // metadata, and relabeling a schedule site must not change digests.
     hash_.mix_i64(when)
         .mix_byte(static_cast<std::uint8_t>(priority))
         .mix_u64(id);

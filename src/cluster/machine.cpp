@@ -137,6 +137,7 @@ void Machine::allocate_primary(JobId job, const std::vector<NodeId>& nodes) {
     resync_node(id);
   }
   allocations_[job] = Allocation{job, AllocationKind::kPrimary, nodes};
+  if (tracer_ != nullptr) tracer_->machine_alloc("alloc_primary", job, nodes);
 }
 
 void Machine::allocate_secondary(JobId job, const std::vector<NodeId>& nodes) {
@@ -148,6 +149,9 @@ void Machine::allocate_secondary(JobId job, const std::vector<NodeId>& nodes) {
     resync_node(id);
   }
   allocations_[job] = Allocation{job, AllocationKind::kSecondary, nodes};
+  if (tracer_ != nullptr) {
+    tracer_->machine_alloc("alloc_secondary", job, nodes);
+  }
 }
 
 Allocation Machine::release(JobId job) {
@@ -165,6 +169,7 @@ Allocation Machine::release(JobId job) {
     node_mutable(id).remove(job);
     resync_node(id);
   }
+  if (tracer_ != nullptr) tracer_->machine_alloc("release", job, alloc.nodes);
   return alloc;
 }
 
@@ -191,6 +196,7 @@ std::vector<JobId> Machine::co_residents(JobId job) const {
 void Machine::set_node_down(NodeId id, bool down) {
   node_mutable(id).set_down(down);
   resync_node(id);
+  if (tracer_ != nullptr) tracer_->node_state(id, down);
 }
 
 void Machine::resync_node(NodeId id) {

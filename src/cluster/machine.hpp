@@ -22,6 +22,7 @@
 #include "cluster/id_set.hpp"
 #include "cluster/node.hpp"
 #include "cluster/topology.hpp"
+#include "obs/trace.hpp"
 #include "util/types.hpp"
 
 namespace cosched::cluster {
@@ -113,6 +114,11 @@ class Machine {
   /// violation.
   void check_invariants() const;
 
+  /// Mirrors allocations, releases, and node up/down transitions into the
+  /// decision trace (machine_alloc / node_state records). nullptr (the
+  /// default) disables emission; the tracer must outlive the machine.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::optional<std::vector<NodeId>> find_free_nodes_compact(
       int count) const;
@@ -134,6 +140,7 @@ class Machine {
   /// nodes with a free secondary slot (see file comment).
   NodeIdSet free_primary_;
   NodeIdSet free_secondary_;
+  obs::Tracer* tracer_ = nullptr;  // non-owning; see set_tracer()
 };
 
 }  // namespace cosched::cluster

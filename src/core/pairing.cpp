@@ -31,9 +31,13 @@ std::optional<double> CoAllocator::admissible(SchedulerHost& host,
   const workload::Job& cand = host.job(candidate);
   const apps::AppModel& cand_app = host.app_of(candidate);
   if (!cand.shareable || !cand_app.shareable) {
+    last_reason_ = obs::ReasonCode::kCandidateNotShareable;
     return std::nullopt;
   }
-  if (!host.machine().node(node_id).secondary_free()) return std::nullopt;
+  if (!host.machine().node(node_id).secondary_free()) {
+    last_reason_ = obs::ReasonCode::kInsufficientNodes;
+    return std::nullopt;
+  }
   resident_scratch_.clear();
   return node_admissible(
       host, Candidate{&cand, &cand_app, host.now() + cand.walltime_limit},
@@ -61,12 +65,18 @@ std::optional<double> CoAllocator::node_admissible(
                             host.walltime_end(resident)};
     }
     const Resident& r = it->second;
-    if (!r.shareable) return std::nullopt;
+    if (!r.shareable) {
+      last_reason_ = obs::ReasonCode::kResidentNotShareable;
+      return std::nullopt;
+    }
     resident_apps.push_back(r.app);
     if (respect_deadline) {
       // The candidate must be gone (by walltime bound) before any resident
       // primary's walltime end, so reservation math stays valid.
-      if (cand.walltime_end > r.walltime_end) return std::nullopt;
+      if (cand.walltime_end > r.walltime_end) {
+        last_reason_ = obs::ReasonCode::kWalltimeFence;
+        return std::nullopt;
+      }
     }
   }
 
@@ -79,18 +89,25 @@ std::optional<double> CoAllocator::node_admissible(
             (static_cast<std::uint64_t>(resident_apps[0]->id) << 32) |
             static_cast<std::uint32_t>(cand_app.id);
         const auto cached = oracle_pair_cache_.find(key);
-        if (cached != oracle_pair_cache_.end()) return cached->second;
+        if (cached != oracle_pair_cache_.end()) {
+          last_reason_ = cached->second.reason;
+          return cached->second.score;
+        }
         const auto [sd_res, sd_cand] = host.corun().pair_slowdowns(
             resident_apps[0]->stress, cand_app.stress);
-        std::optional<double> outcome;
+        CachedGate outcome{std::nullopt, obs::ReasonCode::kAccepted};
         const double throughput = 1.0 / sd_res + 1.0 / sd_cand;
-        if (sd_res <= options_.max_dilation &&
-            sd_cand <= options_.max_dilation &&
-            throughput >= 1.0 + options_.pairing_threshold) {
-          outcome = throughput;
+        if (sd_res > options_.max_dilation ||
+            sd_cand > options_.max_dilation) {
+          outcome.reason = obs::ReasonCode::kDilationCap;
+        } else if (throughput < 1.0 + options_.pairing_threshold) {
+          outcome.reason = obs::ReasonCode::kBelowThreshold;
+        } else {
+          outcome.score = throughput;
         }
         oracle_pair_cache_.emplace(key, outcome);
-        return outcome;
+        last_reason_ = outcome.reason;
+        return outcome.score;
       }
       std::vector<apps::StressVector> stresses;
       stresses.reserve(resident_apps.size() + 1);
@@ -101,22 +118,29 @@ std::optional<double> CoAllocator::node_admissible(
       const auto slowdowns = host.corun().slowdowns(stresses);
       double throughput = 0;
       for (double sd : slowdowns) {
-        if (sd > options_.max_dilation) return std::nullopt;
+        if (sd > options_.max_dilation) {
+          last_reason_ = obs::ReasonCode::kDilationCap;
+          return std::nullopt;
+        }
         throughput += 1.0 / sd;
       }
       const auto extra_jobs = static_cast<double>(stresses.size() - 1);
       if (throughput < 1.0 + options_.pairing_threshold * extra_jobs) {
+        last_reason_ = obs::ReasonCode::kBelowThreshold;
         return std::nullopt;
       }
+      last_reason_ = obs::ReasonCode::kAccepted;
       return throughput;
     }
 
     case GateMode::kClassRule: {
       for (const apps::AppModel* app : resident_apps) {
         if (!classes_complementary(cand_app.app_class, app->app_class)) {
+          last_reason_ = obs::ReasonCode::kClassMismatch;
           return std::nullopt;
         }
       }
+      last_reason_ = obs::ReasonCode::kAccepted;
       return 1.0;  // no quantitative prediction: all admits rank equal
     }
 
@@ -131,6 +155,7 @@ std::optional<double> CoAllocator::node_admissible(
         if (!tput) {
           // Unseen pair: explore via the class rule.
           if (!classes_complementary(cand_app.app_class, app->app_class)) {
+            last_reason_ = obs::ReasonCode::kClassMismatch;
             return std::nullopt;
           }
           continue;
@@ -140,12 +165,17 @@ std::optional<double> CoAllocator::node_admissible(
                 options_.max_dilation ||
             est->estimate(app->id, cand_app.id).dilation >
                 options_.max_dilation) {
+          last_reason_ = obs::ReasonCode::kDilationCap;
           return std::nullopt;
         }
-        if (*tput < 1.0 + options_.pairing_threshold) return std::nullopt;
+        if (*tput < 1.0 + options_.pairing_threshold) {
+          last_reason_ = obs::ReasonCode::kBelowThreshold;
+          return std::nullopt;
+        }
         score = std::min(score == kLearnedFallbackScore ? *tput : score,
                          *tput);
       }
+      last_reason_ = obs::ReasonCode::kAccepted;
       return score;
     }
   }
@@ -155,9 +185,18 @@ std::optional<double> CoAllocator::node_admissible(
 
 std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
     SchedulerHost& host, JobId candidate, bool respect_deadline) const {
+  obs::Tracer* tracer = host.tracer();
   const workload::Job& cand = host.job(candidate);
   const apps::AppModel& cand_app = host.app_of(candidate);
-  if (!cand.shareable || !cand_app.shareable) return std::nullopt;
+  if (!cand.shareable || !cand_app.shareable) {
+    if (tracer != nullptr) {
+      tracer->co_decision(candidate, /*accepted=*/false,
+                          obs::ReasonCode::kCandidateNotShareable,
+                          /*scanned=*/0, /*admissible=*/0, nullptr,
+                          obs::ReasonCounts{});
+    }
+    return std::nullopt;
+  }
   const Candidate ctx{&cand, &cand_app,
                       host.now() + cand.walltime_limit};
   const int wanted = cand.nodes;
@@ -169,12 +208,30 @@ std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
   // The candidate scan walks the machine's free-secondary index (ascending
   // node id, same order as the historical full rescan) instead of testing
   // every node.
+  obs::ReasonCounts rejects;
+  int scanned = 0;
   for (NodeId n : machine.free_secondary_nodes()) {
+    ++scanned;
     if (auto score = node_admissible(host, ctx, n, respect_deadline)) {
       ranked.emplace_back(-*score, n);
+    } else {
+      rejects.add(last_reason_);
     }
   }
-  if (static_cast<int>(ranked.size()) < wanted) return std::nullopt;
+  if (obs::Registry* registry = host.registry()) {
+    registry
+        ->histogram("co_nodes_scanned",
+                    {1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
+        .observe(scanned);
+  }
+  if (static_cast<int>(ranked.size()) < wanted) {
+    if (tracer != nullptr) {
+      tracer->co_decision(candidate, /*accepted=*/false,
+                          obs::ReasonCode::kInsufficientNodes, scanned,
+                          static_cast<int>(ranked.size()), nullptr, rejects);
+    }
+    return std::nullopt;
+  }
   // Only the best `wanted` entries are taken; keys (-score, id) are unique,
   // so a partial sort yields exactly the full sort's prefix.
   std::partial_sort(ranked.begin(),
@@ -184,6 +241,11 @@ std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
   nodes.reserve(static_cast<std::size_t>(wanted));
   for (int i = 0; i < wanted; ++i) {
     nodes.push_back(ranked[static_cast<std::size_t>(i)].second);
+  }
+  if (tracer != nullptr) {
+    tracer->co_decision(candidate, /*accepted=*/true,
+                        obs::ReasonCode::kAccepted, scanned,
+                        static_cast<int>(ranked.size()), &nodes, rejects);
   }
   return nodes;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "obs/trace.hpp"
 
 namespace cosched::core {
 
@@ -68,12 +69,22 @@ class CoAllocator {
                                         bool respect_deadline) const;
 
   CoAllocationOptions options_;
+  /// Why the most recent node_admissible() call went the way it did:
+  /// kAccepted after an admit, else the first fence the candidate hit.
+  /// Single-writer scratch like the maps below; select_nodes folds it into
+  /// the per-scan ReasonCounts for trace emission.
+  mutable obs::ReasonCode last_reason_ = obs::ReasonCode::kAccepted;
+  /// One memoized oracle gate outcome: the score when admitted, plus the
+  /// rejection reason so cache hits still explain themselves to the trace.
+  struct CachedGate {
+    std::optional<double> score;
+    obs::ReasonCode reason;
+  };
   /// Oracle-mode gate outcomes per (resident-app, candidate-app) pair.
   /// Stress vectors and gate options are immutable, so the two-job gate
   /// result is a pure pair function; caching it removes the dominant cost
   /// of co-allocation passes (recomputing pair slowdowns per node).
-  mutable std::unordered_map<std::uint64_t, std::optional<double>>
-      oracle_pair_cache_;
+  mutable std::unordered_map<std::uint64_t, CachedGate> oracle_pair_cache_;
   /// Scan scratch, reused across calls so the per-node/per-candidate hot
   /// path allocates nothing in steady state. A CoAllocator belongs to one
   /// scheduler, which belongs to one (single-threaded) simulation cell, so

@@ -15,6 +15,8 @@
 #include "cluster/machine.hpp"
 #include "interference/corun_model.hpp"
 #include "interference/estimator.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/types.hpp"
 #include "workload/job.hpp"
 
@@ -53,6 +55,16 @@ class SchedulerHost {
   virtual SimDuration predicted_runtime(JobId pending) const {
     return job(pending).walltime_limit;
   }
+
+  // --- Observability (optional; see src/obs/) --------------------------------
+
+  /// Decision tracer, or nullptr when tracing is off. Schedulers emit
+  /// co_decision / shadow / backfill_reject records through it; emission
+  /// must never influence decisions.
+  virtual obs::Tracer* tracer() const { return nullptr; }
+
+  /// Metrics registry, or nullptr when metrics collection is off.
+  virtual obs::Registry* registry() const { return nullptr; }
 
   // --- Actions ---------------------------------------------------------------
 

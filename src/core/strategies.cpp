@@ -50,8 +50,12 @@ std::vector<JobId> EasyBackfillScheduler::easy_pass(SchedulerHost& host) {
 
   // Phase 2: backfill behind the head's reservation. The shadow moves when
   // a backfill start consumes nodes, so recompute after every start.
+  obs::Tracer* tracer = host.tracer();
   const JobId head = remaining.front();
   ShadowInfo shadow = compute_shadow(host, host.job(head).nodes);
+  if (tracer != nullptr) {
+    tracer->shadow(head, shadow.shadow_time, shadow.extra_nodes);
+  }
   std::vector<JobId> leftover{head};
   const std::size_t limit =
       backfill_depth_ > 0
@@ -61,11 +65,17 @@ std::vector<JobId> EasyBackfillScheduler::easy_pass(SchedulerHost& host) {
   for (std::size_t i = 1; i < remaining.size(); ++i) {
     const JobId id = remaining[i];
     if (i >= limit) {  // beyond the test budget: leave queued untouched
+      if (tracer != nullptr) {
+        tracer->backfill_reject(id, obs::ReasonCode::kBeyondDepth);
+      }
       leftover.push_back(id);
       continue;
     }
     const workload::Job& job = host.job(id);
     if (host.machine().free_node_count() < job.nodes) {
+      if (tracer != nullptr) {
+        tracer->backfill_reject(id, obs::ReasonCode::kCapacity);
+      }
       leftover.push_back(id);
       continue;
     }
@@ -77,7 +87,16 @@ std::vector<JobId> EasyBackfillScheduler::easy_pass(SchedulerHost& host) {
     if ((ends_before_shadow || fits_in_extra) &&
         try_start_primary(host, id)) {
       shadow = compute_shadow(host, host.job(head).nodes);
+      if (tracer != nullptr) {
+        tracer->shadow(head, shadow.shadow_time, shadow.extra_nodes);
+      }
     } else {
+      if (tracer != nullptr) {
+        tracer->backfill_reject(id,
+                                (ends_before_shadow || fits_in_extra)
+                                    ? obs::ReasonCode::kCapacity
+                                    : obs::ReasonCode::kBackfillWindow);
+      }
       leftover.push_back(id);
     }
   }

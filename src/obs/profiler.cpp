@@ -1,0 +1,167 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace cosched::obs {
+
+namespace {
+
+std::atomic<bool> g_profiling{false};
+
+/// One thread's accumulation. Owned by the global list (so records survive
+/// thread exit); written only by the owning thread, read by snapshots
+/// after the work drained.
+struct ThreadRecord {
+  int index = 0;
+  std::map<std::string, PhaseStats> phases;
+};
+
+struct ProfilerState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRecord>> threads;
+};
+
+ProfilerState& state() {
+  static ProfilerState* s = new ProfilerState();  // leaked: outlive TLS dtors
+  return *s;
+}
+
+ThreadRecord& thread_record() {
+  thread_local ThreadRecord* record = [] {
+    auto owned = std::make_unique<ThreadRecord>();
+    ThreadRecord* raw = owned.get();
+    ProfilerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    raw->index = static_cast<int>(s.threads.size());
+    s.threads.push_back(std::move(owned));
+    return raw;
+  }();
+  return *record;
+}
+
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void set_profiling_enabled(bool on) {
+  g_profiling.store(on, std::memory_order_relaxed);
+}
+
+bool profiling_enabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+void profiler_reset() {
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& record : s.threads) record->phases.clear();
+}
+
+namespace detail {
+
+std::uint64_t prof_now_ns() {
+  // Host clock by design: the profiler measures real cost and never feeds
+  // simulated state (see file comment in profiler.hpp).
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())  // cosched-lint: allow(no-wallclock)
+          .count());
+}
+
+void prof_record(const char* phase, std::uint64_t elapsed_ns) {
+  PhaseStats& stats = thread_record().phases[phase];
+  ++stats.calls;
+  stats.total_ns += elapsed_ns;
+  stats.max_ns = std::max(stats.max_ns, elapsed_ns);
+}
+
+}  // namespace detail
+
+std::vector<ThreadProfile> profiler_snapshot() {
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<ThreadProfile> out;
+  out.reserve(s.threads.size());
+  for (const auto& record : s.threads) {
+    if (record->phases.empty()) continue;
+    ThreadProfile profile;
+    profile.thread_index = record->index;
+    profile.phases.assign(record->phases.begin(), record->phases.end());
+    out.push_back(std::move(profile));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadProfile& a, const ThreadProfile& b) {
+              return a.thread_index < b.thread_index;
+            });
+  return out;
+}
+
+std::string profiler_report() {
+  const std::vector<ThreadProfile> threads = profiler_snapshot();
+  if (threads.empty()) return "";
+
+  struct Agg {
+    PhaseStats stats;
+    int thread_count = 0;
+  };
+  std::map<std::string, Agg> phases;
+  for (const ThreadProfile& t : threads) {
+    for (const auto& [name, stats] : t.phases) {
+      Agg& agg = phases[name];
+      agg.stats.calls += stats.calls;
+      agg.stats.total_ns += stats.total_ns;
+      agg.stats.max_ns = std::max(agg.stats.max_ns, stats.max_ns);
+      ++agg.thread_count;
+    }
+  }
+
+  std::vector<std::pair<std::string, Agg>> rows(phases.begin(), phases.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.stats.total_ns != b.second.stats.total_ns) {
+      return a.second.stats.total_ns > b.second.stats.total_ns;
+    }
+    return a.first < b.first;
+  });
+
+  Table table({"phase", "calls", "total", "mean", "max", "threads"});
+  for (const auto& [name, agg] : rows) {
+    const double total = static_cast<double>(agg.stats.total_ns);
+    table.row()
+        .add(name)
+        .add(static_cast<std::int64_t>(agg.stats.calls))
+        .add(fmt_ns(total))
+        .add(fmt_ns(agg.stats.calls > 0
+                        ? total / static_cast<double>(agg.stats.calls)
+                        : 0))
+        .add(fmt_ns(static_cast<double>(agg.stats.max_ns)))
+        .add(agg.thread_count);
+  }
+
+  std::ostringstream out;
+  out << "=== wall-clock phase profile (" << threads.size()
+      << " thread(s)) ===\n"
+      << table.to_text();
+  return out.str();
+}
+
+}  // namespace cosched::obs

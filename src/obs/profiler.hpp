@@ -1,0 +1,90 @@
+// Wall-clock phase profiler: RAII scopes aggregated per phase, per thread.
+//
+//   { COSCHED_PROF_SCOPE("schedule_pass"); ... }
+//
+// Scopes are free when profiling is disabled (one relaxed atomic load, no
+// clock read) and cheap when enabled (two steady_clock reads plus a
+// thread-local map update), so they may sit on warm paths. Each thread
+// accumulates into its own record — worker threads of the ParallelRunner
+// never contend — and profiler_report() renders the per-phase table after
+// the work drained (the pool's batch completion is the synchronization
+// point; snapshots during an active batch would race).
+//
+// Determinism contract: the profiler reads the HOST clock and therefore
+// never touches simulated state, digests, traces, or golden metrics — it
+// is reporting-only, enabled by the --profile flag. This file and its .cpp
+// are the blessed wall-clock exception (lint allow(no-wallclock) at the
+// clock-read sites).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosched::obs {
+
+/// Globally arms/disarms scope recording (default off). Flip before the
+/// measured work; scopes already open keep the state they saw on entry.
+void set_profiling_enabled(bool on);
+bool profiling_enabled();
+
+/// Clears all accumulated per-thread phase stats (thread records persist,
+/// their tallies reset). Call between measured sections when reusing a
+/// process for several experiments.
+void profiler_reset();
+
+struct PhaseStats {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// One thread's accumulated phases, sorted by phase name. `thread_index`
+/// is the registration order of the thread's first profiled scope.
+struct ThreadProfile {
+  int thread_index = 0;
+  std::vector<std::pair<std::string, PhaseStats>> phases;
+};
+
+/// Snapshot of every thread that ever profiled, sorted by thread index.
+/// Only call when no profiled work is in flight.
+std::vector<ThreadProfile> profiler_snapshot();
+
+/// The per-phase wall-clock table (calls, total, mean, max, threads),
+/// aggregated across threads and sorted by descending total time; empty
+/// string when nothing was recorded.
+std::string profiler_report();
+
+namespace detail {
+/// Host monotonic clock in nanoseconds (wall-clock; reporting only).
+std::uint64_t prof_now_ns();
+/// Adds one finished scope to the calling thread's record.
+void prof_record(const char* phase, std::uint64_t elapsed_ns);
+}  // namespace detail
+
+/// RAII phase scope. `phase` must be a string with static storage duration
+/// (a literal); the pointer is held until destruction.
+class ProfScope {
+ public:
+  explicit ProfScope(const char* phase)
+      : phase_(profiling_enabled() ? phase : nullptr),
+        start_ns_(phase_ != nullptr ? detail::prof_now_ns() : 0) {}
+  ~ProfScope() {
+    if (phase_ != nullptr) {
+      detail::prof_record(phase_, detail::prof_now_ns() - start_ns_);
+    }
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  const char* phase_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace cosched::obs
+
+#define COSCHED_PROF_CONCAT_INNER(a, b) a##b
+#define COSCHED_PROF_CONCAT(a, b) COSCHED_PROF_CONCAT_INNER(a, b)
+#define COSCHED_PROF_SCOPE(phase) \
+  ::cosched::obs::ProfScope COSCHED_PROF_CONCAT(cosched_prof_, __LINE__)(phase)

@@ -1,0 +1,110 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace cosched::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  COSCHED_REQUIRE(!upper_bounds_.empty(),
+                  "histogram needs at least one bucket bound");
+  COSCHED_REQUIRE(
+      std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()),
+      "histogram bucket bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  COSCHED_REQUIRE(upper_bounds_ == other.upper_bounds_,
+                  "merging histograms with different bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto [it, fresh] = counters_.try_emplace(name);
+  if (fresh) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto [it, fresh] = gauges_.try_emplace(name);
+  if (fresh) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  auto [it, fresh] = histograms_.try_emplace(name);
+  if (fresh) {
+    it->second = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *it->second;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).inc(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).add(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h->upper_bounds()).merge_from(*h);
+  }
+}
+
+std::string Registry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("counters");
+  for (const auto& [name, c] : counters_) {
+    w.value(name, static_cast<std::int64_t>(c->value()));
+  }
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& [name, g] : gauges_) {
+    w.value(name, g->value());
+  }
+  w.end_object();
+  w.begin_object("histograms");
+  for (const auto& [name, h] : histograms_) {
+    w.begin_object(name);
+    w.value("count", static_cast<std::int64_t>(h->count()));
+    w.value("sum", h->sum());
+    w.begin_array("buckets");
+    const auto& bounds = h->upper_bounds();
+    const auto& counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      w.begin_object();
+      if (i < bounds.size()) {
+        w.value("le", bounds[i]);
+      } else {
+        w.value("le", "inf");
+      }
+      w.value("count", static_cast<std::int64_t>(counts[i]));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cosched::obs

@@ -1,0 +1,243 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace cosched::obs {
+
+const char* to_string(ReasonCode reason) {
+  switch (reason) {
+    case ReasonCode::kAccepted: return "accepted";
+    case ReasonCode::kCandidateNotShareable: return "candidate_not_shareable";
+    case ReasonCode::kResidentNotShareable: return "resident_not_shareable";
+    case ReasonCode::kWalltimeFence: return "walltime_fence";
+    case ReasonCode::kDilationCap: return "dilation_cap";
+    case ReasonCode::kBelowThreshold: return "below_threshold";
+    case ReasonCode::kClassMismatch: return "class_mismatch";
+    case ReasonCode::kInsufficientNodes: return "insufficient_nodes";
+    case ReasonCode::kCapacity: return "capacity";
+    case ReasonCode::kBackfillWindow: return "backfill_window";
+    case ReasonCode::kBeyondDepth: return "beyond_depth";
+  }
+  return "?";
+}
+
+/// One JSONL line under construction: opens the object and stamps the
+/// common prefix; the destructor closes it and appends to the tracer.
+class Tracer::Record {
+ public:
+  Record(Tracer& tracer, const char* type, SimTime when)
+      : tracer_(tracer) {
+    w_.begin_object();
+    w_.value("t_us", when);
+    w_.value("type", type);
+  }
+  Record(Tracer& tracer, const char* type)
+      : Record(tracer, type,
+               tracer.engine_ != nullptr ? tracer.engine_->now() : 0) {}
+  ~Record() {
+    w_.end_object();
+    tracer_.lines_.push_back(w_.str());
+  }
+  JsonWriter& w() { return w_; }
+
+ private:
+  Tracer& tracer_;
+  JsonWriter w_;
+};
+
+namespace {
+
+void write_nodes(JsonWriter& w, const std::vector<NodeId>& nodes) {
+  w.begin_array("nodes");
+  for (NodeId n : nodes) w.value(static_cast<double>(n));
+  w.end_array();
+}
+
+}  // namespace
+
+std::string Tracer::str() const {
+  std::ostringstream out;
+  for (const std::string& line : lines_) out << line << '\n';
+  return out.str();
+}
+
+void Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  COSCHED_REQUIRE(out.good(), "cannot write trace file '" << path << "'");
+  out << str();
+}
+
+void Tracer::pass_begin(std::uint64_t pass, std::size_t pending,
+                        std::size_t running, int free_primary,
+                        int free_secondary) {
+  Record r(*this, "pass_begin");
+  r.w()
+      .value("pass", static_cast<std::int64_t>(pass))
+      .value("pending", static_cast<std::int64_t>(pending))
+      .value("running", static_cast<std::int64_t>(running))
+      .value("free_primary", free_primary)
+      .value("free_secondary", free_secondary);
+}
+
+void Tracer::pass_end(std::uint64_t pass, std::size_t primary_starts,
+                      std::size_t secondary_starts) {
+  Record r(*this, "pass_end");
+  r.w()
+      .value("pass", static_cast<std::int64_t>(pass))
+      .value("primary_starts", static_cast<std::int64_t>(primary_starts))
+      .value("secondary_starts",
+             static_cast<std::int64_t>(secondary_starts));
+}
+
+void Tracer::submit(JobId job, int nodes) {
+  Record r(*this, "submit");
+  r.w().value("job", job).value("nodes", nodes);
+}
+
+void Tracer::start(JobId job, const char* kind,
+                   const std::vector<NodeId>& nodes, double wait_s) {
+  Record r(*this, "start");
+  r.w().value("job", job).value("kind", kind).value("wait_s", wait_s);
+  write_nodes(r.w(), nodes);
+}
+
+void Tracer::finish(const char* type, JobId job, double dilation) {
+  Record r(*this, type);
+  r.w().value("job", job).value("dilation", dilation);
+}
+
+void Tracer::co_decision(JobId job, bool accepted, ReasonCode reason,
+                         int scanned, int admissible,
+                         const std::vector<NodeId>* nodes,
+                         const ReasonCounts& rejects) {
+  Record r(*this, "co_decision");
+  r.w()
+      .value("job", job)
+      .value("accepted", accepted)
+      .value("reason", to_string(reason))
+      .value("scanned", scanned)
+      .value("admissible", admissible);
+  if (nodes != nullptr) write_nodes(r.w(), *nodes);
+  r.w().begin_object("rejects");
+  for (int i = 0; i < kReasonCodeCount; ++i) {
+    if (rejects.counts[i] > 0) {
+      r.w().value(to_string(static_cast<ReasonCode>(i)), rejects.counts[i]);
+    }
+  }
+  r.w().end_object();
+}
+
+void Tracer::shadow(JobId head, SimTime shadow_time, int extra_nodes) {
+  Record r(*this, "shadow");
+  r.w()
+      .value("head", head)
+      .value("shadow_t_us", shadow_time)
+      .value("extra_nodes", extra_nodes);
+}
+
+void Tracer::backfill_reject(JobId job, ReasonCode reason) {
+  Record r(*this, "backfill_reject");
+  r.w().value("job", job).value("reason", to_string(reason));
+}
+
+void Tracer::machine_alloc(const char* what, JobId job,
+                           const std::vector<NodeId>& nodes) {
+  Record r(*this, what);
+  r.w().value("job", job);
+  write_nodes(r.w(), nodes);
+}
+
+void Tracer::node_state(NodeId node, bool down) {
+  Record r(*this, "node_state");
+  r.w().value("node", node).value("down", down);
+}
+
+void Tracer::engine_event(SimTime when, sim::EventPriority priority,
+                          sim::EventId id, const char* label) {
+  Record r(*this, "event", when);
+  r.w()
+      .value("prio", static_cast<int>(priority))
+      .value("id", static_cast<std::int64_t>(id))
+      .value("label", label == nullptr ? "" : label);
+}
+
+// --- Chrome trace_event conversion -------------------------------------------
+
+std::string to_chrome_trace(const std::string& jsonl) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("traceEvents");
+
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const JsonValue record = parse_json(line);
+    const std::string& type = record.at("type").as_string();
+    const auto ts = static_cast<std::int64_t>(record.at("t_us").as_number());
+
+    // Event shape by record type: scheduler passes become duration events,
+    // job start..finish becomes an async span per job id, the rest render
+    // as instants carrying the full record in args.
+    const char* ph = "i";
+    std::string name = type;
+    std::int64_t async_id = 0;
+    if (type == "pass_begin" || type == "pass_end") {
+      ph = (type == "pass_begin") ? "B" : "E";
+      name = "schedule_pass";
+    } else if (type == "start") {
+      ph = "b";
+      async_id = static_cast<std::int64_t>(record.at("job").as_number());
+      name = "job";
+    } else if (type == "complete" || type == "timeout") {
+      ph = "e";
+      async_id = static_cast<std::int64_t>(record.at("job").as_number());
+      name = "job";
+    }
+
+    w.begin_object();
+    w.value("name", name);
+    w.value("ph", ph);
+    w.value("ts", ts);
+    w.value("pid", 0);
+    w.value("tid", 0);
+    if (ph[0] == 'b' || ph[0] == 'e') {
+      w.value("cat", "job");
+      w.value("id", async_id);
+    }
+    if (ph[0] == 'i') {
+      w.value("s", "g");  // global-scope instant
+    }
+    w.begin_object("args");
+    for (const std::string& key : record.keys()) {
+      if (key == "t_us" || key == "type") continue;
+      const JsonValue& v = record.at(key);
+      switch (v.kind()) {
+        case JsonValue::Kind::kNumber:
+          w.value(key, v.as_number());
+          break;
+        case JsonValue::Kind::kString:
+          w.value(key, v.as_string());
+          break;
+        case JsonValue::Kind::kBool:
+          w.value(key, v.as_bool());
+          break;
+        default:
+          break;  // nested arrays/objects skipped in args
+      }
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.value("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cosched::obs

@@ -1,5 +1,6 @@
 #include "runner/runner.hpp"
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -79,6 +80,7 @@ void ParallelRunner::drain_batch(std::unique_lock<std::mutex>& lock) {
     lock.unlock();
     std::exception_ptr err;
     try {
+      COSCHED_PROF_SCOPE("runner_cell");
       (*fn)(cell);
     } catch (...) {
       err = std::current_exception();

@@ -5,22 +5,23 @@
 namespace cosched::sim {
 
 EventId Engine::schedule_at(SimTime when, EventPriority priority,
-                            std::function<void()> fn) {
+                            const char* label, std::function<void()> fn) {
   COSCHED_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
                                                                   << " < "
                                                                   << now_);
   COSCHED_CHECK(fn != nullptr);
+  COSCHED_CHECK(label != nullptr);
   const EventId id = next_id_++;
-  heap_.push_back(Entry{when, priority, id, std::move(fn)});
+  heap_.push_back(Entry{when, priority, id, label, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end());
   ++live_events_;
   return id;
 }
 
 EventId Engine::schedule_after(SimDuration delay, EventPriority priority,
-                               std::function<void()> fn) {
+                               const char* label, std::function<void()> fn) {
   COSCHED_CHECK(delay >= 0);
-  return schedule_at(now_ + delay, priority, std::move(fn));
+  return schedule_at(now_ + delay, priority, label, std::move(fn));
 }
 
 bool Engine::cancel(EventId id) {
@@ -72,7 +73,8 @@ bool Engine::step() {
   ++executed_;
   entry.fn();
   for (EventObserver* observer : observers_) {
-    observer->on_event_executed(entry.time, entry.priority, entry.id);
+    observer->on_event_executed(entry.time, entry.priority, entry.id,
+                                entry.label);
   }
   return true;
 }

@@ -35,12 +35,18 @@ inline constexpr EventId kInvalidEvent = 0;
 
 /// Observes the executed event stream. Observers are notified after each
 /// event's callback returns, with the event's metadata; the audit layer
-/// uses this seam for invariant validation and determinism hashing.
+/// uses this seam for invariant validation and determinism hashing, and
+/// the obs layer mirrors it into decision traces.
+///
+/// `label` is the event-kind string the schedule site attached ("" when the
+/// site used the unlabeled overload). It identifies what the event *was*
+/// without inferring from priority; it must never enter determinism
+/// digests — only (when, priority, id) are hashed.
 class EventObserver {
  public:
   virtual ~EventObserver() = default;
   virtual void on_event_executed(SimTime when, EventPriority priority,
-                                 EventId id) = 0;
+                                 EventId id, const char* label) = 0;
 };
 
 class Engine {
@@ -52,13 +58,23 @@ class Engine {
   /// Current simulation time. Starts at 0.
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute time `when` (>= now).
-  EventId schedule_at(SimTime when, EventPriority priority,
+  /// Schedules `fn` to run at absolute time `when` (>= now). `label` names
+  /// the event kind for observers ("submit", "job_end", ...); it must be a
+  /// string with static storage duration — the pointer is kept, not copied.
+  EventId schedule_at(SimTime when, EventPriority priority, const char* label,
                       std::function<void()> fn);
+  EventId schedule_at(SimTime when, EventPriority priority,
+                      std::function<void()> fn) {
+    return schedule_at(when, priority, "", std::move(fn));
+  }
 
   /// Schedules `fn` to run `delay` from now.
   EventId schedule_after(SimDuration delay, EventPriority priority,
-                         std::function<void()> fn);
+                         const char* label, std::function<void()> fn);
+  EventId schedule_after(SimDuration delay, EventPriority priority,
+                         std::function<void()> fn) {
+    return schedule_after(delay, priority, "", std::move(fn));
+  }
 
   /// Cancels a pending event. Returns false if the event already ran,
   /// was cancelled before, or never existed. O(1); the slot is tombstoned
@@ -90,6 +106,7 @@ class Engine {
     SimTime time;
     EventPriority priority;
     EventId id;  // doubles as insertion sequence for tie-breaking
+    const char* label;  // event-kind string (static storage), "" if unlabeled
     // Ordering for std::priority_queue (max-heap): invert so the smallest
     // (time, priority, id) triple is on top.
     bool operator<(const Entry& other) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -21,7 +22,11 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
       checkpoint_interval_(config.checkpoint_interval),
       queue_policy_(config.queue_policy),
       priority_(config.priority_weights, config.nodes),
-      requeue_on_failure_(config.requeue_on_failure) {
+      requeue_on_failure_(config.requeue_on_failure),
+      tracer_(config.tracer),
+      registry_(config.registry) {
+  if (tracer_ != nullptr) tracer_->bind(engine_);
+  machine_.set_tracer(tracer_);
   COSCHED_REQUIRE(config.checkpoint_interval >= 0,
                   "checkpoint interval must be non-negative");
   for (const NodeFailure& failure : config.failures) {
@@ -29,7 +34,7 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
                     "failure references unknown node " << failure.node);
     COSCHED_REQUIRE(failure.at >= 0 && failure.duration > 0,
                     "failure timing must be non-negative");
-    engine_.schedule_at(failure.at, sim::EventPriority::kTimer,
+    engine_.schedule_at(failure.at, sim::EventPriority::kTimer, "node_fail",
                         [this, node = failure.node,
                          duration = failure.duration] {
                           on_node_fail(node, duration);
@@ -64,7 +69,7 @@ void Controller::submit(workload::Job job) {
   const SimTime when = std::max(job.submit_time, engine_.now());
   jobs_.emplace(id, std::move(job));
   submit_order_.push_back(id);
-  engine_.schedule_at(when, sim::EventPriority::kSubmit,
+  engine_.schedule_at(when, sim::EventPriority::kSubmit, "submit",
                       [this, id] { on_submit(id); });
 }
 
@@ -137,6 +142,8 @@ void Controller::on_submit(JobId id) {
   COSCHED_CHECK(j.state == workload::JobState::kPending);
   COSCHED_DEBUG("t=" << format_duration(now()) << " submit job " << id
                      << " (" << j.nodes << " nodes)");
+  if (tracer_ != nullptr) tracer_->submit(id, j.nodes);
+  if (registry_ != nullptr) registry_->counter("jobs_submitted").inc();
   if (j.depends_on != kInvalidJob) {
     const workload::Job& dep = job(j.depends_on);
     switch (dep.state) {
@@ -189,10 +196,11 @@ void Controller::cancel_held(JobId id) {
 void Controller::request_schedule() {
   if (pass_scheduled_) return;
   pass_scheduled_ = true;
-  engine_.schedule_at(engine_.now(), sim::EventPriority::kSchedule, [this] {
-    pass_scheduled_ = false;
-    run_scheduler_pass();
-  });
+  engine_.schedule_at(engine_.now(), sim::EventPriority::kSchedule,
+                      "schedule_pass", [this] {
+                        pass_scheduled_ = false;
+                        run_scheduler_pass();
+                      });
 }
 
 void Controller::order_queue() {
@@ -213,20 +221,47 @@ void Controller::order_queue() {
 
 void Controller::run_scheduler_pass() {
   if (pending_.empty()) return;
+  COSCHED_PROF_SCOPE("schedule_pass");
   order_queue();
   ++stats_.scheduler_passes;
+  const std::uint64_t pass = stats_.scheduler_passes;
+  const std::size_t primary_before = stats_.primary_starts;
+  const std::size_t secondary_before = stats_.secondary_starts;
+  if (tracer_ != nullptr) {
+    tracer_->pass_begin(pass, pending_.size(), running_ids().size(),
+                        machine_.free_node_count(),
+                        static_cast<int>(machine_.free_secondary_nodes()
+                                             .size()));
+  }
   in_pass_ = true;
   execution_.sync(now());
   // Host clock measures real decision cost only; it never feeds back into
   // simulated state, so it cannot break determinism.
   const auto t0 = std::chrono::steady_clock::now();  // cosched-lint: allow(no-wallclock)
   scheduler_->schedule(*this);
-  stats_.scheduler_cpu += std::chrono::steady_clock::now() - t0;  // cosched-lint: allow(no-wallclock)
+  const auto pass_wall = std::chrono::steady_clock::now() - t0;  // cosched-lint: allow(no-wallclock)
+  stats_.scheduler_cpu += pass_wall;
   in_pass_ = false;
   // Starts changed co-residency; settle rates and completion events once
   // per pass rather than per start.
   execution_.refresh_rates();
   resync_completions();
+  if (tracer_ != nullptr) {
+    tracer_->pass_end(pass, stats_.primary_starts - primary_before,
+                      stats_.secondary_starts - secondary_before);
+  }
+  if (registry_ != nullptr) {
+    registry_->counter("scheduler_passes").inc();
+    // Wall-clock quantity: named _wall_ by convention, excluded from any
+    // byte-comparison of registry dumps (DESIGN.md "Observability").
+    registry_
+        ->histogram("pass_wall_us",
+                    {10, 50, 100, 500, 1000, 5000, 10000, 100000})
+        .observe(static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         pass_wall)
+                         .count()));
+  }
 }
 
 void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
@@ -261,6 +296,24 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
   j.start_time = now();
   j.alloc_kind = kind;
   j.alloc_nodes = nodes;
+  const double wait_s = to_seconds(j.start_time - j.submit_time);
+  if (tracer_ != nullptr) {
+    tracer_->start(id,
+                   kind == cluster::AllocationKind::kPrimary ? "primary"
+                                                             : "secondary",
+                   nodes, wait_s);
+  }
+  if (registry_ != nullptr) {
+    registry_
+        ->counter(kind == cluster::AllocationKind::kPrimary
+                      ? "starts_primary"
+                      : "starts_secondary")
+        .inc();
+    registry_
+        ->histogram("queue_wait_s", {60, 300, 900, 3600, 7200, 14400, 28800,
+                                     86400})
+        .observe(wait_s);
+  }
   double initial_progress = 0;
   if (auto it = resume_progress_.find(id); it != resume_progress_.end()) {
     initial_progress = it->second;  // checkpoint restore after failure
@@ -270,7 +323,7 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
   // Walltime enforcement.
   kill_events_[id] =
       engine_.schedule_at(now() + j.walltime_limit, sim::EventPriority::kTimer,
-                          [this, id] { on_timeout(id); });
+                          "timeout", [this, id] { on_timeout(id); });
   // Completion event placed by resync_completions() (rates are not final
   // mid-pass); ensure the pass settles even for starts outside a pass.
   if (!in_pass_) {
@@ -302,8 +355,9 @@ void Controller::resync_completions() {
       }
       engine_.cancel(it->second);
     }
-    end_events_[id] = engine_.schedule_at(
-        predicted, sim::EventPriority::kJobEnd, [this, id] { on_complete(id); });
+    end_events_[id] =
+        engine_.schedule_at(predicted, sim::EventPriority::kJobEnd, "job_end",
+                            [this, id] { on_complete(id); });
     end_event_times_[id] = predicted;
   }
 }
@@ -322,6 +376,8 @@ void Controller::on_complete(JobId id) {
   j.state = workload::JobState::kCompleted;
   j.end_time = now();
   ++stats_.completions;
+  if (tracer_ != nullptr) tracer_->finish("complete", id, j.observed_dilation);
+  if (registry_ != nullptr) registry_->counter("completions").inc();
 
   if (auto it = kill_events_.find(id); it != kill_events_.end()) {
     engine_.cancel(it->second);
@@ -356,6 +412,8 @@ void Controller::on_timeout(JobId id) {
   j.state = workload::JobState::kTimeout;
   j.end_time = now();
   ++stats_.timeouts;
+  if (tracer_ != nullptr) tracer_->finish("timeout", id, j.observed_dilation);
+  if (registry_ != nullptr) registry_->counter("timeouts").inc();
   COSCHED_WARN("t=" << format_duration(now()) << " job " << id
                     << " hit its walltime limit with "
                     << execution_.remaining_work_s(id) << "s of work left");
@@ -466,7 +524,7 @@ void Controller::on_node_fail(NodeId node, SimDuration duration) {
   machine_.set_node_down(node, true);
   execution_.refresh_rates();
   resync_completions();
-  engine_.schedule_at(now() + duration, sim::EventPriority::kTimer,
+  engine_.schedule_at(now() + duration, sim::EventPriority::kTimer, "node_up",
                       [this, node] {
                         machine_.set_node_down(node, false);
                         COSCHED_INFO("t=" << format_duration(now())

@@ -17,6 +17,8 @@
 #include "audit/auditor.hpp"
 #include "cluster/machine.hpp"
 #include "core/priority.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "core/scheduler.hpp"
 #include "core/walltime_predictor.hpp"
 #include "interference/corun_model.hpp"
@@ -61,6 +63,13 @@ struct ControllerConfig {
   /// Checkpoint interval for failure recovery: a requeued job resumes from
   /// its last checkpoint instead of from scratch. 0 disables (full rerun).
   SimDuration checkpoint_interval = 0;
+
+  /// Observability hooks (src/obs/), both optional and non-owning; they
+  /// must outlive the controller. The tracer receives decision records
+  /// (submit/start/pass/co_decision/...), the registry counters and
+  /// histograms. Neither ever influences a decision.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* registry = nullptr;
 };
 
 struct ControllerStats {
@@ -126,6 +135,8 @@ class Controller final : public core::SchedulerHost,
   }
   void start_primary(JobId id, const std::vector<NodeId>& nodes) override;
   void start_secondary(JobId id, const std::vector<NodeId>& nodes) override;
+  obs::Tracer* tracer() const override { return tracer_; }
+  obs::Registry* registry() const override { return registry_; }
 
   /// Decayed per-user usage for fair-share (read-only access for tools).
   const core::UsageTracker& usage() const { return usage_; }
@@ -195,6 +206,8 @@ class Controller final : public core::SchedulerHost,
   bool pass_scheduled_ = false;
   bool in_pass_ = false;
   ControllerStats stats_;
+  obs::Tracer* tracer_;      // non-owning, may be nullptr (config.tracer)
+  obs::Registry* registry_;  // non-owning, may be nullptr (config.registry)
 };
 
 }  // namespace cosched::slurmlite

@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "audit/auditor.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "util/check.hpp"
 
@@ -31,6 +33,7 @@ bool audit_enabled(AuditMode mode) {
 SimulationResult run_jobs(const SimulationSpec& spec,
                           const apps::Catalog& catalog,
                           const workload::JobList& jobs) {
+  COSCHED_PROF_SCOPE("simulate");
   sim::Engine engine;
   Controller controller(engine, spec.controller, catalog);
 
@@ -43,6 +46,13 @@ SimulationResult run_jobs(const SimulationSpec& spec,
   if (spec.hash_events) {
     hasher.emplace();
     engine.add_observer(&*hasher);
+  }
+  // Mirror the labeled engine-event stream into the trace; observation
+  // only, so digests stay identical with the tracer on or off.
+  std::optional<obs::EventTracer> event_tracer;
+  if (spec.controller.tracer != nullptr) {
+    event_tracer.emplace(*spec.controller.tracer);
+    engine.add_observer(&*event_tracer);
   }
 
   controller.submit_all(jobs);

@@ -7,8 +7,11 @@ namespace cosched::detail {
 
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& message) {
-  std::fprintf(stderr, "COSCHED_CHECK failed: %s at %s:%d%s%s\n", expr, file,
-               line, message.empty() ? "" : " — ", message.c_str());
+  // The process is about to abort; the logger itself may be the thing
+  // that failed, so write the last words straight to stderr.
+  std::fprintf(stderr, "COSCHED_CHECK failed: %s at %s:%d%s%s\n",  // cosched-lint: allow(no-raw-stdio)
+               expr, file, line, message.empty() ? "" : " — ",
+               message.c_str());
   std::fflush(stderr);
   std::abort();
 }

@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <mutex>
+#include <string>
 
 namespace cosched {
 
@@ -22,7 +24,19 @@ LogLevel log_level() { return g_level; }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  // Parallel sweeps log from worker threads: assemble the line first and
+  // write it under one mutex so concurrent messages never interleave
+  // mid-line.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail
 

@@ -178,9 +178,9 @@ TEST(StateAuditorDeathTest, QueueLongerThanPendingCensusFires) {
 TEST(StateAuditorDeathTest, BackwardsTimestampsFire) {
   TestView view(2);
   audit::StateAuditor auditor(view);
-  auditor.on_event_executed(kHour, sim::EventPriority::kTimer, 1);
+  auditor.on_event_executed(kHour, sim::EventPriority::kTimer, 1, "");
   EXPECT_DEATH(
-      auditor.on_event_executed(kMinute, sim::EventPriority::kTimer, 2),
+      auditor.on_event_executed(kMinute, sim::EventPriority::kTimer, 2, ""),
       "backwards");
 }
 

@@ -1,0 +1,17 @@
+// Fixture: raw stdio in library code (anything under src/ outside
+// src/util/log and src/obs/) must be flagged, and allow() must silence it.
+#include <cstdio>
+#include <iostream>
+
+void report(int n) {
+  std::printf("n=%d\n", n);           // cosched-lint: expect(no-raw-stdio)
+  std::fprintf(stderr, "n=%d\n", n);  // cosched-lint: expect(no-raw-stdio)
+  std::cerr << "n=" << n << "\n";     // cosched-lint: expect(no-raw-stdio)
+  std::puts("done");                  // cosched-lint: expect(no-raw-stdio)
+  std::fputs("done", stderr);         // cosched-lint: expect(no-raw-stdio)
+  std::fprintf(stderr, "last words before abort\n");  // cosched-lint: allow(no-raw-stdio)
+  // snprintf formats a string without performing I/O: legal.
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", n);
+  (void)buf;
+}

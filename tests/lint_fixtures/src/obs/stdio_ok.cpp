@@ -1,0 +1,5 @@
+// Fixture: src/obs/ is a sanctioned observability sink, exempt from
+// no-raw-stdio (reports and trace summaries print directly).
+#include <cstdio>
+
+void print_phase_table(const char* table) { std::fputs(table, stderr); }

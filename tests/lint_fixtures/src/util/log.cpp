@@ -1,0 +1,5 @@
+// Fixture: src/util/log* IS the logging implementation, exempt from
+// no-raw-stdio (it owns the stderr write).
+#include <cstdio>
+
+void fixture_log_emit(const char* line) { std::fputs(line, stderr); }

@@ -1,0 +1,370 @@
+// Observability-layer tests: registry instruments, decision tracing,
+// reason-code coverage, the profiler, and the determinism contract —
+// digests and traces must be bit-identical whether observation is on or
+// off, and the trace itself must be byte-deterministic for a seeded run.
+//
+// The FCFS golden trace (tests/golden/fcfs_trace.jsonl) is refreshed the
+// same way as the golden metrics: COSCHED_UPDATE_GOLDEN=1 (or
+// --update-golden) reruns and rewrites the file.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "slurmlite/simulation.hpp"
+#include "test_support.hpp"
+#include "util/json.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched::obs {
+namespace {
+
+using cosched::testing::make_job;
+
+const apps::Catalog& trinity() {
+  static const apps::Catalog c = apps::Catalog::trinity();
+  return c;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, CounterAndGaugeBasics) {
+  Registry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("starts").inc();
+  reg.counter("starts").inc(4);
+  reg.gauge("load").set(0.5);
+  reg.gauge("load").add(0.25);
+  EXPECT_FALSE(reg.empty());
+  EXPECT_EQ(reg.counter("starts").value(), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("load").value(), 0.75);
+  // Find-or-create returns the same instrument.
+  EXPECT_EQ(&reg.counter("starts"), &reg.counter("starts"));
+}
+
+TEST(Registry, HistogramBucketsAndOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (boundary counts low)
+  h.observe(7.0);    // bucket 1
+  h.observe(1000);   // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1008.5);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(Registry, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({10.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({}), Error);
+}
+
+TEST(Registry, MergeSumsInstruments) {
+  Registry a;
+  Registry b;
+  a.counter("n").inc(2);
+  b.counter("n").inc(3);
+  b.counter("only_b").inc();
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(0.5);
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("n").value(), 5u);
+  EXPECT_EQ(a.counter("only_b").value(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 1.5);
+  EXPECT_EQ(a.histogram("h", {}).count(), 2u);
+  EXPECT_EQ(a.histogram("h", {}).bucket_counts()[0], 1u);
+  EXPECT_EQ(a.histogram("h", {}).bucket_counts()[1], 1u);
+}
+
+TEST(Registry, ToJsonParsesWithProjectParser) {
+  Registry reg;
+  reg.counter("b_counter").inc(7);
+  reg.counter("a_counter").inc(1);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h", {1.0, 4.0}).observe(3.0);
+  const JsonValue doc = parse_json(reg.to_json());
+  EXPECT_EQ(doc.at("counters").at("a_counter").as_number(), 1.0);
+  EXPECT_EQ(doc.at("counters").at("b_counter").as_number(), 7.0);
+  // std::map ordering: dump lists instruments sorted by name.
+  EXPECT_EQ(doc.at("counters").keys(),
+            (std::vector<std::string>{"a_counter", "b_counter"}));
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("g").as_number(), 2.5);
+  const JsonValue& h = doc.at("histograms").at("h");
+  EXPECT_EQ(h.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").as_number(), 3.0);
+  ASSERT_EQ(h.at("buckets").as_array().size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(h.at("buckets").as_array()[1].at("count").as_number(), 1.0);
+  EXPECT_EQ(h.at("buckets").as_array()[2].at("le").as_string(), "inf");
+}
+
+// --- Reason codes ------------------------------------------------------------
+
+TEST(ReasonCode, NamesAreUniqueSnakeCase) {
+  std::set<std::string> names;
+  for (int i = 0; i < kReasonCodeCount; ++i) {
+    const std::string name = to_string(static_cast<ReasonCode>(i));
+    EXPECT_FALSE(name.empty());
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_')
+          << "reason name not snake_case: " << name;
+    }
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(to_string(ReasonCode::kAccepted), std::string("accepted"));
+}
+
+// --- Tracing a full simulation ----------------------------------------------
+
+slurmlite::SimulationSpec traced_spec(core::StrategyKind strategy,
+                                      Tracer* tracer,
+                                      Registry* registry = nullptr) {
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 16;
+  spec.controller.strategy = strategy;
+  spec.controller.tracer = tracer;
+  spec.controller.registry = registry;
+  spec.workload = workload::trinity_campaign(16, 80);
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(Trace, EveryLineParsesAndIsTimeOrdered) {
+  Tracer tracer;
+  const auto result =
+      slurmlite::run_simulation(traced_spec(core::StrategyKind::kCoBackfill,
+                                            &tracer),
+                                trinity());
+  ASSERT_GT(tracer.size(), 0u);
+  SimTime last = 0;
+  for (const std::string& line : tracer.lines()) {
+    const JsonValue record = parse_json(line);  // throws on malformed JSON
+    ASSERT_TRUE(record.has("t_us")) << line;
+    ASSERT_TRUE(record.has("type")) << line;
+    const auto t = static_cast<SimTime>(record.at("t_us").as_number());
+    EXPECT_GE(t, last) << "records must be sim-time ordered: " << line;
+    last = t;
+  }
+  EXPECT_EQ(result.jobs.size(), 80u);
+}
+
+TEST(Trace, CoStrategiesEmitAcceptedAndRejectedDecisions) {
+  // Reason-code coverage: across the co-allocating strategies the trace
+  // must carry both outcomes, with a reason on every decision.
+  const core::StrategyKind kinds[] = {core::StrategyKind::kCoFirstFit,
+                                      core::StrategyKind::kCoBackfill,
+                                      core::StrategyKind::kCoConservative};
+  std::set<std::string> reasons;
+  for (const auto kind : kinds) {
+    Tracer tracer;
+    slurmlite::run_simulation(traced_spec(kind, &tracer), trinity());
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    for (const std::string& line : tracer.lines()) {
+      const JsonValue record = parse_json(line);
+      if (record.at("type").as_string() != "co_decision") continue;
+      ASSERT_TRUE(record.has("reason")) << line;
+      reasons.insert(record.at("reason").as_string());
+      // The per-node rejection tally names every fence hit in the scan.
+      if (record.has("rejects")) {
+        for (const std::string& fence : record.at("rejects").keys()) {
+          reasons.insert(fence);
+        }
+      }
+      if (record.at("accepted").as_bool()) {
+        ++accepted;
+      } else {
+        ++rejected;
+      }
+    }
+    EXPECT_GE(accepted, 1u) << core::to_string(kind);
+    EXPECT_GE(rejected, 1u) << core::to_string(kind);
+  }
+  EXPECT_TRUE(reasons.count("accepted"));
+  // The rejection tally spans more than one fence on this workload.
+  EXPECT_GE(reasons.size(), 3u);
+}
+
+TEST(Trace, BackfillStrategiesRecordShadowAndRejects) {
+  Tracer tracer;
+  slurmlite::run_simulation(
+      traced_spec(core::StrategyKind::kCoBackfill, &tracer), trinity());
+  std::size_t shadows = 0;
+  std::size_t rejects = 0;
+  for (const std::string& line : tracer.lines()) {
+    const JsonValue record = parse_json(line);
+    const std::string& type = record.at("type").as_string();
+    if (type == "shadow") ++shadows;
+    if (type == "backfill_reject") {
+      ASSERT_TRUE(record.has("reason")) << line;
+      ++rejects;
+    }
+  }
+  EXPECT_GE(shadows, 1u);
+  EXPECT_GE(rejects, 1u);
+}
+
+TEST(Trace, ByteDeterministicAcrossRuns) {
+  Tracer first;
+  Tracer second;
+  slurmlite::run_simulation(
+      traced_spec(core::StrategyKind::kCoBackfill, &first), trinity());
+  slurmlite::run_simulation(
+      traced_spec(core::StrategyKind::kCoBackfill, &second), trinity());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Trace, ObservationNeverChangesDigests) {
+  // The acceptance bar for the whole layer: event-stream digests are
+  // bit-identical with tracing + metrics on or off.
+  for (const auto kind : {core::StrategyKind::kFcfs,
+                          core::StrategyKind::kCoBackfill}) {
+    Tracer tracer;
+    Registry registry;
+    slurmlite::SimulationSpec plain = traced_spec(kind, nullptr);
+    plain.controller.tracer = nullptr;
+    plain.controller.registry = nullptr;
+    const auto bare = slurmlite::run_digest(plain, trinity());
+    const auto observed = slurmlite::run_digest(
+        traced_spec(kind, &tracer, &registry), trinity());
+    EXPECT_EQ(bare.hash, observed.hash) << core::to_string(kind);
+    EXPECT_EQ(bare.events, observed.events);
+    EXPECT_GT(tracer.size(), 0u);
+    EXPECT_FALSE(registry.empty());
+  }
+}
+
+TEST(Trace, EngineEventLabelsAppear) {
+  Tracer tracer;
+  slurmlite::run_simulation(
+      traced_spec(core::StrategyKind::kFcfs, &tracer), trinity());
+  std::set<std::string> labels;
+  for (const std::string& line : tracer.lines()) {
+    const JsonValue record = parse_json(line);
+    if (record.at("type").as_string() != "event") continue;
+    labels.insert(record.at("label").as_string());
+  }
+  EXPECT_TRUE(labels.count("submit"));
+  EXPECT_TRUE(labels.count("schedule_pass"));
+  EXPECT_TRUE(labels.count("job_end"));
+}
+
+TEST(Trace, RegistrySurfacesSchedulerCounters) {
+  Tracer tracer;
+  Registry registry;
+  const auto result = slurmlite::run_simulation(
+      traced_spec(core::StrategyKind::kCoBackfill, &tracer, &registry),
+      trinity());
+  EXPECT_EQ(registry.counter("jobs_submitted").value(), result.jobs.size());
+  EXPECT_EQ(registry.counter("starts_primary").value() +
+                registry.counter("starts_secondary").value(),
+            result.jobs.size());
+  EXPECT_GE(registry.counter("scheduler_passes").value(), 1u);
+  EXPECT_EQ(registry.histogram("queue_wait_s", {}).count(),
+            result.jobs.size());
+}
+
+TEST(Trace, ChromeExportIsValidJson) {
+  Tracer tracer;
+  slurmlite::run_simulation(
+      traced_spec(core::StrategyKind::kCoBackfill, &tracer), trinity());
+  const JsonValue doc = parse_json(to_chrome_trace(tracer.str()));
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_GT(events.size(), 0u);
+  std::set<std::string> phases;
+  for (const JsonValue& e : events) {
+    phases.insert(e.at("ph").as_string());
+  }
+  EXPECT_TRUE(phases.count("B"));  // pass_begin
+  EXPECT_TRUE(phases.count("E"));  // pass_end
+  EXPECT_TRUE(phases.count("i"));  // instants
+}
+
+// --- Golden FCFS trace -------------------------------------------------------
+
+bool update_golden() {
+  const char* v = std::getenv("COSCHED_UPDATE_GOLDEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+TEST(Trace, GoldenFcfsSnippet) {
+  // Tiny fully-pinned FCFS run: two sequential jobs on two nodes. The
+  // whole trace is committed; any drift in record schema or emission
+  // order fails here first (refresh with COSCHED_UPDATE_GOLDEN=1).
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 2;
+  spec.controller.strategy = core::StrategyKind::kFcfs;
+  Tracer tracer;
+  spec.controller.tracer = &tracer;
+  workload::JobList jobs;
+  jobs.push_back(make_job(1, 2, 100 * kSecond, 200 * kSecond,
+                          trinity().by_name("GTC").id));
+  jobs.push_back(make_job(2, 1, 50 * kSecond, 100 * kSecond,
+                          trinity().by_name("miniFE").id));
+  slurmlite::run_jobs(spec, trinity(), jobs);
+
+  const std::string path =
+      std::string(COSCHED_GOLDEN_DIR) + "/fcfs_trace.jsonl";
+  if (update_golden()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << tracer.str();
+    GTEST_SKIP() << "golden trace rewritten: " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with COSCHED_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(tracer.str(), expected.str());
+}
+
+// --- Profiler ----------------------------------------------------------------
+
+TEST(Profiler, DisabledScopesRecordNothing) {
+  profiler_reset();
+  set_profiling_enabled(false);
+  { COSCHED_PROF_SCOPE("idle_phase"); }
+  for (const auto& thread : profiler_snapshot()) {
+    for (const auto& [phase, stats] : thread.phases) {
+      EXPECT_NE(phase, "idle_phase");
+      EXPECT_EQ(stats.calls, 0u);
+    }
+  }
+  EXPECT_TRUE(profiler_report().empty());
+}
+
+TEST(Profiler, AggregatesCallsAndTimes) {
+  profiler_reset();
+  set_profiling_enabled(true);
+  { COSCHED_PROF_SCOPE("unit_phase"); }
+  { COSCHED_PROF_SCOPE("unit_phase"); }
+  set_profiling_enabled(false);
+
+  bool found = false;
+  for (const auto& thread : profiler_snapshot()) {
+    for (const auto& [phase, stats] : thread.phases) {
+      if (phase != "unit_phase") continue;
+      found = true;
+      EXPECT_EQ(stats.calls, 2u);
+      EXPECT_GE(stats.total_ns, stats.max_ns);
+    }
+  }
+  EXPECT_TRUE(found);
+  const std::string report = profiler_report();
+  EXPECT_NE(report.find("unit_phase"), std::string::npos);
+  EXPECT_NE(report.find("calls"), std::string::npos);
+  profiler_reset();
+}
+
+}  // namespace
+}  // namespace cosched::obs

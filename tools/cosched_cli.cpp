@@ -4,14 +4,20 @@
 //                    [--campaign trinity|membound|compute] [--jobs N]
 //                    [--stream-load RHO] [--seed N]
 //                    [--sacct] [--gantt out.csv] [--swf-out out.swf]
-//                    [--json out.json]
+//                    [--json out.json] [--trace out.jsonl]
+//                    [--metrics-json out.json] [--profile]
 //   cosched compare  --config FILE [--jobs N] [--seed N] [--csv]
 //                    [--threads N]   # parallel fan-out; output is
 //                                    # identical for every N
+//                    [--metrics-json out.json] [--profile]
 //   cosched validate --workload trace.swf [--nodes N]
 //   cosched audit    [--strategy NAME|all] [--seed N] [--jobs N]
 //                    [--campaign trinity|membound|compute] [--config FILE]
 //   cosched config   [--config FILE]      # print effective configuration
+//   cosched trace    FILE.jsonl [--chrome out.json]
+//                    # validate every record through the project JSON
+//                    # parser, summarize, optionally convert to the Chrome
+//                    # trace_event format (about:tracing / Perfetto)
 //
 // The config file is the slurm.conf-style format (see slurmlite/config.hpp);
 // without --config, built-in defaults apply (32 nodes, 2-way SMT,
@@ -19,8 +25,14 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
 
 #include "metrics/validate.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "runner/runner.hpp"
 #include "slurmlite/config.hpp"
 #include "slurmlite/report.hpp"
@@ -29,6 +41,7 @@
 #include "trace/gantt.hpp"
 #include "trace/swf.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/campaign.hpp"
 
@@ -37,10 +50,20 @@ namespace {
 using namespace cosched;
 
 int usage() {
-  std::cerr << "usage: cosched <sim|compare|validate|audit|config> [flags]\n"
+  std::cerr << "usage: cosched <sim|compare|validate|audit|config|trace> "
+               "[flags]\n"
                "run with a subcommand; see the header of tools/cosched_cli"
                ".cpp or README.md for flag details\n";
   return 2;
+}
+
+/// Shared --profile epilogue: prints the per-phase wall-clock table when
+/// profiling was armed and anything was recorded.
+void print_profile_report(bool enabled) {
+  if (!enabled) return;
+  obs::set_profiling_enabled(false);
+  const std::string report = obs::profiler_report();
+  if (!report.empty()) std::cout << report;
 }
 
 slurmlite::ControllerConfig load_config(const Flags& flags) {
@@ -99,9 +122,21 @@ int cmd_sim(const Flags& flags) {
   const auto jobs =
       load_or_generate_jobs(flags, catalog, config.nodes, seed);
 
+  obs::Tracer tracer;
+  obs::Registry registry;
+  const std::string trace_path = flags.get_string("trace", "");
+  const std::string metrics_path = flags.get_string("metrics-json", "");
+  const bool profile = flags.get_bool("profile", false);
+  if (profile) {
+    obs::profiler_reset();
+    obs::set_profiling_enabled(true);
+  }
+
   slurmlite::SimulationSpec spec;
   spec.controller = config;
   spec.seed = seed;
+  if (!trace_path.empty()) spec.controller.tracer = &tracer;
+  if (!metrics_path.empty()) spec.controller.registry = &registry;
   const auto result = slurmlite::run_jobs(spec, catalog, jobs);
 
   if (flags.get_bool("sacct", false)) {
@@ -128,6 +163,18 @@ int cmd_sim(const Flags& flags) {
     slurmlite::write_json_file(path, result, catalog);
     std::cout << "wrote JSON to " << path << "\n";
   }
+  if (!trace_path.empty()) {
+    tracer.write_file(trace_path);
+    std::cout << "wrote " << tracer.size() << " trace records to "
+              << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out.good()) throw Error("cannot write '" + metrics_path + "'");
+    out << registry.to_json() << "\n";
+    std::cout << "wrote metrics to " << metrics_path << "\n";
+  }
+  print_profile_report(profile);
   return 0;
 }
 
@@ -137,11 +184,20 @@ int cmd_compare(const Flags& flags) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const bool csv = flags.get_bool("csv", false);
 
+  const std::string metrics_path = flags.get_string("metrics-json", "");
+  const bool profile = flags.get_bool("profile", false);
+  if (profile) {
+    obs::profiler_reset();
+    obs::set_profiling_enabled(true);
+  }
+
   // One independent simulation per strategy; fan them over the pool and
   // print in strategy order (results land in submission-order slots, so
-  // the table is identical for every --threads value).
+  // the table is identical for every --threads value). Each cell gets its
+  // own registry (share-nothing, like all cell state).
   runner::ParallelRunner pool(
       static_cast<int>(flags.get_int("threads", 0)));
+  std::vector<std::unique_ptr<obs::Registry>> registries;
   std::vector<slurmlite::SimulationSpec> specs;
   for (auto kind : core::all_strategies()) {
     config.strategy = kind;
@@ -149,6 +205,10 @@ int cmd_compare(const Flags& flags) {
     spec.controller = config;
     spec.workload = campaign_params(flags, config.nodes);
     spec.seed = seed;
+    if (!metrics_path.empty()) {
+      registries.push_back(std::make_unique<obs::Registry>());
+      spec.controller.registry = registries.back().get();
+    }
     specs.push_back(std::move(spec));
   }
   const auto results = runner::run_specs(pool, specs, catalog);
@@ -168,6 +228,23 @@ int cmd_compare(const Flags& flags) {
         .add(r.metrics.jobs_timeout);
   }
   t.print(std::cout, csv);
+  if (!metrics_path.empty()) {
+    // One document keyed by strategy name; each value is that run's
+    // registry dump (already a complete JSON object).
+    std::ofstream out(metrics_path);
+    if (!out.good()) throw Error("cannot write '" + metrics_path + "'");
+    out << "{";
+    std::size_t k = 0;
+    for (auto kind : core::all_strategies()) {
+      if (k > 0) out << ",";
+      out << "\"" << core::to_string(kind)
+          << "\": " << registries[k]->to_json();
+      ++k;
+    }
+    out << "}\n";
+    std::cout << "wrote metrics to " << metrics_path << "\n";
+  }
+  print_profile_report(profile);
   return 0;
 }
 
@@ -254,6 +331,82 @@ int cmd_config(const Flags& flags) {
   return 0;
 }
 
+// Validates a JSONL decision trace through the project JSON parser and
+// summarizes it; --chrome converts to the trace_event format.
+int cmd_trace(const Flags& flags) {
+  // Flags skips argv[0] (the subcommand), so [0] is the first operand.
+  const auto& positional = flags.positional();
+  if (positional.empty()) {
+    std::cerr << "trace requires a file: cosched trace out.jsonl "
+                 "[--chrome out.json]\n";
+    return 2;
+  }
+  const std::string& path = positional[0];
+  std::ifstream in(path);
+  if (!in.good()) throw Error("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string document = buffer.str();
+
+  std::map<std::string, std::size_t> by_type;
+  std::size_t records = 0;
+  std::size_t co_accepted = 0;
+  std::size_t co_rejected = 0;
+  SimTime last_t = 0;
+  std::istringstream lines(document);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue record;
+    try {
+      record = parse_json(line);
+    } catch (const Error& e) {
+      std::cerr << path << ":" << line_no << ": invalid record: " << e.what()
+                << "\n";
+      return 1;
+    }
+    if (!record.has("t_us") || !record.has("type")) {
+      std::cerr << path << ":" << line_no
+                << ": record lacks t_us/type fields\n";
+      return 1;
+    }
+    ++records;
+    last_t = static_cast<SimTime>(record.at("t_us").as_number());
+    const std::string& type = record.at("type").as_string();
+    ++by_type[type];
+    if (type == "co_decision") {
+      if (record.at("accepted").as_bool()) {
+        ++co_accepted;
+      } else {
+        ++co_rejected;
+      }
+    }
+  }
+
+  std::cout << path << ": " << records << " records, sim end t="
+            << format_duration(last_t) << "\n";
+  Table t({"record type", "count"});
+  for (const auto& [type, count] : by_type) {
+    t.row().add(type).add(static_cast<std::int64_t>(count));
+  }
+  t.print(std::cout, /*csv=*/false);
+  if (co_accepted + co_rejected > 0) {
+    std::cout << "co-allocation decisions: " << co_accepted << " accepted, "
+              << co_rejected << " rejected\n";
+  }
+
+  if (const std::string out_path = flags.get_string("chrome", "");
+      !out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out.good()) throw Error("cannot write '" + out_path + "'");
+    out << obs::to_chrome_trace(document) << "\n";
+    std::cout << "wrote Chrome trace_event JSON to " << out_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,6 +425,8 @@ int main(int argc, char** argv) {
       rc = cmd_audit(flags);
     } else if (command == "config") {
       rc = cmd_config(flags);
+    } else if (command == "trace") {
+      rc = cmd_trace(flags);
     } else {
       return usage();
     }

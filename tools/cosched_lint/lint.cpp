@@ -469,6 +469,44 @@ void scan_raw_thread(const std::vector<Token>& tokens, const SourceFile& file,
   }
 }
 
+/// Library code must not write diagnostics to raw stdio: logging goes
+/// through util/log (level-filtered, thread-safe) and structured output
+/// through the obs/ sinks, so those two directories are the only exempt
+/// ones under src/. snprintf stays legal — it formats strings, it does
+/// not perform I/O.
+const std::set<std::string>& stdio_idents() {
+  static const std::set<std::string> s = {"printf", "fprintf", "vprintf",
+                                          "vfprintf", "puts", "fputs"};
+  return s;
+}
+
+void scan_raw_stdio(const std::vector<Token>& tokens, const SourceFile& file,
+                    std::vector<Finding>& findings) {
+  if (file.path.find("src/") == std::string::npos) return;
+  if (file.path.find("src/util/log") != std::string::npos) return;
+  if (file.path.find("src/obs/") != std::string::npos) return;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    const bool member_access =
+        i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->");
+    if (member_access) continue;
+    if (t.text == "cerr") {
+      findings.push_back({file.path, t.line, "no-raw-stdio",
+                          "std::cerr in library code; use COSCHED_WARN / "
+                          "COSCHED_ERROR (util/log.hpp)"});
+      continue;
+    }
+    if (stdio_idents().count(t.text) && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "(") {
+      findings.push_back({file.path, t.line, "no-raw-stdio",
+                          "raw '" + t.text + "' in library code; use "
+                          "COSCHED_WARN / COSCHED_ERROR (util/log.hpp) or "
+                          "an obs/ sink"});
+    }
+  }
+}
+
 }  // namespace
 
 // --- Public API --------------------------------------------------------------
@@ -525,6 +563,7 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
     scan_include_guard(file, local);
     scan_unordered_iteration(tokens, file, unordered_names, local);
     scan_raw_thread(tokens, file, local);
+    scan_raw_stdio(tokens, file, local);
     for (Finding& f : local) {
       if (!suppressed(file, f.line, f.rule)) {
         findings.push_back(std::move(f));
@@ -559,6 +598,7 @@ const std::vector<std::string>& rule_names() {
       "no-using-namespace-std",
       "include-guard",
       "no-raw-thread",
+      "no-raw-stdio",
   };
   return names;
 }

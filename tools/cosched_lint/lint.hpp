@@ -15,6 +15,10 @@
 //   no-float-equality        == / != against a floating-point literal
 //   no-using-namespace-std   `using namespace std` in a header
 //   include-guard            header lacks #pragma once (or a classic guard)
+//   no-raw-stdio             std::cerr / printf-family calls in src/
+//                            outside src/util/log and src/obs/ (use the
+//                            COSCHED_WARN/COSCHED_ERROR macros or an obs/
+//                            sink; snprintf formats, so it stays legal)
 //
 // A finding on a line is silenced by a trailing
 //   // cosched-lint: allow(<rule>[, <rule>...])    (or allow(*))
