@@ -1,8 +1,15 @@
 #include "cluster/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace cosched::cluster {
+
+namespace {
+/// Machine instance ids; atomic because the ParallelRunner constructs
+/// machines from worker threads. See Machine::instance_id().
+std::atomic<std::uint64_t> next_machine_id{1};
+}  // namespace
 
 Machine::Machine(int node_count, const NodeConfig& config,
                  TopologyParams topology, PlacementPolicy placement)
@@ -10,9 +17,12 @@ Machine::Machine(int node_count, const NodeConfig& config,
       topology_(topology, node_count),
       placement_(placement) {
   COSCHED_CHECK(node_count > 0);
+  instance_id_ = next_machine_id.fetch_add(1, std::memory_order_relaxed);
   nodes_.reserve(static_cast<std::size_t>(node_count));
   free_primary_.reset(node_count);
   free_secondary_.reset(node_count);
+  free_state_.resize(static_cast<std::size_t>(node_count));
+  node_gens_.assign(static_cast<std::size_t>(node_count), 0);
   for (int i = 0; i < node_count; ++i) {
     nodes_.emplace_back(static_cast<NodeId>(i), config);
     free_primary_.insert(static_cast<NodeId>(i));
@@ -106,7 +116,7 @@ std::optional<std::vector<NodeId>> Machine::find_free_nodes_compact(
 }
 
 std::optional<std::vector<NodeId>> Machine::find_shareable_nodes(
-    int count, const std::function<bool(JobId)>& primary_ok) const {
+    int count, util::FunctionRef<bool(JobId)> primary_ok) const {
   COSCHED_CHECK(count > 0);
   if (count > static_cast<int>(free_secondary_.size())) return std::nullopt;
   std::vector<NodeId> out;
@@ -128,30 +138,45 @@ std::vector<JobId> Machine::primaries_with_free_secondary() const {
   return out;
 }
 
-void Machine::allocate_primary(JobId job, const std::vector<NodeId>& nodes) {
+void Machine::allocate_primary(JobId job, const std::vector<NodeId>& nodes,
+                               SimTime walltime_end) {
   COSCHED_CHECK_MSG(!allocations_.count(job),
                     "job " << job << " is already allocated");
   COSCHED_CHECK(!nodes.empty());
+  // The allocation record goes in first: resync_node reads residents'
+  // walltime ends out of allocations_.
+  allocations_[job] = Allocation{job, AllocationKind::kPrimary, nodes,
+                                 walltime_end};
   for (NodeId id : nodes) {
     node_mutable(id).assign_primary(job);
     resync_node(id);
   }
-  allocations_[job] = Allocation{job, AllocationKind::kPrimary, nodes};
   if (tracer_ != nullptr) tracer_->machine_alloc("alloc_primary", job, nodes);
 }
 
-void Machine::allocate_secondary(JobId job, const std::vector<NodeId>& nodes) {
+void Machine::allocate_secondary(JobId job, const std::vector<NodeId>& nodes,
+                                 SimTime walltime_end) {
   COSCHED_CHECK_MSG(!allocations_.count(job),
                     "job " << job << " is already allocated");
   COSCHED_CHECK(!nodes.empty());
+  allocations_[job] = Allocation{job, AllocationKind::kSecondary, nodes,
+                                 walltime_end};
   for (NodeId id : nodes) {
     node_mutable(id).assign_secondary(job);
     resync_node(id);
   }
-  allocations_[job] = Allocation{job, AllocationKind::kSecondary, nodes};
   if (tracer_ != nullptr) {
     tracer_->machine_alloc("alloc_secondary", job, nodes);
   }
+}
+
+void Machine::set_walltime_end(JobId job, SimTime walltime_end) {
+  const auto it = allocations_.find(job);
+  COSCHED_CHECK_MSG(it != allocations_.end(),
+                    "walltime change for unallocated job " << job);
+  if (it->second.walltime_end == walltime_end) return;
+  it->second.walltime_end = walltime_end;
+  for (NodeId id : it->second.nodes) resync_node(id);
 }
 
 Allocation Machine::release(JobId job) {
@@ -211,6 +236,76 @@ void Machine::resync_node(NodeId id) {
   } else {
     free_secondary_.erase(id);
   }
+  // Stamp the node with the post-increment *global* generation rather than
+  // an independent per-node counter. Consumers key memo entries on
+  // max(node_generation over an allocation); with independent counters a
+  // bump on a low-counter node could be masked by a sibling's higher value.
+  // Globally-unique monotone stamps make that max move on every change.
+  node_gens_[static_cast<std::size_t>(id)] = ++generation_;
+  // Free-time cache: a node is tracked in busy_ends_ iff it is up and holds
+  // at least one job (slot 0 occupied — secondaries imply a primary). Its
+  // cached end is the latest resident walltime end, unclamped; queries
+  // clamp with max(now, end).
+  NodeFreeState& st = free_state_[static_cast<std::size_t>(id)];
+  const bool busy = !n.is_down() && !n.primary_free();
+  SimTime end = 0;
+  if (busy) {
+    for (JobId resident : n.slot_jobs()) {
+      if (resident == kInvalidJob) continue;
+      const auto it = allocations_.find(resident);
+      COSCHED_CHECK_MSG(it != allocations_.end(),
+                        "resident job " << resident
+                                        << " has no allocation record");
+      end = std::max(end, it->second.walltime_end);
+    }
+  }
+  if (busy == st.busy && (!busy || end == st.end)) return;
+  if (st.busy) erase_busy_end(st.end);
+  if (busy) insert_busy_end(end);
+  st.busy = busy;
+  st.end = end;
+}
+
+void Machine::insert_busy_end(SimTime end) {
+  busy_ends_.insert(std::upper_bound(busy_ends_.begin(), busy_ends_.end(),
+                                     end),
+                    end);
+}
+
+void Machine::erase_busy_end(SimTime end) {
+  const auto it = std::lower_bound(busy_ends_.begin(), busy_ends_.end(),
+                                   end);
+  COSCHED_CHECK_MSG(it != busy_ends_.end() && *it == end,
+                    "busy-ends multiset lost entry " << end);
+  busy_ends_.erase(it);
+}
+
+SimTime Machine::node_free_time(NodeId id, SimTime now) const {
+  const Node& n = node(id);
+  if (n.is_down()) return kTimeInfinity;
+  const NodeFreeState& st = free_state_[static_cast<std::size_t>(id)];
+  if (!st.busy) return now;
+  return std::max(now, st.end);
+}
+
+SimTime Machine::kth_free_time(int k, SimTime now) const {
+  COSCHED_CHECK(k >= 0);
+  const int free = free_node_count();
+  if (k < free) return now;
+  k -= free;
+  if (k < static_cast<int>(busy_ends_.size())) {
+    return std::max(now, busy_ends_[static_cast<std::size_t>(k)]);
+  }
+  return kTimeInfinity;  // only down nodes remain
+}
+
+int Machine::free_count_at(SimTime t, SimTime now) const {
+  if (t < now) return 0;
+  // Clamped end max(now, e) <= t iff e <= t, given t >= now.
+  const auto it =
+      std::upper_bound(busy_ends_.begin(), busy_ends_.end(), t);
+  return free_node_count() +
+         static_cast<int>(std::distance(busy_ends_.begin(), it));
 }
 
 void Machine::check_invariants() const {
@@ -246,6 +341,34 @@ void Machine::check_invariants() const {
                                 << " which does not host it");
     }
   }
+  // Free-time index: recompute every node's cached state and the busy-ends
+  // multiset from scratch; both must match the maintained structures.
+  std::vector<SimTime> expect_ends;
+  for (const auto& node : nodes_) {
+    const NodeFreeState& st =
+        free_state_[static_cast<std::size_t>(node.id())];
+    const bool busy = !node.is_down() && !node.primary_free();
+    COSCHED_CHECK_MSG(st.busy == busy,
+                      "free-time cache drifted on node "
+                          << node.id() << ": busy flag " << st.busy
+                          << " vs rescan " << busy);
+    if (!busy) continue;
+    SimTime end = 0;
+    for (JobId resident : node.slot_jobs()) {
+      if (resident == kInvalidJob) continue;
+      end = std::max(end, allocations_.at(resident).walltime_end);
+    }
+    COSCHED_CHECK_MSG(st.end == end,
+                      "free-time cache drifted on node "
+                          << node.id() << ": cached end " << st.end
+                          << " vs rescan " << end);
+    expect_ends.push_back(end);
+  }
+  std::sort(expect_ends.begin(), expect_ends.end());
+  COSCHED_CHECK_MSG(expect_ends == busy_ends_,
+                    "busy-ends multiset drifted: holds "
+                        << busy_ends_.size() << " entries, rescan found "
+                        << expect_ends.size());
 }
 
 }  // namespace cosched::cluster

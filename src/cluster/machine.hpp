@@ -12,9 +12,19 @@
 // O(k) for a k-node allocation while find_free_nodes/find_shareable_nodes
 // walk free nodes only. check_invariants() cross-checks the index against
 // a brute-force rescan; tests/cluster_test.cpp fuzzes that agreement.
+//
+// A second incremental structure serves the backfill strategies: each
+// node's free time (now for idle nodes, the max cached walltime end of its
+// residents for busy nodes, infinity for down nodes) is maintained under
+// the same resync discipline, with the busy nodes' ends mirrored into a
+// sorted multiset. compute_shadow reads the k-th smallest free time and
+// build_profile iterates the sorted ends directly, so per-pass cost tracks
+// the number of *busy* nodes and their churn instead of machine size (see
+// DESIGN.md "Incremental scheduler state"). Generation counters (global
+// and per node) let the controller detect "nothing changed" between passes
+// and the execution model memoize co-run rates.
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +33,7 @@
 #include "cluster/node.hpp"
 #include "cluster/topology.hpp"
 #include "obs/trace.hpp"
+#include "util/function_ref.hpp"
 #include "util/types.hpp"
 
 namespace cosched::cluster {
@@ -38,6 +49,10 @@ struct Allocation {
   JobId job = kInvalidJob;
   AllocationKind kind = AllocationKind::kPrimary;
   std::vector<NodeId> nodes;
+  /// Latest instant the job may still hold its slots (start time plus
+  /// walltime limit). Feeds the free-time index; kTimeInfinity when the
+  /// caller has no bound (direct machine users in tests).
+  SimTime walltime_end = kTimeInfinity;
 };
 
 class Machine {
@@ -76,8 +91,10 @@ class Machine {
 
   /// Returns up to `count` node ids with a free secondary slot whose primary
   /// job satisfies `primary_ok`, or nullopt if fewer than `count` qualify.
+  /// The predicate is borrowed for the call (non-owning FunctionRef: no
+  /// per-call allocation on the decision path).
   std::optional<std::vector<NodeId>> find_shareable_nodes(
-      int count, const std::function<bool(JobId)>& primary_ok) const;
+      int count, util::FunctionRef<bool(JobId)> primary_ok) const;
 
   /// All distinct primary jobs that currently have >= 1 node with a free
   /// secondary slot. Used by pairing heuristics.
@@ -88,13 +105,66 @@ class Machine {
   /// every node.
   const NodeIdSet& free_secondary_nodes() const { return free_secondary_; }
 
+  // --- Free-time index ------------------------------------------------------
+  // All queries take `now` so cached walltime ends in the past clamp to the
+  // present, exactly like the from-scratch node_free_times() recompute.
+
+  /// When node `id`'s primary slot is guaranteed free: `now` if idle,
+  /// max(now, latest resident walltime end) if busy, kTimeInfinity if down.
+  SimTime node_free_time(NodeId id, SimTime now) const;
+
+  /// Busy nodes currently tracked in the sorted-ends view.
+  int busy_tracked_count() const {
+    return static_cast<int>(busy_ends_.size());
+  }
+
+  /// The k-th smallest node free time (0-based) over the whole machine:
+  /// free nodes contribute `now`, busy nodes their clamped walltime end,
+  /// down nodes kTimeInfinity. O(1) given the maintained order statistics.
+  SimTime kth_free_time(int k, SimTime now) const;
+
+  /// Number of nodes whose free time is <= `t` (free by `t`). O(log busy).
+  int free_count_at(SimTime t, SimTime now) const;
+
+  /// Cached walltime ends of busy nodes, ascending. build_profile iterates
+  /// this instead of walking every node.
+  const std::vector<SimTime>& sorted_busy_ends() const { return busy_ends_; }
+
+  /// Monotone counter bumped on every state mutation (allocate, release,
+  /// node up/down, walltime change). Equal values mean "nothing changed".
+  std::uint64_t generation() const { return generation_; }
+
+  /// Process-unique id of this Machine instance (assigned at construction,
+  /// never reused). Caches keyed on generation counters combine it with
+  /// the stamps so entries can never alias across machines whose mutation
+  /// histories happen to coincide. Never feeds any scheduling decision.
+  std::uint64_t instance_id() const { return instance_id_; }
+
+  /// Generation stamp of the node's last mutation (slot contents, up/down
+  /// state, or a resident's walltime end): the global generation() value
+  /// at that resync. Stamps are globally unique and monotone, so
+  /// max(node_generation) over any node set moves whenever any member
+  /// changes — the execution model keys its co-run rate memoization on
+  /// exactly that max.
+  std::uint64_t node_generation(NodeId id) const {
+    return node_gens_[static_cast<std::size_t>(id)];
+  }
+
   // --- Allocation -----------------------------------------------------------
 
   /// Places `job` exclusively on `nodes` (claims primary slots).
-  void allocate_primary(JobId job, const std::vector<NodeId>& nodes);
+  /// `walltime_end` is the job's start + walltime limit, kept in the
+  /// free-time index.
+  void allocate_primary(JobId job, const std::vector<NodeId>& nodes,
+                        SimTime walltime_end = kTimeInfinity);
 
   /// Co-allocates `job` onto the secondary slots of `nodes`.
-  void allocate_secondary(JobId job, const std::vector<NodeId>& nodes);
+  void allocate_secondary(JobId job, const std::vector<NodeId>& nodes,
+                          SimTime walltime_end = kTimeInfinity);
+
+  /// Walltime-extend path: moves an allocated job's cached walltime end and
+  /// resyncs the free-time index on its nodes.
+  void set_walltime_end(JobId job, SimTime walltime_end);
 
   /// Releases all slots held by `job`. Returns its (removed) allocation.
   Allocation release(JobId job);
@@ -127,9 +197,23 @@ class Machine {
   /// coherent; external callers use the allocation/failure API above.
   Node& node_mutable(NodeId id);
 
-  /// Re-derives node `id`'s membership in both free-capacity sets from its
-  /// current slot state. Called after every mutation of that node.
+  /// Re-derives node `id`'s membership in both free-capacity sets and the
+  /// free-time index from its current slot state, and bumps the node's
+  /// generation. Called after every mutation of that node. Requires the
+  /// node's residents to be present in allocations_ (allocation records
+  /// are inserted before slots are assigned).
   void resync_node(NodeId id);
+
+  /// Sorted-multiset maintenance for busy_ends_ (O(busy) memmove; the
+  /// multiset stays small and contiguous, see file comment).
+  void insert_busy_end(SimTime end);
+  void erase_busy_end(SimTime end);
+
+  /// Cached free-time state of one node.
+  struct NodeFreeState {
+    SimTime end = 0;    ///< latest resident walltime end (valid iff busy)
+    bool busy = false;  ///< node holds >= 1 job (tracked in busy_ends_)
+  };
 
   NodeConfig config_;
   Topology topology_;
@@ -140,6 +224,13 @@ class Machine {
   /// nodes with a free secondary slot (see file comment).
   NodeIdSet free_primary_;
   NodeIdSet free_secondary_;
+  /// Free-time index (see file comment): per-node cached state plus the
+  /// busy nodes' walltime ends as a sorted multiset (order statistics).
+  std::vector<NodeFreeState> free_state_;
+  std::vector<SimTime> busy_ends_;
+  std::vector<std::uint64_t> node_gens_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t instance_id_ = 0;  // set in the constructor; see instance_id()
   obs::Tracer* tracer_ = nullptr;  // non-owning; see set_tracer()
 };
 

@@ -38,7 +38,6 @@ std::optional<double> CoAllocator::admissible(SchedulerHost& host,
     last_reason_ = obs::ReasonCode::kInsufficientNodes;
     return std::nullopt;
   }
-  resident_scratch_.clear();
   return node_admissible(
       host, Candidate{&cand, &cand_app, host.now() + cand.walltime_limit},
       node_id, respect_deadline);
@@ -47,24 +46,40 @@ std::optional<double> CoAllocator::admissible(SchedulerHost& host,
 std::optional<double> CoAllocator::node_admissible(
     SchedulerHost& host, const Candidate& cand, NodeId node_id,
     bool respect_deadline) const {
-  const cluster::Node& node = host.machine().node(node_id);
+  const cluster::Machine& machine = host.machine();
   const apps::AppModel& cand_app = *cand.app;
 
   // Consent and (optionally) deadline checks are common to every gate.
-  // Walk the raw slots (no allocation) and resolve each resident's host
-  // lookups through the per-pass memo.
-  std::vector<const apps::AppModel*>& resident_apps = apps_scratch_;
-  resident_apps.clear();
-  for (JobId resident : node.slot_jobs()) {
-    if (resident == kInvalidJob) continue;
-    auto [it, fresh] = resident_scratch_.try_emplace(resident);
-    if (fresh) {
+  // Resident-side host lookups are served from the per-node snapshot,
+  // rebuilt only when the node's generation moved — the same node is
+  // scanned by every candidate of every pass, but changes rarely.
+  const std::size_t node_idx = static_cast<std::size_t>(node_id);
+  if (cache_machine_ != machine.instance_id()) {
+    // The host switched machines (test fixtures reuse one allocator across
+    // scenarios): every snapshot is for the wrong machine, even where the
+    // generation stamps happen to coincide.
+    node_cache_.clear();
+    cache_machine_ = machine.instance_id();
+  }
+  if (node_cache_.size() <= node_idx) {
+    node_cache_.resize(static_cast<std::size_t>(machine.node_count()));
+  }
+  NodeResidents& cache = node_cache_[node_idx];
+  const std::uint64_t gen = machine.node_generation(node_id);
+  if (cache.gen != gen) {
+    cache.residents.clear();
+    for (JobId resident : machine.node(node_id).slot_jobs()) {
+      if (resident == kInvalidJob) continue;
       const workload::Job& r = host.job(resident);
       const apps::AppModel& app = host.app_of(resident);
-      it->second = Resident{r.shareable && app.shareable, &app,
-                            host.walltime_end(resident)};
+      cache.residents.push_back(Resident{r.shareable && app.shareable, &app,
+                                         host.walltime_end(resident)});
     }
-    const Resident& r = it->second;
+    cache.gen = gen;
+  }
+  std::vector<const apps::AppModel*>& resident_apps = apps_scratch_;
+  resident_apps.clear();
+  for (const Resident& r : cache.residents) {
     if (!r.shareable) {
       last_reason_ = obs::ReasonCode::kResidentNotShareable;
       return std::nullopt;
@@ -204,7 +219,6 @@ std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
   std::vector<std::pair<double, NodeId>>& ranked =
       ranked_scratch_;  // (-throughput, node)
   ranked.clear();
-  resident_scratch_.clear();
   // The candidate scan walks the machine's free-secondary index (ascending
   // node id, same order as the historical full rescan) instead of testing
   // every node.

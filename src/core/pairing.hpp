@@ -52,13 +52,23 @@ class CoAllocator {
     SimTime walltime_end;  ///< now + walltime_limit, for deadline gates
   };
 
-  /// Memoized resident-side state. The same running job occupies many
-  /// nodes (a k-node primary appears in k scans), so one pass resolves
-  /// each resident's host lookups exactly once.
+  /// Memoized resident-side state: everything the gate needs about one
+  /// job already on a node, resolved from the host once per machine
+  /// change instead of once per scanned (candidate, node) pair.
   struct Resident {
     bool shareable;
     const apps::AppModel* app;
     SimTime walltime_end;
+  };
+
+  /// A node's residents in slot order, stamped with the machine's node
+  /// generation at fill time. Stale stamps trigger a rebuild; fresh ones
+  /// serve the whole scan without a single host lookup. Slot order is
+  /// preserved so the gate walks residents exactly as the uncached code
+  /// did and reports the same first-failure reason codes.
+  struct NodeResidents {
+    std::uint64_t gen = 0;  ///< 0 = never filled (live nodes stamp > 0)
+    std::vector<Resident> residents;
   };
 
   /// The per-node gate body behind admissible()/select_nodes(); assumes
@@ -85,11 +95,18 @@ class CoAllocator {
   /// result is a pure pair function; caching it removes the dominant cost
   /// of co-allocation passes (recomputing pair slowdowns per node).
   mutable std::unordered_map<std::uint64_t, CachedGate> oracle_pair_cache_;
-  /// Scan scratch, reused across calls so the per-node/per-candidate hot
-  /// path allocates nothing in steady state. A CoAllocator belongs to one
-  /// scheduler, which belongs to one (single-threaded) simulation cell, so
-  /// mutable scratch needs no synchronization.
-  mutable std::unordered_map<JobId, Resident> resident_scratch_;
+  /// Per-node resident snapshots (indexed by NodeId, grown lazily to the
+  /// machine size). Validated against Machine::node_generation on every
+  /// query, so snapshots survive across passes until the node actually
+  /// changes. A CoAllocator belongs to one scheduler, which belongs to
+  /// one (single-threaded) simulation cell, so mutable scratch needs no
+  /// synchronization.
+  mutable std::vector<NodeResidents> node_cache_;
+  /// Machine::instance_id() the snapshots above were filled from. Distinct
+  /// machines can share generation histories (same construction + mutation
+  /// sequence), so generation stamps alone cannot detect that the host
+  /// switched machines; the instance id can. 0 = cache never filled.
+  mutable std::uint64_t cache_machine_ = 0;
   mutable std::vector<const apps::AppModel*> apps_scratch_;
   mutable std::vector<std::pair<double, NodeId>> ranked_scratch_;
 };

@@ -42,14 +42,22 @@ std::vector<SimTime> node_free_times(SchedulerHost& host) {
   return out;
 }
 
-ShadowInfo compute_shadow(SchedulerHost& host, int head_nodes) {
+ShadowInfo compute_shadow_reference(SchedulerHost& host, int head_nodes) {
   COSCHED_CHECK(head_nodes > 0);
   std::vector<SimTime> free_times = node_free_times(host);
-  std::sort(free_times.begin(), free_times.end());
   ShadowInfo info;
-  if (head_nodes > static_cast<int>(free_times.size()) ||
-      free_times[static_cast<std::size_t>(head_nodes - 1)] ==
-          kTimeInfinity) {
+  if (head_nodes > static_cast<int>(free_times.size())) {
+    info.shadow_time = kTimeInfinity;
+    info.extra_nodes = 0;
+    return info;
+  }
+  // Only the k-th smallest free time matters, not the full order:
+  // nth_element is the interim fix this reference path retired onto after
+  // the maintained order-statistics view took over the production query.
+  const auto kth =
+      free_times.begin() + static_cast<std::ptrdiff_t>(head_nodes - 1);
+  std::nth_element(free_times.begin(), kth, free_times.end());
+  if (*kth == kTimeInfinity) {
     // The head cannot run on the machine as it stands (e.g. nodes down).
     // Don't block the rest of the queue: an unreachable reservation means
     // every job may backfill until the machine changes.
@@ -57,26 +65,57 @@ ShadowInfo compute_shadow(SchedulerHost& host, int head_nodes) {
     info.extra_nodes = 0;
     return info;
   }
-  info.shadow_time = free_times[static_cast<std::size_t>(head_nodes - 1)];
+  info.shadow_time = *kth;
   int avail = 0;
   for (SimTime t : free_times) avail += (t <= info.shadow_time) ? 1 : 0;
   info.extra_nodes = avail - head_nodes;
   return info;
 }
 
+ShadowInfo compute_shadow(SchedulerHost& host, int head_nodes) {
+  COSCHED_CHECK(head_nodes > 0);
+  // Served from the machine's maintained order statistics: free nodes
+  // contribute now(), busy nodes their clamped cached walltime end, down
+  // nodes infinity — the same multiset node_free_times() rebuilds, without
+  // touching every node. tests/incremental_test.cpp fuzzes the agreement
+  // with compute_shadow_reference across randomized machine histories.
+  const cluster::Machine& machine = host.machine();
+  const SimTime now = host.now();
+  ShadowInfo info;
+  const SimTime kth = machine.kth_free_time(head_nodes - 1, now);
+  if (kth == kTimeInfinity) {
+    // Unreachable head (more nodes than could ever be up): every job may
+    // backfill until the machine changes.
+    info.shadow_time = kTimeInfinity;
+    info.extra_nodes = 0;
+    return info;
+  }
+  info.shadow_time = kth;
+  info.extra_nodes = machine.free_count_at(kth, now) - head_nodes;
+  return info;
+}
+
 AvailabilityProfile build_profile(SchedulerHost& host) {
-  const auto free_times = node_free_times(host);
-  AvailabilityProfile profile(static_cast<int>(free_times.size()),
-                              host.now());
-  for (SimTime t : free_times) {
-    if (t <= host.now()) continue;  // free now
-    if (t == kTimeInfinity) {
-      // Down node: never available. Reserve the entire horizon by carving
-      // from origin with no end breakpoint — approximate with a huge bound.
-      profile.reserve(host.now(), kTimeInfinity / 2, 1);
+  const cluster::Machine& machine = host.machine();
+  const SimTime now = host.now();
+  AvailabilityProfile profile(machine.node_count(), now);
+  // reserve() is commutative (step-function addition over the union of
+  // split points), so iterating the sorted busy ends instead of node order
+  // yields the identical profile the per-node rebuild produced.
+  for (SimTime end : machine.sorted_busy_ends()) {
+    if (end <= now) continue;  // slot frees the instant the pass runs
+    if (end == kTimeInfinity) {
+      profile.reserve(now, kTimeInfinity / 2, 1);
     } else {
-      profile.reserve(host.now(), t, 1);
+      profile.reserve(now, end, 1);
     }
+  }
+  // Down nodes: never available. Reserve the entire horizon by carving
+  // from origin with no end breakpoint — approximate with a huge bound.
+  const int down = machine.node_count() - machine.free_node_count() -
+                   machine.busy_tracked_count();
+  for (int i = 0; i < down; ++i) {
+    profile.reserve(now, kTimeInfinity / 2, 1);
   }
   return profile;
 }

@@ -25,7 +25,15 @@ struct ShadowInfo {
 
 /// Computes the head job's reservation from walltime bounds. Requires that
 /// the head does not fit right now (otherwise callers just start it).
+/// Served in O(log busy) from the machine's incremental free-time index;
+/// requires machine allocations to carry the same walltime ends the host
+/// reports (the controller and FakeHost both guarantee this).
 ShadowInfo compute_shadow(SchedulerHost& host, int head_nodes);
+
+/// From-scratch recompute of compute_shadow via node_free_times() and
+/// nth_element. Reference implementation for the differential tests; the
+/// production query above must agree exactly.
+ShadowInfo compute_shadow_reference(SchedulerHost& host, int head_nodes);
 
 /// Builds the availability step function implied by node free times, with
 /// origin now(). Conservative backfill carves its reservations into it.

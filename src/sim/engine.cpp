@@ -4,42 +4,55 @@
 
 namespace cosched::sim {
 
-EventId Engine::schedule_at(SimTime when, EventPriority priority,
-                            const char* label, std::function<void()> fn) {
-  COSCHED_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
-                                                                  << " < "
-                                                                  << now_);
-  COSCHED_CHECK(fn != nullptr);
-  COSCHED_CHECK(label != nullptr);
+Engine::~Engine() {
+  // Destroy payloads of events that never ran (simulation ended early).
+  for (const Entry& entry : heap_) {
+    if (!is_live(entry.id)) continue;
+    Slot& s = slot(entry.slot);
+    s.destroy(s);
+    slot_of_id_[entry.id - 1] = kNoSlot;
+  }
+}
+
+std::uint32_t Engine::acquire_slot() {
+  if (free_slots_.empty()) {
+    const auto base =
+        static_cast<std::uint32_t>(chunks_.size() * kSlotsPerChunk);
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+    free_slots_.reserve(kSlotsPerChunk);
+    // Reversed so the lowest-numbered slot is handed out first.
+    for (std::uint32_t i = kSlotsPerChunk; i-- > 0;) {
+      free_slots_.push_back(base + i);
+    }
+  }
+  const std::uint32_t idx = free_slots_.back();
+  free_slots_.pop_back();
+  return idx;
+}
+
+void Engine::release_slot(std::uint32_t idx) { free_slots_.push_back(idx); }
+
+EventId Engine::push_event(SimTime when, EventPriority priority,
+                           const char* label, std::uint32_t slot_idx) {
   const EventId id = next_id_++;
-  heap_.push_back(Entry{when, priority, id, label, std::move(fn)});
+  slot_of_id_.push_back(slot_idx);
+  heap_.push_back(Entry{when, priority, id, slot_idx, label});
   std::push_heap(heap_.begin(), heap_.end());
   ++live_events_;
   return id;
 }
 
-EventId Engine::schedule_after(SimDuration delay, EventPriority priority,
-                               const char* label, std::function<void()> fn) {
-  COSCHED_CHECK(delay >= 0);
-  return schedule_at(now_ + delay, priority, label, std::move(fn));
-}
-
 bool Engine::cancel(EventId id) {
   if (id == kInvalidEvent || id >= next_id_) return false;
-  // Linear scan is acceptable: cancellation is rare (walltime timers of
-  // jobs that finish early) and the queue stays small in batch workloads.
-  for (auto& entry : heap_) {
-    if (entry.id == id) {
-      if (!entry.fn) return false;  // already cancelled
-      entry.fn = nullptr;
-      --live_events_;
-      return true;
-    }
-  }
-  return false;  // already executed
+  const std::uint32_t idx = slot_of_id_[id - 1];
+  if (idx == kNoSlot) return false;  // already executed or cancelled
+  Slot& s = slot(idx);
+  s.destroy(s);
+  release_slot(idx);
+  slot_of_id_[id - 1] = kNoSlot;
+  --live_events_;
+  return true;
 }
-
-bool Engine::is_cancelled(EventId) const { return false; }
 
 void Engine::add_observer(EventObserver* observer) {
   COSCHED_CHECK(observer != nullptr);
@@ -56,7 +69,7 @@ void Engine::remove_observer(EventObserver* observer) {
 
 void Engine::pop_entry(Entry& out) {
   std::pop_heap(heap_.begin(), heap_.end());
-  out = std::move(heap_.back());
+  out = heap_.back();
   heap_.pop_back();
 }
 
@@ -65,13 +78,19 @@ bool Engine::step() {
   for (;;) {
     if (heap_.empty()) return false;
     pop_entry(entry);
-    if (entry.fn) break;  // skip tombstoned (cancelled) entries
+    if (is_live(entry.id)) break;  // skip tombstoned (cancelled) entries
   }
   COSCHED_CHECK(entry.time >= now_);
   now_ = entry.time;
+  slot_of_id_[entry.id - 1] = kNoSlot;
   --live_events_;
   ++executed_;
-  entry.fn();
+  Slot& s = slot(entry.slot);
+  s.invoke(s);  // may schedule new events; chunks never move
+  s.destroy(s);
+  // Recycled only after the callback ran, so a mid-invoke schedule can
+  // never alias the executing payload's slot.
+  release_slot(entry.slot);
   for (EventObserver* observer : observers_) {
     observer->on_event_executed(entry.time, entry.priority, entry.id,
                                 entry.label);
@@ -90,7 +109,7 @@ std::size_t Engine::run_until(SimTime until) {
   std::size_t n = 0;
   for (;;) {
     // Peek the next live event time without executing.
-    while (!heap_.empty() && !heap_.front().fn) {
+    while (!heap_.empty() && !is_live(heap_.front().id)) {
       Entry discard;
       pop_entry(discard);
     }

@@ -8,11 +8,26 @@
 // Priorities let the batch-system controller enforce the canonical ordering
 // at one instant: job completions release resources before the scheduler
 // pass that wants to use them, and submissions enqueue before that pass.
+//
+// Event payloads live in a slab pool, not behind per-event heap
+// allocations: callbacks small enough for the inline buffer are
+// placement-constructed into recycled 64-byte slots (chunked arrays with
+// stable addresses), and heap entries are trivially-copyable structs that
+// reference slots by index. Oversized callables fall back to one heap
+// allocation but still flow through a pooled slot. Cancellation is O(1):
+// a dense id -> slot table (4 bytes per event ever scheduled; engines are
+// per-run) marks dead events, whose tombstoned heap entries are discarded
+// when popped. EventId stays the plain insertion counter — it is hashed by
+// the determinism audit and written into traces, so no pool detail may
+// leak into it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -52,6 +67,7 @@ class EventObserver {
 class Engine {
  public:
   Engine() = default;
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -61,24 +77,67 @@ class Engine {
   /// Schedules `fn` to run at absolute time `when` (>= now). `label` names
   /// the event kind for observers ("submit", "job_end", ...); it must be a
   /// string with static storage duration — the pointer is kept, not copied.
+  template <typename Fn>
+    requires std::is_invocable_r_v<void, std::decay_t<Fn>&>
   EventId schedule_at(SimTime when, EventPriority priority, const char* label,
-                      std::function<void()> fn);
-  EventId schedule_at(SimTime when, EventPriority priority,
-                      std::function<void()> fn) {
-    return schedule_at(when, priority, "", std::move(fn));
+                      Fn&& fn) {
+    COSCHED_CHECK_MSG(when >= now_, "event scheduled in the past: "
+                                        << when << " < " << now_);
+    COSCHED_CHECK(label != nullptr);
+    using Decayed = std::decay_t<Fn>;
+    if constexpr (std::is_constructible_v<bool, const Decayed&>) {
+      COSCHED_CHECK(static_cast<bool>(fn));  // null function object
+    }
+    const std::uint32_t slot_idx = acquire_slot();
+    Slot& s = slot(slot_idx);
+    if constexpr (sizeof(Decayed) <= kInlinePayload &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(s.storage)) Decayed(std::forward<Fn>(fn));
+      s.invoke = [](Slot& sl) {
+        (*std::launder(reinterpret_cast<Decayed*>(sl.storage)))();
+      };
+      s.destroy = [](Slot& sl) {
+        std::launder(reinterpret_cast<Decayed*>(sl.storage))->~Decayed();
+      };
+    } else {
+      // Oversized or throwing-move callable: one owning heap allocation,
+      // with the pointer parked in the slot.
+      auto owner = std::make_unique<Decayed>(std::forward<Fn>(fn));
+      ::new (static_cast<void*>(s.storage)) Decayed*(owner.release());
+      s.invoke = [](Slot& sl) {
+        (**std::launder(reinterpret_cast<Decayed**>(sl.storage)))();
+      };
+      s.destroy = [](Slot& sl) {
+        delete *std::launder(reinterpret_cast<Decayed**>(sl.storage));
+      };
+    }
+    return push_event(when, priority, label, slot_idx);
+  }
+  template <typename Fn>
+    requires std::is_invocable_r_v<void, std::decay_t<Fn>&>
+  EventId schedule_at(SimTime when, EventPriority priority, Fn&& fn) {
+    return schedule_at(when, priority, "", std::forward<Fn>(fn));
   }
 
   /// Schedules `fn` to run `delay` from now.
+  template <typename Fn>
+    requires std::is_invocable_r_v<void, std::decay_t<Fn>&>
   EventId schedule_after(SimDuration delay, EventPriority priority,
-                         const char* label, std::function<void()> fn);
-  EventId schedule_after(SimDuration delay, EventPriority priority,
-                         std::function<void()> fn) {
-    return schedule_after(delay, priority, "", std::move(fn));
+                         const char* label, Fn&& fn) {
+    COSCHED_CHECK(delay >= 0);
+    return schedule_at(now_ + delay, priority, label, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+    requires std::is_invocable_r_v<void, std::decay_t<Fn>&>
+  EventId schedule_after(SimDuration delay, EventPriority priority, Fn&& fn) {
+    return schedule_after(delay, priority, "", std::forward<Fn>(fn));
   }
 
   /// Cancels a pending event. Returns false if the event already ran,
-  /// was cancelled before, or never existed. O(1); the slot is tombstoned
-  /// and skipped when popped.
+  /// was cancelled before, or never existed. O(1): the payload slot is
+  /// destroyed and recycled immediately; the heap entry is tombstoned and
+  /// skipped when popped.
   bool cancel(EventId id);
 
   /// Runs until the queue drains. Returns the number of events executed.
@@ -102,37 +161,60 @@ class Engine {
   void remove_observer(EventObserver* observer);
 
  private:
+  /// Inline payload capacity: fits the controller's capture lambdas (a
+  /// `this` pointer plus a couple of ids) and a std::function fallback.
+  static constexpr std::size_t kInlinePayload = 48;
+  static constexpr std::size_t kSlotsPerChunk = 256;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// A pooled payload cell. Chunks never move, so a Slot& stays valid
+  /// across pool growth (callbacks may schedule new events mid-invoke).
+  struct Slot {
+    alignas(std::max_align_t) std::byte storage[kInlinePayload];
+    void (*invoke)(Slot&) = nullptr;
+    void (*destroy)(Slot&) = nullptr;
+  };
+
+  /// Trivially-copyable heap entry; the payload stays in its slot.
   struct Entry {
     SimTime time;
     EventPriority priority;
     EventId id;  // doubles as insertion sequence for tie-breaking
+    std::uint32_t slot;
     const char* label;  // event-kind string (static storage), "" if unlabeled
-    // Ordering for std::priority_queue (max-heap): invert so the smallest
+    // Ordering for heap algorithms (max-heap): invert so the smallest
     // (time, priority, id) triple is on top.
     bool operator<(const Entry& other) const {
       if (time != other.time) return time > other.time;
       if (priority != other.priority) return priority > other.priority;
       return id > other.id;
     }
-    std::function<void()> fn;  // moved out when executed
   };
 
-  // std::priority_queue does not allow mutation of the top element, so we
-  // keep a plain vector with heap algorithms and mark cancellations by
-  // clearing `fn`.
+  Slot& slot(std::uint32_t idx) {
+    return chunks_[idx / kSlotsPerChunk][idx % kSlotsPerChunk];
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  EventId push_event(SimTime when, EventPriority priority, const char* label,
+                     std::uint32_t slot_idx);
+  void pop_entry(Entry& out);
+  /// Live events only: cancelled/executed ids map to kNoSlot.
+  bool is_live(EventId id) const { return slot_of_id_[id - 1] != kNoSlot; }
+
   std::vector<Entry> heap_;
-  // Cancellation set kept implicit: cancelled ids are recorded here until
-  // their entry is popped and discarded.
-  std::vector<EventId> cancelled_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  /// slot_of_id_[id - 1] is the payload slot of event `id`, or kNoSlot once
+  /// it executed or was cancelled. Ids are dense (1, 2, 3, ...), so a flat
+  /// vector doubles as the cancellation set.
+  std::vector<std::uint32_t> slot_of_id_;
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
   std::size_t live_events_ = 0;
   std::size_t executed_ = 0;
   std::vector<EventObserver*> observers_;
-
-  bool is_cancelled(EventId id) const;
-  void pop_entry(Entry& out);
 };
 
 }  // namespace cosched::sim

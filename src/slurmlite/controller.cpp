@@ -62,12 +62,14 @@ void Controller::submit(workload::Job job) {
   if (job.nodes > machine_.node_count()) {
     job.state = workload::JobState::kCancelled;
     jobs_.emplace(id, std::move(job));
+    submit_index_.emplace(id, submit_order_.size());
     submit_order_.push_back(id);
     COSCHED_WARN("job " << id << " rejected: requests more nodes than exist");
     return;
   }
   const SimTime when = std::max(job.submit_time, engine_.now());
   jobs_.emplace(id, std::move(job));
+  submit_index_.emplace(id, submit_order_.size());
   submit_order_.push_back(id);
   engine_.schedule_at(when, sim::EventPriority::kSubmit, "submit",
                       [this, id] { on_submit(id); });
@@ -102,13 +104,23 @@ audit::StateCounts Controller::audit_state_counts() const {
 }
 
 std::vector<JobId> Controller::running_ids() const {
+  // Values in submit-index order == submit_order_ filtered to running.
   std::vector<JobId> out;
-  for (JobId id : submit_order_) {
-    if (jobs_.at(id).state == workload::JobState::kRunning) {
-      out.push_back(id);
-    }
+  out.reserve(running_by_submit_.size());
+  for (const auto& [idx, id] : running_by_submit_) {
+    (void)idx;
+    out.push_back(id);
   }
   return out;
+}
+
+void Controller::track_running(JobId id) {
+  running_by_submit_.emplace(submit_index_.at(id), id);
+}
+
+void Controller::untrack_running(JobId id) {
+  const auto erased = running_by_submit_.erase(submit_index_.at(id));
+  COSCHED_CHECK_MSG(erased == 1, "job " << id << " was not tracked running");
 }
 
 const workload::Job& Controller::job(JobId id) const {
@@ -166,6 +178,7 @@ void Controller::enqueue(JobId id) {
   workload::Job& j = job_mutable(id);
   j.state = workload::JobState::kPending;
   pending_.push_back(id);
+  ++queue_generation_;
   request_schedule();
 }
 
@@ -219,16 +232,59 @@ void Controller::order_queue() {
   }
 }
 
+bool Controller::pass_can_early_exit() const {
+  // Early exit must be invisible: a skipped pass may not change a single
+  // byte of any digest, golden metric, or trace. Strategies emit trace
+  // records (shadow, backfill_reject, co_decision) and registry samples
+  // from inside their bodies, so any attached observer disables skipping
+  // outright.
+  if (tracer_ != nullptr || registry_ != nullptr) return false;
+  // Saturated machine: no free primary slot and no free secondary slot
+  // means no strategy can start anything (every start path goes through
+  // find_free_nodes / the free-secondary scan). Sound under any queue
+  // policy: order_queue sorts on a complete (priority, id) key, so
+  // skipping intermediate re-sorts cannot change a later pass's order.
+  if (machine_.free_node_count() == 0 &&
+      machine_.free_secondary_nodes().empty()) {
+    return true;
+  }
+  // Generation exit: the last pass started nothing, and neither the
+  // machine nor the queue changed since. Every schedule trigger bumps one
+  // of the two generations, so state the strategies read is identical and
+  // they would decide "no starts" again. Restricted to FIFO: under
+  // priority ordering the queue *order* can change with now() even when
+  // its membership did not (aging can move a different job to the EASY
+  // head).
+  return last_noop_valid_ && queue_policy_ == QueuePolicy::kFifo &&
+         machine_.generation() == last_noop_machine_gen_ &&
+         queue_generation_ == last_noop_queue_gen_;
+}
+
 void Controller::run_scheduler_pass() {
   if (pending_.empty()) return;
   COSCHED_PROF_SCOPE("schedule_pass");
+  if (pass_can_early_exit()) {
+    // The skipped pass still counts (stats parity with a full no-op pass)
+    // and still settles the execution model: sync/refresh/resync must run
+    // at the same instants as an unskipped pass so floating-point progress
+    // accrues in the identical sequence (skipping an intermediate sync
+    // would re-associate the accumulation and shift predicted ends).
+    ++stats_.scheduler_passes;
+    execution_.sync(now());
+    execution_.refresh_rates();
+    resync_completions();
+    last_noop_valid_ = true;
+    last_noop_machine_gen_ = machine_.generation();
+    last_noop_queue_gen_ = queue_generation_;
+    return;
+  }
   order_queue();
   ++stats_.scheduler_passes;
   const std::uint64_t pass = stats_.scheduler_passes;
   const std::size_t primary_before = stats_.primary_starts;
   const std::size_t secondary_before = stats_.secondary_starts;
   if (tracer_ != nullptr) {
-    tracer_->pass_begin(pass, pending_.size(), running_ids().size(),
+    tracer_->pass_begin(pass, pending_.size(), running_by_submit_.size(),
                         machine_.free_node_count(),
                         static_cast<int>(machine_.free_secondary_nodes()
                                              .size()));
@@ -236,16 +292,29 @@ void Controller::run_scheduler_pass() {
   in_pass_ = true;
   execution_.sync(now());
   // Host clock measures real decision cost only; it never feeds back into
-  // simulated state, so it cannot break determinism.
-  const auto t0 = std::chrono::steady_clock::now();  // cosched-lint: allow(no-wallclock)
-  scheduler_->schedule(*this);
-  const auto pass_wall = std::chrono::steady_clock::now() - t0;  // cosched-lint: allow(no-wallclock)
-  stats_.scheduler_cpu += pass_wall;
+  // simulated state, so it cannot break determinism. Untraced runs skip
+  // the clock reads entirely — two steady_clock samples per pass are pure
+  // overhead when nobody consumes them.
+  const bool timed = registry_ != nullptr || obs::profiling_enabled();
+  std::chrono::steady_clock::time_point t0;  // cosched-lint: allow(no-wallclock)
+  if (timed) t0 = std::chrono::steady_clock::now();  // cosched-lint: allow(no-wallclock)
+  {
+    COSCHED_PROF_SCOPE("pass_strategy");
+    scheduler_->schedule(*this);
+  }
+  std::chrono::steady_clock::duration pass_wall{0};  // cosched-lint: allow(no-wallclock)
+  if (timed) {
+    pass_wall = std::chrono::steady_clock::now() - t0;  // cosched-lint: allow(no-wallclock)
+    stats_.scheduler_cpu += pass_wall;
+  }
   in_pass_ = false;
   // Starts changed co-residency; settle rates and completion events once
   // per pass rather than per start.
-  execution_.refresh_rates();
-  resync_completions();
+  {
+    COSCHED_PROF_SCOPE("pass_settle");
+    execution_.refresh_rates();
+    resync_completions();
+  }
   if (tracer_ != nullptr) {
     tracer_->pass_end(pass, stats_.primary_starts - primary_before,
                       stats_.secondary_starts - secondary_before);
@@ -262,6 +331,16 @@ void Controller::run_scheduler_pass() {
                          pass_wall)
                          .count()));
   }
+  // Record the no-op snapshot for the generation exit above. A pass that
+  // started nothing left both generations exactly as it found them.
+  if (stats_.primary_starts == primary_before &&
+      stats_.secondary_starts == secondary_before) {
+    last_noop_valid_ = true;
+    last_noop_machine_gen_ = machine_.generation();
+    last_noop_queue_gen_ = queue_generation_;
+  } else {
+    last_noop_valid_ = false;
+  }
 }
 
 void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
@@ -275,11 +354,14 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
   // Outside a pass the execution model may be stale; passes sync up front.
   if (!in_pass_) execution_.sync(now());
 
+  // The machine caches the walltime end in its free-time index; it must
+  // equal walltime_end(id) (the kill event below fires at that instant).
+  const SimTime limit_end = now() + j.walltime_limit;
   if (kind == cluster::AllocationKind::kPrimary) {
-    machine_.allocate_primary(id, nodes);
+    machine_.allocate_primary(id, nodes, limit_end);
     ++stats_.primary_starts;
   } else {
-    machine_.allocate_secondary(id, nodes);
+    machine_.allocate_secondary(id, nodes, limit_end);
     ++stats_.secondary_starts;
     // Attribute this co-location for the pair estimator: the candidate's
     // dominant partner is the first node's primary; each primary that was
@@ -293,6 +375,7 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
   }
   remove_pending(id);
   j.state = workload::JobState::kRunning;
+  track_running(id);
   j.start_time = now();
   j.alloc_kind = kind;
   j.alloc_nodes = nodes;
@@ -345,7 +428,11 @@ void Controller::start_secondary(JobId id, const std::vector<NodeId>& nodes) {
 }
 
 void Controller::resync_completions() {
-  for (JobId id : running_ids()) {
+  // Submit-index order: EventIds are handed out in iteration order, so
+  // this must replay the old submit_order_ scan exactly (see
+  // running_by_submit_).
+  for (const auto& [idx, id] : running_by_submit_) {
+    (void)idx;
     const SimTime predicted = execution_.predicted_end(id, now());
     const auto it = end_events_.find(id);
     if (it != end_events_.end()) {
@@ -385,6 +472,7 @@ void Controller::on_complete(JobId id) {
   }
   end_events_.erase(id);
   end_event_times_.erase(id);
+  untrack_running(id);
   execution_.finish(id);
   machine_.release(id);
   execution_.refresh_rates();
@@ -424,6 +512,7 @@ void Controller::on_timeout(JobId id) {
     end_event_times_.erase(id);
   }
   kill_events_.erase(id);
+  untrack_running(id);
   execution_.finish(id);
   machine_.release(id);
   execution_.refresh_rates();
@@ -473,6 +562,7 @@ void Controller::requeue(JobId id) {
     engine_.cancel(it->second);
     kill_events_.erase(it);
   }
+  untrack_running(id);
   execution_.finish(id);
   machine_.release(id);
   // Progress is lost; the job starts over from the queue tail.
@@ -485,6 +575,7 @@ void Controller::requeue(JobId id) {
   ++j.requeues;
   ++stats_.requeues;
   pending_.push_back(id);
+  ++queue_generation_;
   COSCHED_INFO("t=" << format_duration(now()) << " job " << id
                     << " requeued after node failure (attempt "
                     << j.requeues + 1 << ")");
@@ -516,7 +607,8 @@ void Controller::on_node_fail(NodeId node, SimDuration duration) {
         engine_.cancel(it->second);
         kill_events_.erase(it);
       }
-      execution_.finish(id);
+      untrack_running(id);
+  execution_.finish(id);
       machine_.release(id);
       settle_dependents(id, /*success=*/false);
     }
@@ -543,7 +635,10 @@ bool Controller::cancel(JobId id) {
     case workload::JobState::kPending: {
       // May be queued or waiting for its submit event; remove if queued.
       const auto q = std::find(pending_.begin(), pending_.end(), id);
-      if (q != pending_.end()) pending_.erase(q);
+      if (q != pending_.end()) {
+        pending_.erase(q);
+        ++queue_generation_;
+      }
       j.state = workload::JobState::kCancelled;
       settle_dependents(id, /*success=*/false);
       return true;
@@ -571,7 +666,8 @@ bool Controller::cancel(JobId id) {
         kill_events_.erase(k);
       }
       partner_.erase(id);
-      execution_.finish(id);
+      untrack_running(id);
+  execution_.finish(id);
       machine_.release(id);
       execution_.refresh_rates();
       resync_completions();
@@ -592,6 +688,7 @@ void Controller::remove_pending(JobId id) {
   const auto it = std::find(pending_.begin(), pending_.end(), id);
   COSCHED_CHECK_MSG(it != pending_.end(), "job " << id << " not pending");
   pending_.erase(it);
+  ++queue_generation_;
 }
 
 }  // namespace cosched::slurmlite

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -82,7 +83,9 @@ struct ControllerStats {
   std::size_t node_failures = 0;
   std::size_t dependency_cancellations = 0;
   /// Wall-clock (host) time spent inside scheduler passes — the
-  /// decision-path overhead the paper's "no overhead" claim covers.
+  /// decision-path overhead the paper's "no overhead" claim covers. Only
+  /// sampled when a registry or the profiler is attached; untraced runs
+  /// pay no clock reads and report 0 here.
   std::chrono::nanoseconds scheduler_cpu{0};
 };
 
@@ -159,8 +162,15 @@ class Controller final : public core::SchedulerHost,
   void on_node_fail(NodeId node, SimDuration duration);
   void request_schedule();
   void run_scheduler_pass();
+  /// True when the pass can be skipped without altering any decision or
+  /// observable byte (see run_scheduler_pass).
+  bool pass_can_early_exit() const;
   void start_common(JobId id, const std::vector<NodeId>& nodes,
                     cluster::AllocationKind kind);
+  /// Tracks `id` as running, ordered by submit index (so iteration
+  /// replays the submit_order_ scan it replaced, byte for byte).
+  void track_running(JobId id);
+  void untrack_running(JobId id);
   /// Cancels and reschedules completion events whose prediction moved.
   void resync_completions();
   void remove_pending(JobId id);
@@ -205,6 +215,22 @@ class Controller final : public core::SchedulerHost,
   std::unordered_map<JobId, sim::EventId> kill_events_;
   bool pass_scheduled_ = false;
   bool in_pass_ = false;
+  /// Running jobs keyed by submit index: values in key order reproduce the
+  /// old "walk submit_order_, filter running" scan in O(running) instead
+  /// of O(all jobs ever submitted). resync_completions iterates this, and
+  /// iteration order decides EventId assignment, so the order must match
+  /// the replaced scan exactly.
+  std::map<std::size_t, JobId> running_by_submit_;
+  std::unordered_map<JobId, std::size_t> submit_index_;
+  /// Pending-queue mutation counter (enqueue/requeue/cancel/remove);
+  /// paired with machine_.generation() for pass early-exit.
+  std::uint64_t queue_generation_ = 0;
+  /// Snapshot of (machine, queue) generations after the last pass that
+  /// started nothing; a pass arriving with both unchanged under FIFO is a
+  /// provable no-op. Invalidated by any pass that starts a job.
+  bool last_noop_valid_ = false;
+  std::uint64_t last_noop_machine_gen_ = 0;
+  std::uint64_t last_noop_queue_gen_ = 0;
   ControllerStats stats_;
   obs::Tracer* tracer_;      // non-owning, may be nullptr (config.tracer)
   obs::Registry* registry_;  // non-owning, may be nullptr (config.registry)

@@ -38,12 +38,20 @@ void ExecutionModel::finish(JobId id) {
 }
 
 void ExecutionModel::sync(SimTime now) {
+  if (now == last_sync_ && !running_.empty()) {
+    // Every tracked job is already at `now`: jobs started since the last
+    // sync were registered with last_sync = now. The skipped step would
+    // add to_seconds(0) * rate == 0.0 to each accumulator, so this
+    // early-out is bit-identical, not just approximately equal.
+    return;
+  }
   for (auto& [id, r] : running_) {
     (void)id;
     COSCHED_CHECK(now >= r.last_sync);
     r.progress_s += to_seconds(now - r.last_sync) * r.rate;
     r.last_sync = now;
   }
+  last_sync_ = now;
 }
 
 double ExecutionModel::compute_rate(JobId id) const {
@@ -74,7 +82,20 @@ double ExecutionModel::compute_rate(JobId id) const {
 
 void ExecutionModel::refresh_rates() {
   for (auto& [id, r] : running_) {
+    // A job's rate is a pure function of its nodes' slot contents (which
+    // co-residents, which apps), all captured by the machine's per-node
+    // generation counters. Unchanged generations -> the recompute would
+    // overwrite r.rate with the exact same value (no accumulation), so
+    // skipping it is bit-identical.
+    const cluster::Allocation* alloc = machine_.allocation(id);
+    COSCHED_CHECK(alloc != nullptr);
+    std::uint64_t gen = 0;
+    for (NodeId node : alloc->nodes) {
+      gen = std::max(gen, machine_.node_generation(node));
+    }
+    if (gen == r.rate_gen) continue;  // co-residency unchanged since
     r.rate = compute_rate(id) / r.locality;
+    r.rate_gen = gen;
   }
 }
 

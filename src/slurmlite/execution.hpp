@@ -38,11 +38,17 @@ class ExecutionModel {
   void finish(JobId id);
 
   /// Advances every running job's progress to `now` at current rates.
-  /// Must be called before any topology mutation.
+  /// Must be called before any topology mutation. Repeated syncs at the
+  /// same instant return immediately (a zero-length step adds exactly
+  /// 0.0 to every accumulator, so skipping it is bit-identical).
   void sync(SimTime now);
 
-  /// Recomputes every running job's rate from the machine topology.
-  /// Requires sync(now) to have been called at the current time.
+  /// Settles every running job's rate against the machine topology.
+  /// Requires sync(now) to have been called at the current time. Rates are
+  /// memoized under the machine's per-node generation counters: a job's
+  /// co-run slowdown is a pure function of its nodes' slot contents, so
+  /// the (expensive) corun model only reruns for jobs whose nodes changed
+  /// since their rate was last computed.
   void refresh_rates();
 
   /// Time at which the job completes its remaining work at current rates.
@@ -73,6 +79,10 @@ class ExecutionModel {
     double initial_s;   ///< progress credited at start (checkpoint restore)
     double locality;    ///< placement locality dilation (fixed per run)
     double rate;        ///< progress per wall second (= 1/dilation)
+    /// Max node_generation() over the allocation when `rate` was computed;
+    /// 0 means never computed (node generations start above 0 once
+    /// allocated). See refresh_rates().
+    std::uint64_t rate_gen = 0;
   };
 
   double compute_rate(JobId id) const;
@@ -83,6 +93,8 @@ class ExecutionModel {
   // Ordered map: sync/refresh loops run in JobId order, so floating-point
   // progress updates replay identically run to run (determinism audit).
   std::map<JobId, Running> running_;
+  /// Instant of the last sync(); repeated same-instant syncs early-out.
+  SimTime last_sync_ = -1;
 };
 
 }  // namespace cosched::slurmlite

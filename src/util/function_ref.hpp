@@ -1,0 +1,45 @@
+// A non-owning, trivially-copyable reference to a callable: two words (a
+// context pointer and a thunk), no heap, no virtual dispatch. The callable
+// must outlive the FunctionRef — it is built for "pass a predicate down
+// one call" seams on decision paths, where constructing a std::function
+// would heap-allocate per call (banned there by cosched_lint's
+// no-std-function rule).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace cosched::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): by design
+      : ctx_(const_cast<void*>(static_cast<const void*>(&f))),
+        thunk_([](void* ctx, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(ctx))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return thunk_(ctx_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return thunk_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  R (*thunk_)(void*, Args...) = nullptr;
+};
+
+}  // namespace cosched::util

@@ -1,0 +1,18 @@
+// Fixture: std::function construction in hot-path code (src/sim/,
+// src/core/) must be flagged; a designated seam opts out with allow().
+#include <functional>
+
+void register_callback(std::function<void()> cb);  // cosched-lint: expect(no-std-function)
+
+void schedule_work(int id) {
+  std::function<void(int)> handler = [](int) {};  // cosched-lint: expect(no-std-function)
+  handler(id);
+  using Callback = std::function<void()>;  // cosched-lint: expect(no-std-function)
+  Callback done;
+  (void)done;
+}
+
+// A deliberate ownership seam (cold setup code) opts out explicitly.
+void install_shutdown_hook(std::function<void()> hook) {  // cosched-lint: allow(no-std-function)
+  register_callback(hook);
+}

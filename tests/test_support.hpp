@@ -55,8 +55,11 @@ class FakeHost : public core::SchedulerHost {
     job.alloc_kind = cluster::AllocationKind::kPrimary;
     job.alloc_nodes = nodes;
     const JobId id = job.id;
+    // The machine's free-time index must cache the same walltime end this
+    // host reports (compute_shadow is served from the index).
+    const SimTime end = job.start_time + job.walltime_limit;
     jobs_.emplace(id, std::move(job));
-    machine_.allocate_primary(id, nodes);
+    machine_.allocate_primary(id, nodes, end);
   }
 
   void set_now(SimTime t) { now_ = t; }
@@ -90,11 +93,13 @@ class FakeHost : public core::SchedulerHost {
     return j.start_time + j.walltime_limit;
   }
   void start_primary(JobId id, const std::vector<NodeId>& nodes) override {
-    machine_.allocate_primary(id, nodes);
+    machine_.allocate_primary(id, nodes,
+                              now_ + jobs_.at(id).walltime_limit);
     record_start(id, cluster::AllocationKind::kPrimary, nodes);
   }
   void start_secondary(JobId id, const std::vector<NodeId>& nodes) override {
-    machine_.allocate_secondary(id, nodes);
+    machine_.allocate_secondary(id, nodes,
+                                now_ + jobs_.at(id).walltime_limit);
     record_start(id, cluster::AllocationKind::kSecondary, nodes);
   }
 

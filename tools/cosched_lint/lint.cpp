@@ -507,6 +507,30 @@ void scan_raw_stdio(const std::vector<Token>& tokens, const SourceFile& file,
   }
 }
 
+/// The simulation and strategy hot paths must not construct std::function:
+/// each one heap-allocates its callable (the sim::Engine replaced exactly
+/// that with a pooled slab — see src/sim/engine.hpp). Event payloads go
+/// through Engine::schedule_at's templated parameter; non-owning callable
+/// parameters use util::FunctionRef. Deliberate seams (cold setup code
+/// that genuinely needs ownership) opt out with
+/// `cosched-lint: allow(no-std-function)`.
+void scan_std_function(const std::vector<Token>& tokens,
+                       const SourceFile& file,
+                       std::vector<Finding>& findings) {
+  const bool hot_path = file.path.find("src/sim/") != std::string::npos ||
+                        file.path.find("src/core/") != std::string::npos;
+  if (!hot_path) return;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::kIdent || t.text != "function") continue;
+    if (tokens[i - 1].text != "::" || tokens[i - 2].text != "std") continue;
+    findings.push_back(
+        {file.path, t.line, "no-std-function",
+         "std::function in a hot path heap-allocates per callable; use the "
+         "engine's pooled schedule_at or util::FunctionRef (non-owning)"});
+  }
+}
+
 }  // namespace
 
 // --- Public API --------------------------------------------------------------
@@ -564,6 +588,7 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
     scan_unordered_iteration(tokens, file, unordered_names, local);
     scan_raw_thread(tokens, file, local);
     scan_raw_stdio(tokens, file, local);
+    scan_std_function(tokens, file, local);
     for (Finding& f : local) {
       if (!suppressed(file, f.line, f.rule)) {
         findings.push_back(std::move(f));
@@ -599,6 +624,7 @@ const std::vector<std::string>& rule_names() {
       "include-guard",
       "no-raw-thread",
       "no-raw-stdio",
+      "no-std-function",
   };
   return names;
 }
