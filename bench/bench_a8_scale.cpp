@@ -1,0 +1,177 @@
+// R-A8: scale fast path — end-to-end wall clock and peak memory across
+// machine sizes and trace lengths, comparing the pre-PR configuration
+// (binary-heap event queue + fully materialized job list) against the
+// fast path (calendar queue + streaming ingestion). Both configurations
+// make bit-identical scheduling decisions (EngineQueueParity and
+// StreamSubmissionMatchesBatch pin this), so every cell cross-checks
+// makespan and completion counts while timing.
+//
+// Two modes:
+//   default sweep: --nodes-list x --jobs-list grid; each cell runs both
+//     configurations back to back and reports wall seconds + speedup.
+//     getrusage peak RSS is process-cumulative, so the sweep reports
+//     time only.
+//   --single: runs exactly ONE configuration (--queue heap|calendar,
+//     --stream) and prints a JSON record with wall seconds and peak RSS.
+//     BENCH_pr5.json's headline cell runs one process per configuration
+//     so the RSS numbers are honest.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "trace/swf.hpp"
+
+namespace {
+
+using namespace cosched;
+
+// Wall-clock timing is this bench's entire purpose; decision code stays
+// on sim::Engine virtual time.
+using Clock = std::chrono::steady_clock;  // cosched-lint: allow(no-wallclock)
+
+std::vector<int> parse_list(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  if (out.empty()) throw Error("empty list flag: '" + csv + "'");
+  return out;
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KB
+}
+
+slurmlite::SimulationSpec make_spec(int nodes, int jobs,
+                                    core::StrategyKind strategy,
+                                    std::uint64_t seed, double load,
+                                    sim::QueueKind queue) {
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = nodes;
+  spec.controller.strategy = strategy;
+  spec.workload = workload::trinity_stream(nodes, jobs, load);
+  spec.seed = seed;
+  // Timing run: never pay for the debug-build auditor or event hashing.
+  spec.audit = slurmlite::AuditMode::kOff;
+  spec.queue = queue;
+  return spec;
+}
+
+struct CellResult {
+  double wall_s = 0;
+  double makespan_h = 0;
+  std::size_t events = 0;
+  std::size_t completed = 0;
+};
+
+/// Runs one configuration of one cell. `stream` pulls arrivals lazily
+/// from a GeneratorJobSource (never materializing the JobList);
+/// otherwise the list is generated up front and replayed — the pre-PR
+/// ingestion path. The generator draws identical jobs either way.
+CellResult run_cell(const slurmlite::SimulationSpec& spec,
+                    const apps::Catalog& catalog, bool stream) {
+  const auto start = Clock::now();
+  const auto result = [&] {
+    if (!stream) return slurmlite::run_simulation(spec, catalog);
+    const workload::Generator generator(spec.workload, catalog);
+    // Same stream constant as run_simulation's generator draw, so both
+    // ingestion paths see identical jobs.
+    workload::GeneratorJobSource source(generator, Pcg32(spec.seed, 0x5eed));
+    return slurmlite::run_stream(spec, catalog, source);
+  }();
+  const std::chrono::duration<double> wall = Clock::now() - start;
+  CellResult cell;
+  cell.wall_s = wall.count();
+  cell.makespan_h = result.metrics.makespan_s / 3600.0;
+  cell.events = result.events_executed;
+  for (const auto& job : result.jobs) {
+    if (job.finished()) ++cell.completed;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto env = bench::BenchEnv::from_flags(flags);
+  const auto catalog = apps::Catalog::trinity();
+  const auto strategy =
+      core::parse_strategy(flags.get_string("strategy", "cobackfill"));
+  const double load = flags.get_double("load", 1.1);
+
+  if (flags.get_bool("single", false)) {
+    // One configuration, one process: the JSON record's peak_rss_mb is
+    // attributable to exactly this queue/ingestion combination.
+    const std::string queue_name = flags.get_string("queue", "calendar");
+    const bool stream = flags.get_bool("stream", false);
+    const sim::QueueKind queue = queue_name == "heap"
+                                     ? sim::QueueKind::kBinaryHeap
+                                     : sim::QueueKind::kCalendar;
+    const auto spec = make_spec(env.nodes, env.jobs, strategy, env.base_seed,
+                                load, queue);
+    const auto cell = run_cell(spec, catalog, stream);
+    std::cout << "{\"nodes\": " << env.nodes << ", \"jobs\": " << env.jobs
+              << ", \"queue\": \"" << queue_name << "\""
+              << ", \"stream\": " << (stream ? "true" : "false")
+              << ", \"strategy\": \"" << core::to_string(strategy) << "\""
+              << ", \"wall_s\": " << cell.wall_s
+              << ", \"peak_rss_mb\": " << peak_rss_mb()
+              << ", \"events\": " << cell.events
+              << ", \"completed\": " << cell.completed
+              << ", \"makespan_h\": " << cell.makespan_h << "}\n";
+    bench::finish(env);
+    return 0;
+  }
+
+  const auto node_list =
+      parse_list(flags.get_string("nodes-list", "1024,2048,4096,8192"));
+  const auto job_list =
+      parse_list(flags.get_string("jobs-list", "10000,100000"));
+
+  Table t({"nodes", "jobs", "baseline (s)", "fast path (s)", "speedup",
+           "events", "makespan (h)"});
+  for (const int nodes : node_list) {
+    for (const int jobs : job_list) {
+      const auto heap_spec =
+          make_spec(nodes, jobs, strategy, env.base_seed, load,
+                    sim::QueueKind::kBinaryHeap);
+      const auto cal_spec =
+          make_spec(nodes, jobs, strategy, env.base_seed, load,
+                    sim::QueueKind::kCalendar);
+      const auto before = run_cell(heap_spec, catalog, /*stream=*/false);
+      const auto after = run_cell(cal_spec, catalog, /*stream=*/true);
+      // Same decisions => same schedule; a drift here is a correctness
+      // bug, not a perf result.
+      if (before.makespan_h != after.makespan_h ||
+          before.completed != after.completed) {
+        throw Error("configurations diverged at " + std::to_string(nodes) +
+                    " nodes / " + std::to_string(jobs) + " jobs");
+      }
+      t.row()
+          .add(nodes)
+          .add(jobs)
+          .add(before.wall_s, 2)
+          .add(after.wall_s, 2)
+          .add(before.wall_s / after.wall_s, 2)
+          .add(static_cast<std::int64_t>(after.events))
+          .add(after.makespan_h, 2);
+    }
+  }
+  bench::emit(t, env, "R-A8: scale fast path (heap+materialized vs "
+                      "calendar+streaming)",
+              "Baseline is the pre-PR configuration: binary-heap event "
+              "queue over a fully materialized job list. The fast path "
+              "pops the same events in the same order from a calendar "
+              "queue and pulls arrivals lazily, so the makespan column "
+              "is shared by construction. Peak-RSS comparisons need "
+              "--single (one process per configuration).");
+  bench::finish(env);
+  return 0;
+}

@@ -21,8 +21,13 @@ Machine::Machine(int node_count, const NodeConfig& config,
   nodes_.reserve(static_cast<std::size_t>(node_count));
   free_primary_.reset(node_count);
   free_secondary_.reset(node_count);
-  free_state_.resize(static_cast<std::size_t>(node_count));
+  free_end_.assign(static_cast<std::size_t>(node_count), 0);
+  node_busy_.assign(static_cast<std::size_t>(node_count), 0);
+  primary_job_.assign(static_cast<std::size_t>(node_count), kInvalidJob);
   node_gens_.assign(static_cast<std::size_t>(node_count), 0);
+  // Topology hint: every node can be busy at once; size the sorted
+  // busy-ends multiset upfront so insertions never reallocate mid-pass.
+  busy_ends_.reserve(static_cast<std::size_t>(node_count));
   for (int i = 0; i < node_count; ++i) {
     nodes_.emplace_back(static_cast<NodeId>(i), config);
     free_primary_.insert(static_cast<NodeId>(i));
@@ -122,7 +127,7 @@ std::optional<std::vector<NodeId>> Machine::find_shareable_nodes(
   std::vector<NodeId> out;
   out.reserve(static_cast<std::size_t>(count));
   for (NodeId id : free_secondary_) {
-    if (primary_ok && !primary_ok(node(id).primary_job())) continue;
+    if (primary_ok && !primary_ok(primary_job_of(id))) continue;
     out.push_back(id);
     if (static_cast<int>(out.size()) == count) return out;
   }
@@ -132,7 +137,7 @@ std::optional<std::vector<NodeId>> Machine::find_shareable_nodes(
 std::vector<JobId> Machine::primaries_with_free_secondary() const {
   std::vector<JobId> out;
   for (NodeId id : free_secondary_) {
-    const JobId p = node(id).primary_job();
+    const JobId p = primary_job_of(id);
     if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
   }
   return out;
@@ -242,11 +247,14 @@ void Machine::resync_node(NodeId id) {
   // bump on a low-counter node could be masked by a sibling's higher value.
   // Globally-unique monotone stamps make that max move on every change.
   node_gens_[static_cast<std::size_t>(id)] = ++generation_;
+  // Residency mirror for the contiguous candidate scans.
+  primary_job_[static_cast<std::size_t>(id)] = n.primary_job();
   // Free-time cache: a node is tracked in busy_ends_ iff it is up and holds
   // at least one job (slot 0 occupied — secondaries imply a primary). Its
   // cached end is the latest resident walltime end, unclamped; queries
   // clamp with max(now, end).
-  NodeFreeState& st = free_state_[static_cast<std::size_t>(id)];
+  const bool was_busy = node_busy_[static_cast<std::size_t>(id)] != 0;
+  const SimTime old_end = free_end_[static_cast<std::size_t>(id)];
   const bool busy = !n.is_down() && !n.primary_free();
   SimTime end = 0;
   if (busy) {
@@ -259,11 +267,11 @@ void Machine::resync_node(NodeId id) {
       end = std::max(end, it->second.walltime_end);
     }
   }
-  if (busy == st.busy && (!busy || end == st.end)) return;
-  if (st.busy) erase_busy_end(st.end);
+  if (busy == was_busy && (!busy || end == old_end)) return;
+  if (was_busy) erase_busy_end(old_end);
   if (busy) insert_busy_end(end);
-  st.busy = busy;
-  st.end = end;
+  node_busy_[static_cast<std::size_t>(id)] = busy ? 1 : 0;
+  free_end_[static_cast<std::size_t>(id)] = end;
 }
 
 void Machine::insert_busy_end(SimTime end) {
@@ -283,9 +291,8 @@ void Machine::erase_busy_end(SimTime end) {
 SimTime Machine::node_free_time(NodeId id, SimTime now) const {
   const Node& n = node(id);
   if (n.is_down()) return kTimeInfinity;
-  const NodeFreeState& st = free_state_[static_cast<std::size_t>(id)];
-  if (!st.busy) return now;
-  return std::max(now, st.end);
+  if (node_busy_[static_cast<std::size_t>(id)] == 0) return now;
+  return std::max(now, free_end_[static_cast<std::size_t>(id)]);
 }
 
 SimTime Machine::kth_free_time(int k, SimTime now) const {
@@ -341,16 +348,21 @@ void Machine::check_invariants() const {
                                 << " which does not host it");
     }
   }
-  // Free-time index: recompute every node's cached state and the busy-ends
-  // multiset from scratch; both must match the maintained structures.
+  // Free-time index and residency mirror: recompute every node's cached
+  // state and the busy-ends multiset from scratch; all must match the
+  // maintained structure-of-arrays state.
   std::vector<SimTime> expect_ends;
   for (const auto& node : nodes_) {
-    const NodeFreeState& st =
-        free_state_[static_cast<std::size_t>(node.id())];
+    const auto idx = static_cast<std::size_t>(node.id());
+    COSCHED_CHECK_MSG(primary_job_[idx] == node.primary_job(),
+                      "primary-job mirror drifted on node "
+                          << node.id() << ": cached " << primary_job_[idx]
+                          << " vs slot " << node.primary_job());
+    const bool cached_busy = node_busy_[idx] != 0;
     const bool busy = !node.is_down() && !node.primary_free();
-    COSCHED_CHECK_MSG(st.busy == busy,
+    COSCHED_CHECK_MSG(cached_busy == busy,
                       "free-time cache drifted on node "
-                          << node.id() << ": busy flag " << st.busy
+                          << node.id() << ": busy flag " << cached_busy
                           << " vs rescan " << busy);
     if (!busy) continue;
     SimTime end = 0;
@@ -358,9 +370,9 @@ void Machine::check_invariants() const {
       if (resident == kInvalidJob) continue;
       end = std::max(end, allocations_.at(resident).walltime_end);
     }
-    COSCHED_CHECK_MSG(st.end == end,
+    COSCHED_CHECK_MSG(free_end_[idx] == end,
                       "free-time cache drifted on node "
-                          << node.id() << ": cached end " << st.end
+                          << node.id() << ": cached end " << free_end_[idx]
                           << " vs rescan " << end);
     expect_ends.push_back(end);
   }

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -104,6 +105,29 @@ class Machine {
   /// index co-allocation candidate scans iterate instead of rescanning
   /// every node.
   const NodeIdSet& free_secondary_nodes() const { return free_secondary_; }
+
+  // --- Structure-of-arrays hot state ---------------------------------------
+  // Per-node state the schedulers touch on every pass lives in parallel
+  // flat arrays indexed by NodeId, so candidate scans and profile builds
+  // walk contiguous memory instead of chasing Node/slot vectors. The
+  // arrays are resynced by the same per-node discipline as the capacity
+  // index and cross-checked by check_invariants().
+
+  /// The job in node `id`'s primary slot (kInvalidJob when idle/down).
+  JobId primary_job_of(NodeId id) const {
+    return primary_job_[static_cast<std::size_t>(id)];
+  }
+  /// Primary occupancy of every node, indexed by NodeId.
+  std::span<const JobId> primary_jobs() const { return primary_job_; }
+  /// Latest resident walltime end per node (valid iff the busy flag is
+  /// set), indexed by NodeId.
+  std::span<const SimTime> free_ends() const { return free_end_; }
+  /// 1 iff the node is up and holds >= 1 job, indexed by NodeId.
+  std::span<const std::uint8_t> busy_flags() const { return node_busy_; }
+  /// Per-node generation stamps, indexed by NodeId (see node_generation).
+  std::span<const std::uint64_t> node_generations() const {
+    return node_gens_;
+  }
 
   // --- Free-time index ------------------------------------------------------
   // All queries take `now` so cached walltime ends in the past clamp to the
@@ -209,12 +233,6 @@ class Machine {
   void insert_busy_end(SimTime end);
   void erase_busy_end(SimTime end);
 
-  /// Cached free-time state of one node.
-  struct NodeFreeState {
-    SimTime end = 0;    ///< latest resident walltime end (valid iff busy)
-    bool busy = false;  ///< node holds >= 1 job (tracked in busy_ends_)
-  };
-
   NodeConfig config_;
   Topology topology_;
   PlacementPolicy placement_;
@@ -224,9 +242,15 @@ class Machine {
   /// nodes with a free secondary slot (see file comment).
   NodeIdSet free_primary_;
   NodeIdSet free_secondary_;
-  /// Free-time index (see file comment): per-node cached state plus the
-  /// busy nodes' walltime ends as a sorted multiset (order statistics).
-  std::vector<NodeFreeState> free_state_;
+  /// Free-time index (see file comment) in structure-of-arrays form:
+  /// per-node latest resident end + busy flag in parallel flat arrays,
+  /// plus the busy nodes' walltime ends as a sorted multiset (order
+  /// statistics).
+  std::vector<SimTime> free_end_;     ///< valid iff node_busy_[id]
+  std::vector<std::uint8_t> node_busy_;
+  /// Residency mirror: each node's primary-slot job, so candidate scans
+  /// read one contiguous array instead of Node::slots_ vectors.
+  std::vector<JobId> primary_job_;
   std::vector<SimTime> busy_ends_;
   std::vector<std::uint64_t> node_gens_;
   std::uint64_t generation_ = 0;

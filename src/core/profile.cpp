@@ -6,9 +6,14 @@
 
 namespace cosched::core {
 
-AvailabilityProfile::AvailabilityProfile(int total_nodes, SimTime origin)
-    : total_(total_nodes) {
+AvailabilityProfile::AvailabilityProfile(int total_nodes, SimTime origin) {
+  reset(total_nodes, origin);
+}
+
+void AvailabilityProfile::reset(int total_nodes, SimTime origin) {
   COSCHED_CHECK(total_nodes >= 0);
+  total_ = total_nodes;
+  steps_.clear();
   steps_.emplace_back(origin, total_nodes);
 }
 

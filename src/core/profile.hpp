@@ -17,6 +17,11 @@ class AvailabilityProfile {
   /// Starts with `total_nodes` free from `origin` to infinity.
   AvailabilityProfile(int total_nodes, SimTime origin);
 
+  /// Re-initializes to `total_nodes` free from `origin`, keeping the step
+  /// storage's capacity so a scheduler can reuse one instance across
+  /// passes instead of reallocating the breakpoint vector every pass.
+  void reset(int total_nodes, SimTime origin);
+
   int total_nodes() const { return total_; }
 
   /// Free nodes at time t (t >= origin).

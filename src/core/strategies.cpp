@@ -18,8 +18,8 @@ bool still_pending(SchedulerHost& host, JobId id) {
 // --- FCFS --------------------------------------------------------------------
 
 void FcfsScheduler::schedule(SchedulerHost& host) {
-  const std::vector<JobId> queue = host.pending();
-  for (JobId id : queue) {
+  queue_.assign(host.pending().begin(), host.pending().end());
+  for (JobId id : queue_) {
     if (!try_start_primary(host, id)) break;  // head-of-line blocking
   }
 }
@@ -27,48 +27,51 @@ void FcfsScheduler::schedule(SchedulerHost& host) {
 // --- FirstFit ------------------------------------------------------------------
 
 void FirstFitScheduler::schedule(SchedulerHost& host) {
-  const std::vector<JobId> queue = host.pending();
-  for (JobId id : queue) {
+  queue_.assign(host.pending().begin(), host.pending().end());
+  for (JobId id : queue_) {
     try_start_primary(host, id);
   }
 }
 
 // --- EASY backfill --------------------------------------------------------------
 
-std::vector<JobId> EasyBackfillScheduler::easy_pass(SchedulerHost& host) {
-  std::vector<JobId> queue = host.pending();
+const std::vector<JobId>& EasyBackfillScheduler::easy_pass(
+    SchedulerHost& host) {
+  queue_.assign(host.pending().begin(), host.pending().end());
+  leftover_.clear();
 
   // Phase 1: start from the head while jobs fit.
   std::size_t head_idx = 0;
-  while (head_idx < queue.size() && try_start_primary(host, queue[head_idx])) {
+  while (head_idx < queue_.size() &&
+         try_start_primary(host, queue_[head_idx])) {
     ++head_idx;
   }
-  std::vector<JobId> remaining(queue.begin() +
-                                   static_cast<std::ptrdiff_t>(head_idx),
-                               queue.end());
-  if (remaining.empty()) return remaining;
+  // The remaining jobs are queue_[head_idx..); indexing in place avoids the
+  // per-pass copy the old remaining vector made.
+  const std::size_t remaining = queue_.size() - head_idx;
+  if (remaining == 0) return leftover_;
 
   // Phase 2: backfill behind the head's reservation. The shadow moves when
   // a backfill start consumes nodes, so recompute after every start.
   obs::Tracer* tracer = host.tracer();
-  const JobId head = remaining.front();
+  const JobId head = queue_[head_idx];
   ShadowInfo shadow = compute_shadow(host, host.job(head).nodes);
   if (tracer != nullptr) {
     tracer->shadow(head, shadow.shadow_time, shadow.extra_nodes);
   }
-  std::vector<JobId> leftover{head};
+  leftover_.push_back(head);
   const std::size_t limit =
       backfill_depth_ > 0
-          ? std::min(remaining.size(),
+          ? std::min(remaining,
                      static_cast<std::size_t>(backfill_depth_) + 1)
-          : remaining.size();
-  for (std::size_t i = 1; i < remaining.size(); ++i) {
-    const JobId id = remaining[i];
+          : remaining;
+  for (std::size_t i = 1; i < remaining; ++i) {
+    const JobId id = queue_[head_idx + i];
     if (i >= limit) {  // beyond the test budget: leave queued untouched
       if (tracer != nullptr) {
         tracer->backfill_reject(id, obs::ReasonCode::kBeyondDepth);
       }
-      leftover.push_back(id);
+      leftover_.push_back(id);
       continue;
     }
     const workload::Job& job = host.job(id);
@@ -76,7 +79,7 @@ std::vector<JobId> EasyBackfillScheduler::easy_pass(SchedulerHost& host) {
       if (tracer != nullptr) {
         tracer->backfill_reject(id, obs::ReasonCode::kCapacity);
       }
-      leftover.push_back(id);
+      leftover_.push_back(id);
       continue;
     }
     const SimDuration candidate_runtime =
@@ -97,10 +100,10 @@ std::vector<JobId> EasyBackfillScheduler::easy_pass(SchedulerHost& host) {
                                     ? obs::ReasonCode::kCapacity
                                     : obs::ReasonCode::kBackfillWindow);
       }
-      leftover.push_back(id);
+      leftover_.push_back(id);
     }
   }
-  return leftover;
+  return leftover_;
 }
 
 void EasyBackfillScheduler::schedule(SchedulerHost& host) {
@@ -109,32 +112,32 @@ void EasyBackfillScheduler::schedule(SchedulerHost& host) {
 
 // --- Conservative backfill -------------------------------------------------------
 
-std::vector<JobId> ConservativeBackfillScheduler::conservative_pass(
+const std::vector<JobId>& ConservativeBackfillScheduler::conservative_pass(
     SchedulerHost& host) {
-  const std::vector<JobId> queue = host.pending();
-  std::vector<JobId> leftover;
-  AvailabilityProfile profile = build_profile(host);
-  for (JobId id : queue) {
+  queue_.assign(host.pending().begin(), host.pending().end());
+  leftover_.clear();
+  build_profile_into(host, profile_);
+  for (JobId id : queue_) {
     const workload::Job& job = host.job(id);
     const SimTime start =
-        profile.find_start(host.now(), job.walltime_limit, job.nodes);
+        profile_.find_start(host.now(), job.walltime_limit, job.nodes);
     if (start == kTimeInfinity) {
       // Currently unrunnable (nodes down); it holds no reservation and
       // waits for the machine to change.
-      leftover.push_back(id);
+      leftover_.push_back(id);
       continue;
     }
     if (start == host.now() && try_start_primary(host, id)) {
-      profile.reserve(start, start + job.walltime_limit, job.nodes);
+      profile_.reserve(start, start + job.walltime_limit, job.nodes);
     } else {
       // Either the profile says "later" or free primary slots disagreed
       // (should not happen — profile mirrors the machine); reserve at the
       // computed start so later jobs cannot displace this one.
-      profile.reserve(start, start + job.walltime_limit, job.nodes);
-      leftover.push_back(id);
+      profile_.reserve(start, start + job.walltime_limit, job.nodes);
+      leftover_.push_back(id);
     }
   }
-  return leftover;
+  return leftover_;
 }
 
 void ConservativeBackfillScheduler::schedule(SchedulerHost& host) {
@@ -144,7 +147,7 @@ void ConservativeBackfillScheduler::schedule(SchedulerHost& host) {
 // --- Co-allocation-aware conservative backfill (this repo's extension) -----------------
 
 void CoConservativeScheduler::schedule(SchedulerHost& host) {
-  std::vector<JobId> leftover = conservative_pass(host);
+  const std::vector<JobId>& leftover = conservative_pass(host);
   for (JobId id : leftover) {
     if (!still_pending(host, id)) continue;
     if (auto nodes = co_.select_nodes(host, id, /*respect_deadline=*/true)) {
@@ -156,8 +159,8 @@ void CoConservativeScheduler::schedule(SchedulerHost& host) {
 // --- Co-allocation-aware first fit -------------------------------------------------
 
 void CoFirstFitScheduler::schedule(SchedulerHost& host) {
-  const std::vector<JobId> queue = host.pending();
-  for (JobId id : queue) {
+  queue_.assign(host.pending().begin(), host.pending().end());
+  for (JobId id : queue_) {
     if (try_start_primary(host, id)) continue;
     if (auto nodes =
             co_.select_nodes(host, id, /*respect_deadline=*/false)) {
@@ -172,7 +175,7 @@ void CoBackfillScheduler::schedule(SchedulerHost& host) {
   // Phases 1-2: plain EASY. Co-allocations never invalidate its math: they
   // consume no primary slots and the deadline gate keeps every secondary
   // within its hosts' walltime bounds.
-  std::vector<JobId> leftover = easy_pass(host);
+  const std::vector<JobId>& leftover = easy_pass(host);
 
   // Phase 3: co-allocation pass over jobs still pending, queue order.
   for (JobId id : leftover) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "core/pairing.hpp"
+#include "core/profile.hpp"
 #include "core/scheduler.hpp"
 
 namespace cosched::core {
@@ -13,6 +14,9 @@ class FcfsScheduler final : public Scheduler {
  public:
   std::string name() const override { return "fcfs"; }
   void schedule(SchedulerHost& host) override;
+
+ private:
+  std::vector<JobId> queue_;  ///< per-pass scratch, reused across passes
 };
 
 /// Scans the whole queue and starts anything that fits now.
@@ -20,6 +24,9 @@ class FirstFitScheduler final : public Scheduler {
  public:
   std::string name() const override { return "firstfit"; }
   void schedule(SchedulerHost& host) override;
+
+ private:
+  std::vector<JobId> queue_;  ///< per-pass scratch, reused across passes
 };
 
 /// EASY backfill (Lifka): reservation for the head job; later jobs may
@@ -33,14 +40,20 @@ class EasyBackfillScheduler : public Scheduler {
   void schedule(SchedulerHost& host) override;
 
  protected:
-  /// Runs head starts + primary backfill; returns pending ids that remain.
-  std::vector<JobId> easy_pass(SchedulerHost& host);
+  /// Runs head starts + primary backfill; returns the pending ids that
+  /// remain. The result references a scratch member reused across passes
+  /// (valid until the next easy_pass call on this scheduler).
+  const std::vector<JobId>& easy_pass(SchedulerHost& host);
 
  private:
   /// Candidate-end test uses predicted runtimes instead of raw requests.
   bool use_prediction_;
   /// Max candidates examined behind the head; 0 = unlimited.
   int backfill_depth_;
+  // Per-pass scratch, reused across passes so steady-state passes stop
+  // allocating once capacity reaches the queue's working-set size.
+  std::vector<JobId> queue_;
+  std::vector<JobId> leftover_;
 };
 
 /// Conservative backfill: a reservation for every queued job; a job may
@@ -51,8 +64,17 @@ class ConservativeBackfillScheduler : public Scheduler {
   void schedule(SchedulerHost& host) override;
 
  protected:
-  /// Runs the reservation pass; returns pending ids that remain.
-  std::vector<JobId> conservative_pass(SchedulerHost& host);
+  /// Runs the reservation pass; returns the pending ids that remain. The
+  /// result references a scratch member reused across passes (valid until
+  /// the next conservative_pass call on this scheduler).
+  const std::vector<JobId>& conservative_pass(SchedulerHost& host);
+
+ private:
+  // Per-pass scratch, reused across passes: the queue snapshot, the
+  // leftover list, and the availability profile's breakpoint storage.
+  std::vector<JobId> queue_;
+  std::vector<JobId> leftover_;
+  AvailabilityProfile profile_{0, 0};
 };
 
 /// First fit extended with co-allocation: a job that cannot claim free
@@ -66,6 +88,7 @@ class CoFirstFitScheduler final : public Scheduler {
 
  private:
   CoAllocator co_;
+  std::vector<JobId> queue_;  ///< per-pass scratch, reused across passes
 };
 
 /// EASY backfill extended with a co-allocation pass: jobs left pending

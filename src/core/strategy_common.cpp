@@ -96,9 +96,15 @@ ShadowInfo compute_shadow(SchedulerHost& host, int head_nodes) {
 }
 
 AvailabilityProfile build_profile(SchedulerHost& host) {
+  AvailabilityProfile profile(0, 0);
+  build_profile_into(host, profile);
+  return profile;
+}
+
+void build_profile_into(SchedulerHost& host, AvailabilityProfile& profile) {
   const cluster::Machine& machine = host.machine();
   const SimTime now = host.now();
-  AvailabilityProfile profile(machine.node_count(), now);
+  profile.reset(machine.node_count(), now);
   // reserve() is commutative (step-function addition over the union of
   // split points), so iterating the sorted busy ends instead of node order
   // yields the identical profile the per-node rebuild produced.
@@ -117,7 +123,6 @@ AvailabilityProfile build_profile(SchedulerHost& host) {
   for (int i = 0; i < down; ++i) {
     profile.reserve(now, kTimeInfinity / 2, 1);
   }
-  return profile;
 }
 
 }  // namespace cosched::core

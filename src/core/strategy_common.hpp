@@ -39,4 +39,10 @@ ShadowInfo compute_shadow_reference(SchedulerHost& host, int head_nodes);
 /// origin now(). Conservative backfill carves its reservations into it.
 AvailabilityProfile build_profile(SchedulerHost& host);
 
+/// In-place variant: resets `profile` and rebuilds it for the current
+/// machine state, reusing its breakpoint storage. Schedulers call this
+/// with a long-lived instance so per-pass profile construction stops
+/// allocating once capacity has grown to the working-set size.
+void build_profile_into(SchedulerHost& host, AvailabilityProfile& profile);
+
 }  // namespace cosched::core

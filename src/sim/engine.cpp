@@ -1,17 +1,186 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace cosched::sim {
 
+namespace {
+
+std::atomic<QueueKind> g_default_queue_kind{QueueKind::kCalendar};
+
+}  // namespace
+
+QueueKind default_queue_kind() {
+  return g_default_queue_kind.load(std::memory_order_relaxed);
+}
+
+void set_default_queue_kind(QueueKind kind) {
+  g_default_queue_kind.store(kind, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// CalendarQueue
+
+void Engine::CalendarQueue::push(const Entry& e) {
+  if (buckets_.empty()) {
+    buckets_.resize(kInitialBuckets);
+    mask_ = kInitialBuckets - 1;
+  }
+  const std::uint64_t b = bucket_of(e.time);
+  if (size_ == 0 || b < cursor_) {
+    // Empty queue anchors the window here. A non-empty queue can still see
+    // b < cursor_: run_until() parks the cursor on the next pending bucket,
+    // which may lie past `now`, and a later schedule lands between the two.
+    // Re-anchoring is safe — entries the old window filed into revisited
+    // cells are evicted to the shelf when prepare() reaches them.
+    cursor_ = b;
+    heaped_ = false;
+  }
+  ++size_;
+  if (b >= cursor_ + buckets_.size()) {
+    overflow_.push_back(e);
+    overflow_min_ = std::min(overflow_min_, e.time);
+    return;
+  }
+  std::vector<Entry>& cell = buckets_[b & mask_];
+  cell.push_back(e);
+  if (b == cursor_ && heaped_) {
+    std::push_heap(cell.begin(), cell.end());
+  }
+  ++ring_size_;
+}
+
+const Engine::Entry& Engine::CalendarQueue::top() {
+  prepare();
+  return buckets_[cursor_ & mask_].front();
+}
+
+void Engine::CalendarQueue::pop() {
+  prepare();
+  std::vector<Entry>& cell = buckets_[cursor_ & mask_];
+  std::pop_heap(cell.begin(), cell.end());
+  cell.pop_back();
+  --ring_size_;
+  --size_;
+}
+
+void Engine::CalendarQueue::prepare() {
+  COSCHED_CHECK(size_ > 0);
+  for (;;) {
+    if (ring_size_ == 0) {
+      rotate();
+    } else if (!overflow_.empty() && bucket_of(overflow_min_) <= cursor_) {
+      // The cursor caught up with the shelf: entries parked there while
+      // their buckets lay beyond the window must re-enter the ring before
+      // this bucket pops, or they would fire late (or after a same-time
+      // ring entry with a smaller key).
+      merge_shelf();
+    }
+    std::vector<Entry>& cell = buckets_[cursor_ & mask_];
+    if (cell.empty()) {
+      ++cursor_;
+      heaped_ = false;
+      continue;
+    }
+    if (heaped_) return;
+    // Evict entries that hash to this cell but belong to a different
+    // window lap (bucket number = cursor_ +/- k * ring size); they reach
+    // the shelf and come back when geometry rotates to their time.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < cell.size(); ++i) {
+      if (bucket_of(cell[i].time) == cursor_) {
+        cell[kept++] = cell[i];
+      } else {
+        overflow_.push_back(cell[i]);
+        overflow_min_ = std::min(overflow_min_, cell[i].time);
+        --ring_size_;
+      }
+    }
+    cell.resize(kept);
+    if (cell.empty()) {
+      ++cursor_;
+      continue;
+    }
+    std::make_heap(cell.begin(), cell.end());
+    heaped_ = true;
+    return;
+  }
+}
+
+void Engine::CalendarQueue::rotate() {
+  COSCHED_CHECK(!overflow_.empty());
+  SimTime min_t = overflow_.front().time;
+  SimTime max_t = min_t;
+  for (const Entry& e : overflow_) {
+    min_t = std::min(min_t, e.time);
+    max_t = std::max(max_t, e.time);
+  }
+  // Bucket count scales with the deferred population; width targets a few
+  // entries per bucket across the observed span. Both only ever change
+  // here, with the ring empty, so no filed entry's bucket number goes
+  // stale.
+  std::size_t want = buckets_.size();
+  while (want < overflow_.size() / 4 && want < kMaxBuckets) want <<= 1;
+  if (want != buckets_.size()) {
+    buckets_.assign(want, {});
+    mask_ = want - 1;
+  }
+  const auto span = static_cast<std::uint64_t>(max_t - min_t);
+  width_ = std::max<SimDuration>(
+      1, static_cast<SimDuration>(2 * span / (overflow_.size() + 1)));
+  cursor_ = bucket_of(min_t);
+  heaped_ = false;
+  // Refile shelf entries inside the new window; later ones wait for the
+  // next rotation. At least the min-time entries always land in the ring,
+  // so every rotation makes progress.
+  std::size_t kept = 0;
+  overflow_min_ = kTimeInfinity;
+  for (std::size_t i = 0; i < overflow_.size(); ++i) {
+    const std::uint64_t b = bucket_of(overflow_[i].time);
+    if (b < cursor_ + buckets_.size()) {
+      buckets_[b & mask_].push_back(overflow_[i]);
+      ++ring_size_;
+    } else {
+      overflow_min_ = std::min(overflow_min_, overflow_[i].time);
+      overflow_[kept++] = overflow_[i];
+    }
+  }
+  overflow_.resize(kept);
+}
+
+void Engine::CalendarQueue::merge_shelf() {
+  std::size_t kept = 0;
+  overflow_min_ = kTimeInfinity;
+  for (std::size_t i = 0; i < overflow_.size(); ++i) {
+    const std::uint64_t b = bucket_of(overflow_[i].time);
+    COSCHED_CHECK(b >= cursor_);  // nothing is ever parked behind the cursor
+    if (b < cursor_ + buckets_.size()) {
+      buckets_[b & mask_].push_back(overflow_[i]);
+      ++ring_size_;
+    } else {
+      overflow_min_ = std::min(overflow_min_, overflow_[i].time);
+      overflow_[kept++] = overflow_[i];
+    }
+  }
+  overflow_.resize(kept);
+  // Entries may have joined the cursor bucket out of heap order.
+  heaped_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
 Engine::~Engine() {
   // Destroy payloads of events that never ran (simulation ended early).
-  for (const Entry& entry : heap_) {
-    if (!is_live(entry.id)) continue;
+  const auto destroy_pending = [this](const Entry& entry) {
+    if (!is_live(entry.id)) return;
     Slot& s = slot(entry.slot);
     s.destroy(s);
     slot_of_id_[entry.id - 1] = kNoSlot;
-  }
+  };
+  for (const Entry& entry : heap_) destroy_pending(entry);
+  calendar_.for_each(destroy_pending);
 }
 
 std::uint32_t Engine::acquire_slot() {
@@ -36,8 +205,13 @@ EventId Engine::push_event(SimTime when, EventPriority priority,
                            const char* label, std::uint32_t slot_idx) {
   const EventId id = next_id_++;
   slot_of_id_.push_back(slot_idx);
-  heap_.push_back(Entry{when, priority, id, slot_idx, label});
-  std::push_heap(heap_.begin(), heap_.end());
+  const Entry entry{when, priority, id, slot_idx, label};
+  if (kind_ == QueueKind::kBinaryHeap) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end());
+  } else {
+    calendar_.push(entry);
+  }
   ++live_events_;
   return id;
 }
@@ -54,6 +228,15 @@ bool Engine::cancel(EventId id) {
   return true;
 }
 
+void Engine::reserve_events(std::size_t additional) {
+  slot_of_id_.reserve(slot_of_id_.size() + additional);
+  if (kind_ == QueueKind::kBinaryHeap) {
+    heap_.reserve(heap_.size() + additional);
+  } else {
+    calendar_.reserve(additional);
+  }
+}
+
 void Engine::add_observer(EventObserver* observer) {
   COSCHED_CHECK(observer != nullptr);
   COSCHED_CHECK(std::find(observers_.begin(), observers_.end(), observer) ==
@@ -67,19 +250,36 @@ void Engine::remove_observer(EventObserver* observer) {
   observers_.erase(it);
 }
 
-void Engine::pop_entry(Entry& out) {
-  std::pop_heap(heap_.begin(), heap_.end());
-  out = heap_.back();
-  heap_.pop_back();
+const Engine::Entry* Engine::peek() {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    while (!heap_.empty() && !is_live(heap_.front().id)) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+    }
+    return heap_.empty() ? nullptr : &heap_.front();
+  }
+  while (!calendar_.empty()) {
+    const Entry& e = calendar_.top();
+    if (is_live(e.id)) return &e;
+    calendar_.pop();  // skip tombstoned (cancelled) entries
+  }
+  return nullptr;
+}
+
+void Engine::drop_top() {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  } else {
+    calendar_.pop();
+  }
 }
 
 bool Engine::step() {
-  Entry entry;
-  for (;;) {
-    if (heap_.empty()) return false;
-    pop_entry(entry);
-    if (is_live(entry.id)) break;  // skip tombstoned (cancelled) entries
-  }
+  const Entry* top = peek();
+  if (top == nullptr) return false;
+  const Entry entry = *top;
+  drop_top();
   COSCHED_CHECK(entry.time >= now_);
   now_ = entry.time;
   slot_of_id_[entry.id - 1] = kNoSlot;
@@ -108,12 +308,8 @@ std::size_t Engine::run_until(SimTime until) {
   COSCHED_CHECK(until >= now_);
   std::size_t n = 0;
   for (;;) {
-    // Peek the next live event time without executing.
-    while (!heap_.empty() && !is_live(heap_.front().id)) {
-      Entry discard;
-      pop_entry(discard);
-    }
-    if (heap_.empty() || heap_.front().time > until) break;
+    const Entry* top = peek();
+    if (top == nullptr || top->time > until) break;
     if (step()) ++n;
   }
   now_ = until;

@@ -9,17 +9,27 @@
 // at one instant: job completions release resources before the scheduler
 // pass that wants to use them, and submissions enqueue before that pass.
 //
+// Two interchangeable queue implementations sit behind the same total
+// order (QueueKind): the historical binary heap (O(log n) per operation)
+// and a calendar queue — a ring of time buckets with an unsorted overflow
+// shelf — whose insert and pop are O(1) amortized at archive-trace scale.
+// Bucket membership is a pure function of time, buckets partition time
+// disjointly, and the bucket under the cursor is ordered by the full
+// (time, priority, id) key, so both structures pop the exact same
+// sequence; the determinism audit and a differential fuzz test hold them
+// to that.
+//
 // Event payloads live in a slab pool, not behind per-event heap
 // allocations: callbacks small enough for the inline buffer are
 // placement-constructed into recycled 64-byte slots (chunked arrays with
-// stable addresses), and heap entries are trivially-copyable structs that
+// stable addresses), and queue entries are trivially-copyable structs that
 // reference slots by index. Oversized callables fall back to one heap
 // allocation but still flow through a pooled slot. Cancellation is O(1):
 // a dense id -> slot table (4 bytes per event ever scheduled; engines are
-// per-run) marks dead events, whose tombstoned heap entries are discarded
+// per-run) marks dead events, whose tombstoned queue entries are discarded
 // when popped. EventId stays the plain insertion counter — it is hashed by
-// the determinism audit and written into traces, so no pool detail may
-// leak into it.
+// the determinism audit and written into traces, so no pool or bucket
+// detail may leak into it.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +54,18 @@ enum class EventPriority : std::int8_t {
   kReport = 4,     // observers run last
 };
 
+/// Which pending-event structure an Engine runs on. Pop order is identical;
+/// only the cost model differs.
+enum class QueueKind : std::int8_t {
+  kCalendar = 0,    // bucketed calendar queue, O(1) amortized
+  kBinaryHeap = 1,  // std::push_heap/pop_heap, O(log n)
+};
+
+/// Process-wide default for engines constructed without an explicit kind
+/// (the CLI's --event-queue flag sets this). Starts as kCalendar.
+QueueKind default_queue_kind();
+void set_default_queue_kind(QueueKind kind);
+
 /// Handle for cancelling a scheduled event.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
@@ -66,10 +88,13 @@ class EventObserver {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine() : Engine(default_queue_kind()) {}
+  explicit Engine(QueueKind kind) : kind_(kind) {}
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  QueueKind queue_kind() const { return kind_; }
 
   /// Current simulation time. Starts at 0.
   SimTime now() const { return now_; }
@@ -136,9 +161,14 @@ class Engine {
 
   /// Cancels a pending event. Returns false if the event already ran,
   /// was cancelled before, or never existed. O(1): the payload slot is
-  /// destroyed and recycled immediately; the heap entry is tombstoned and
+  /// destroyed and recycled immediately; the queue entry is tombstoned and
   /// skipped when popped.
   bool cancel(EventId id);
+
+  /// Hints the expected number of future schedule_at calls so the id->slot
+  /// table (and, on the heap queue, the entry array) grow once instead of
+  /// doubling through the submit burst.
+  void reserve_events(std::size_t additional);
 
   /// Runs until the queue drains. Returns the number of events executed.
   std::size_t run();
@@ -175,7 +205,7 @@ class Engine {
     void (*destroy)(Slot&) = nullptr;
   };
 
-  /// Trivially-copyable heap entry; the payload stays in its slot.
+  /// Trivially-copyable queue entry; the payload stays in its slot.
   struct Entry {
     SimTime time;
     EventPriority priority;
@@ -191,6 +221,81 @@ class Engine {
     }
   };
 
+  /// Calendar queue: a power-of-two ring of time buckets plus an unsorted
+  /// overflow shelf for events beyond the ring's window.
+  ///
+  /// An entry's absolute bucket number is time / width; the ring holds the
+  /// window [cursor, cursor + bucket count), everything later goes to the
+  /// shelf. Buckets stay unsorted until the cursor reaches them, then one
+  /// make_heap orders the bucket by the full entry key; pops pop_heap the
+  /// cursor bucket and mid-drain inserts push_heap into it, so within a
+  /// bucket the order is exactly the binary heap's. Across buckets time
+  /// ranges are disjoint, so the global pop sequence matches too.
+  ///
+  /// When the ring drains, geometry re-anchors on the shelf: bucket count
+  /// scales with the deferred population and width targets a few entries
+  /// per bucket over the observed span, then shelf entries inside the new
+  /// window are refiled. The cursor can also move *backward*: run_until
+  /// may park it past `now`'s bucket, and a later schedule re-anchors it;
+  /// stale entries the old window hashed into a revisited cell are evicted
+  /// to the shelf at visit time (bucket number is recomputed from time, so
+  /// nothing is ever misordered, only refiled).
+  class CalendarQueue {
+   public:
+    void push(const Entry& e);
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    /// The smallest live-or-dead entry by (time, priority, id). Valid until
+    /// the next push/pop. Requires !empty().
+    const Entry& top();
+    /// Removes top(). Requires !empty().
+    void pop();
+    void reserve(std::size_t additional) {
+      overflow_.reserve(overflow_.size() + additional);
+    }
+    /// Visits every pending entry in unspecified order (destructor path).
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (const std::vector<Entry>& cell : buckets_) {
+        for (const Entry& e : cell) fn(e);
+      }
+      for (const Entry& e : overflow_) fn(e);
+    }
+
+   private:
+    static constexpr std::size_t kInitialBuckets = 256;  // power of two
+    static constexpr std::size_t kMaxBuckets = std::size_t{1} << 16;
+    static constexpr SimDuration kInitialWidth = kSecond;
+
+    std::uint64_t bucket_of(SimTime t) const {
+      return static_cast<std::uint64_t>(t) / static_cast<std::uint64_t>(width_);
+    }
+    /// Parks the cursor on the next nonempty bucket, evicting stale
+    /// entries and heapifying it. Requires !empty().
+    void prepare();
+    /// Ring empty, shelf not: pick new geometry and refile the shelf.
+    void rotate();
+    /// Keeps geometry; moves shelf entries whose buckets fell inside the
+    /// window back into the ring. Called the moment the cursor reaches the
+    /// shelf's earliest bucket, so no shelf entry is ever popped late or
+    /// after a same-time ring entry that should follow it.
+    void merge_shelf();
+
+    std::vector<std::vector<Entry>> buckets_;  // ring, size is a power of two
+    std::vector<Entry> overflow_;              // unsorted, beyond the window
+    /// Earliest shelf entry time (kTimeInfinity when the shelf is empty):
+    /// the cursor consults it before every advance, so bucket_of(min)
+    /// >= cursor_ is an invariant.
+    SimTime overflow_min_ = kTimeInfinity;
+    SimDuration width_ = kInitialWidth;        // bucket time width, >= 1
+    std::uint64_t cursor_ = 0;  // absolute bucket number under the cursor
+    std::uint64_t mask_ = 0;    // buckets_.size() - 1
+    std::size_t size_ = 0;      // ring + shelf
+    std::size_t ring_size_ = 0;
+    bool heaped_ = false;  // cursor bucket is pure (bucket_of == cursor_)
+                           // and heap-ordered
+  };
+
   Slot& slot(std::uint32_t idx) {
     return chunks_[idx / kSlotsPerChunk][idx % kSlotsPerChunk];
   }
@@ -198,11 +303,17 @@ class Engine {
   void release_slot(std::uint32_t idx);
   EventId push_event(SimTime when, EventPriority priority, const char* label,
                      std::uint32_t slot_idx);
-  void pop_entry(Entry& out);
+  /// Next live entry across either queue, discarding tombstones; nullptr
+  /// when drained. The pointer is valid until the next queue mutation.
+  const Entry* peek();
+  /// Removes the entry peek() returned.
+  void drop_top();
   /// Live events only: cancelled/executed ids map to kNoSlot.
   bool is_live(EventId id) const { return slot_of_id_[id - 1] != kNoSlot; }
 
-  std::vector<Entry> heap_;
+  QueueKind kind_;
+  std::vector<Entry> heap_;  // kBinaryHeap entries
+  CalendarQueue calendar_;   // kCalendar entries
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::vector<std::uint32_t> free_slots_;
   /// slot_of_id_[id - 1] is the payload slot of event `id`, or kNoSlot once

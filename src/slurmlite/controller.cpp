@@ -44,7 +44,7 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
 
 Controller::~Controller() = default;
 
-void Controller::submit(workload::Job job) {
+std::optional<SimTime> Controller::register_job(workload::Job job) {
   COSCHED_REQUIRE(job.id != kInvalidJob, "job must have an id");
   COSCHED_REQUIRE(!jobs_.count(job.id), "duplicate job id " << job.id);
   COSCHED_REQUIRE(job.nodes > 0, "job " << job.id << " requests 0 nodes");
@@ -65,18 +65,61 @@ void Controller::submit(workload::Job job) {
     submit_index_.emplace(id, submit_order_.size());
     submit_order_.push_back(id);
     COSCHED_WARN("job " << id << " rejected: requests more nodes than exist");
-    return;
+    return std::nullopt;
   }
   const SimTime when = std::max(job.submit_time, engine_.now());
   jobs_.emplace(id, std::move(job));
   submit_index_.emplace(id, submit_order_.size());
   submit_order_.push_back(id);
-  engine_.schedule_at(when, sim::EventPriority::kSubmit, "submit",
+  return when;
+}
+
+void Controller::submit(workload::Job job) {
+  const JobId id = job.id;
+  const std::optional<SimTime> when = register_job(std::move(job));
+  if (!when) return;
+  engine_.schedule_at(*when, sim::EventPriority::kSubmit, "submit",
                       [this, id] { on_submit(id); });
 }
 
 void Controller::submit_all(const workload::JobList& jobs) {
+  // A full batch is known-size: grow the id->slot table and the heap-queue
+  // entry array once instead of doubling through the submit burst.
+  engine_.reserve_events(jobs.size());
+  jobs_.reserve(jobs_.size() + jobs.size());
+  submit_index_.reserve(submit_index_.size() + jobs.size());
+  submit_order_.reserve(submit_order_.size() + jobs.size());
   for (const auto& job : jobs) submit(job);
+}
+
+void Controller::submit_stream(workload::JobSource& source) {
+  COSCHED_REQUIRE(stream_ == nullptr, "a job stream is already attached");
+  stream_ = &source;
+  pump_stream();
+}
+
+void Controller::pump_stream() {
+  while (stream_ != nullptr) {
+    std::optional<workload::Job> job = stream_->next();
+    if (!job) {
+      stream_ = nullptr;
+      return;
+    }
+    const JobId id = job->id;
+    const std::optional<SimTime> when = register_job(std::move(*job));
+    if (!when) continue;  // rejected on entry: keep pulling
+    // The pull of arrival i+1 happens at the top of arrival i's submit
+    // event, before on_submit can request a pass: the next submit event
+    // exists (and, at the same instant, outranks kSchedule) before any
+    // pass event, so the pass sees every same-time arrival — exactly the
+    // order submit_all produces.
+    engine_.schedule_at(*when, sim::EventPriority::kSubmit, "submit",
+                        [this, id] {
+                          pump_stream();
+                          on_submit(id);
+                        });
+    return;
+  }
 }
 
 workload::JobList Controller::job_records() const {
@@ -107,20 +150,58 @@ std::vector<JobId> Controller::running_ids() const {
   // Values in submit-index order == submit_order_ filtered to running.
   std::vector<JobId> out;
   out.reserve(running_by_submit_.size());
-  for (const auto& [idx, id] : running_by_submit_) {
-    (void)idx;
-    out.push_back(id);
+  for (const RunningSlot& slot : running_by_submit_) {
+    out.push_back(slot.id);
   }
   return out;
 }
 
+namespace {
+
+/// lower_bound comparator for the submit-index-sorted running slots.
+struct BySubmitIdx {
+  bool operator()(const auto& slot, std::size_t idx) const {
+    return slot.submit_idx < idx;
+  }
+};
+
+}  // namespace
+
 void Controller::track_running(JobId id) {
-  running_by_submit_.emplace(submit_index_.at(id), id);
+  const std::size_t idx = submit_index_.at(id);
+  running_by_submit_.insert(
+      std::lower_bound(running_by_submit_.begin(), running_by_submit_.end(),
+                       idx, BySubmitIdx{}),
+      RunningSlot{idx, id});
 }
 
 void Controller::untrack_running(JobId id) {
-  const auto erased = running_by_submit_.erase(submit_index_.at(id));
-  COSCHED_CHECK_MSG(erased == 1, "job " << id << " was not tracked running");
+  const std::size_t idx = submit_index_.at(id);
+  const auto it =
+      std::lower_bound(running_by_submit_.begin(), running_by_submit_.end(),
+                       idx, BySubmitIdx{});
+  COSCHED_CHECK_MSG(
+      it != running_by_submit_.end() && it->submit_idx == idx && it->id == id,
+      "job " << id << " was not tracked running");
+  running_by_submit_.erase(it);
+}
+
+Controller::RunningSlot& Controller::running_slot(JobId id) {
+  const std::size_t idx = submit_index_.at(id);
+  const auto it =
+      std::lower_bound(running_by_submit_.begin(), running_by_submit_.end(),
+                       idx, BySubmitIdx{});
+  COSCHED_CHECK_MSG(
+      it != running_by_submit_.end() && it->submit_idx == idx && it->id == id,
+      "job " << id << " has no running slot");
+  return *it;
+}
+
+void Controller::cancel_end_event(JobId id) {
+  RunningSlot& slot = running_slot(id);
+  if (!slot.has_end) return;
+  engine_.cancel(slot.end_event);
+  slot.has_end = false;
 }
 
 const workload::Job& Controller::job(JobId id) const {
@@ -366,10 +447,10 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
     // Attribute this co-location for the pair estimator: the candidate's
     // dominant partner is the first node's primary; each primary that was
     // not already paired records the candidate as its partner.
-    const JobId first_primary = machine_.node(nodes.front()).primary_job();
+    const JobId first_primary = machine_.primary_job_of(nodes.front());
     partner_.emplace(id, job(first_primary).app);
     for (NodeId n : nodes) {
-      const JobId p = machine_.node(n).primary_job();
+      const JobId p = machine_.primary_job_of(n);
       if (p != id) partner_.emplace(p, j.app);
     }
   }
@@ -431,21 +512,19 @@ void Controller::resync_completions() {
   // Submit-index order: EventIds are handed out in iteration order, so
   // this must replay the old submit_order_ scan exactly (see
   // running_by_submit_).
-  for (const auto& [idx, id] : running_by_submit_) {
-    (void)idx;
-    const SimTime predicted = execution_.predicted_end(id, now());
-    const auto it = end_events_.find(id);
-    if (it != end_events_.end()) {
-      const auto t = end_event_times_.find(id);
-      if (t != end_event_times_.end() && t->second == predicted) {
+  for (RunningSlot& slot : running_by_submit_) {
+    const SimTime predicted = execution_.predicted_end(slot.id, now());
+    if (slot.has_end) {
+      if (slot.end_time == predicted) {
         continue;  // prediction unchanged; keep the existing event
       }
-      engine_.cancel(it->second);
+      engine_.cancel(slot.end_event);
     }
-    end_events_[id] =
-        engine_.schedule_at(predicted, sim::EventPriority::kJobEnd, "job_end",
-                            [this, id] { on_complete(id); });
-    end_event_times_[id] = predicted;
+    slot.end_event = engine_.schedule_at(
+        predicted, sim::EventPriority::kJobEnd, "job_end",
+        [this, id = slot.id] { on_complete(id); });
+    slot.has_end = true;
+    slot.end_time = predicted;
   }
 }
 
@@ -470,8 +549,8 @@ void Controller::on_complete(JobId id) {
     engine_.cancel(it->second);
     kill_events_.erase(it);
   }
-  end_events_.erase(id);
-  end_event_times_.erase(id);
+  // The completion event just fired; dropping the slot discards its stale
+  // handle (nothing left to cancel).
   untrack_running(id);
   execution_.finish(id);
   machine_.release(id);
@@ -506,11 +585,7 @@ void Controller::on_timeout(JobId id) {
                     << " hit its walltime limit with "
                     << execution_.remaining_work_s(id) << "s of work left");
 
-  if (auto it = end_events_.find(id); it != end_events_.end()) {
-    engine_.cancel(it->second);
-    end_events_.erase(it);
-    end_event_times_.erase(id);
-  }
+  cancel_end_event(id);
   kill_events_.erase(id);
   untrack_running(id);
   execution_.finish(id);
@@ -553,11 +628,7 @@ void Controller::requeue(JobId id) {
       resume_progress_[id] = execution_.progress_s(id) * fraction;
     }
   }
-  if (auto it = end_events_.find(id); it != end_events_.end()) {
-    engine_.cancel(it->second);
-    end_events_.erase(it);
-    end_event_times_.erase(id);
-  }
+  cancel_end_event(id);
   if (auto it = kill_events_.find(id); it != kill_events_.end()) {
     engine_.cancel(it->second);
     kill_events_.erase(it);
@@ -598,17 +669,13 @@ void Controller::on_node_fail(NodeId node, SimDuration duration) {
       j.end_time = now();
       j.observed_dilation = execution_.observed_dilation(id, now());
       ++stats_.timeouts;
-      if (auto it = end_events_.find(id); it != end_events_.end()) {
-        engine_.cancel(it->second);
-        end_events_.erase(it);
-        end_event_times_.erase(id);
-      }
+      cancel_end_event(id);
       if (auto it = kill_events_.find(id); it != kill_events_.end()) {
         engine_.cancel(it->second);
         kill_events_.erase(it);
       }
       untrack_running(id);
-  execution_.finish(id);
+      execution_.finish(id);
       machine_.release(id);
       settle_dependents(id, /*success=*/false);
     }
@@ -656,18 +723,14 @@ bool Controller::cancel(JobId id) {
       j.observed_dilation = execution_.observed_dilation(id, now());
       j.state = workload::JobState::kCancelled;
       j.end_time = now();
-      if (auto e = end_events_.find(id); e != end_events_.end()) {
-        engine_.cancel(e->second);
-        end_events_.erase(e);
-        end_event_times_.erase(id);
-      }
+      cancel_end_event(id);
       if (auto k = kill_events_.find(id); k != kill_events_.end()) {
         engine_.cancel(k->second);
         kill_events_.erase(k);
       }
       partner_.erase(id);
       untrack_running(id);
-  execution_.finish(id);
+      execution_.finish(id);
       machine_.release(id);
       execution_.refresh_rates();
       resync_completions();

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "sim/engine.hpp"
 #include "slurmlite/execution.hpp"
 #include "workload/job.hpp"
+#include "workload/source.hpp"
 
 namespace cosched::slurmlite {
 
@@ -104,6 +106,14 @@ class Controller final : public core::SchedulerHost,
   void submit(workload::Job job);
   void submit_all(const workload::JobList& jobs);
 
+  /// Attaches a lazily-pulled arrival stream (nondecreasing submit times):
+  /// only one arrival's submit event is pending at a time — firing it
+  /// pulls and schedules the next before the scheduler pass runs, so
+  /// same-instant arrivals still all enqueue ahead of the pass (kSubmit
+  /// orders before kSchedule) and decisions match submit_all over the
+  /// same sequence. The source must outlive the drain (engine.run()).
+  void submit_stream(workload::JobSource& source);
+
   /// scancel: cancels a job in any live state. Pending/held jobs are
   /// removed from the queue; running jobs are killed and their resources
   /// released; dependents are cancelled in cascade. Returns false if the
@@ -155,6 +165,13 @@ class Controller final : public core::SchedulerHost,
   std::size_t audit_submitted() const override { return jobs_.size(); }
 
  private:
+  /// Validation + registration shared by submit/submit_stream. Returns the
+  /// time the submit event should fire at, or nullopt when the job was
+  /// rejected on entry (recorded as kCancelled, no event needed).
+  std::optional<SimTime> register_job(workload::Job job);
+  /// Pulls arrivals from stream_ until one registers, scheduling its
+  /// submit event; detaches the stream when exhausted.
+  void pump_stream();
   workload::Job& job_mutable(JobId id);
   void on_submit(JobId id);
   void on_complete(JobId id);
@@ -208,19 +225,32 @@ class Controller final : public core::SchedulerHost,
   core::PriorityCalculator priority_;
   core::UsageTracker usage_;
   bool requeue_on_failure_;
-  std::unordered_map<JobId, sim::EventId> end_events_;
-  /// Scheduled time of each completion event, so resync_completions can
-  /// skip jobs whose prediction did not move (most of them, most passes).
-  std::unordered_map<JobId, SimTime> end_event_times_;
   std::unordered_map<JobId, sim::EventId> kill_events_;
   bool pass_scheduled_ = false;
   bool in_pass_ = false;
-  /// Running jobs keyed by submit index: values in key order reproduce the
-  /// old "walk submit_order_, filter running" scan in O(running) instead
-  /// of O(all jobs ever submitted). resync_completions iterates this, and
-  /// iteration order decides EventId assignment, so the order must match
-  /// the replaced scan exactly.
-  std::map<std::size_t, JobId> running_by_submit_;
+  /// Attached arrival stream (submit_stream), nullptr once exhausted.
+  workload::JobSource* stream_ = nullptr;
+  /// One slot per running job, sorted by submit index: iterating in order
+  /// reproduces the old "walk submit_order_, filter running" scan in
+  /// O(running). resync_completions — the hottest per-pass loop — walks
+  /// this flat array, and iteration order decides EventId assignment, so
+  /// the order must match the replaced scan exactly. The completion-event
+  /// handle and its scheduled time live inline so the resync does zero
+  /// hash lookups per job.
+  struct RunningSlot {
+    std::size_t submit_idx;
+    JobId id;
+    /// Completion event currently scheduled for this job; invalid (and
+    /// end_time meaningless) until the first resync places one.
+    bool has_end = false;
+    sim::EventId end_event = 0;
+    SimTime end_time = 0;
+  };
+  std::vector<RunningSlot> running_by_submit_;
+  /// The tracked slot for a running job (must exist).
+  RunningSlot& running_slot(JobId id);
+  /// Cancels `id`'s pending completion event, if any (slot stays tracked).
+  void cancel_end_event(JobId id);
   std::unordered_map<JobId, std::size_t> submit_index_;
   /// Pending-queue mutation counter (enqueue/requeue/cancel/remove);
   /// paired with machine_.generation() for pass early-exit.

@@ -7,34 +7,62 @@
 
 namespace cosched::slurmlite {
 
+namespace {
+
+/// Sorted-insert position / lookup comparator for the running array.
+struct ByJobId {
+  bool operator()(const auto& entry, JobId id) const { return entry.id < id; }
+};
+
+}  // namespace
+
 ExecutionModel::ExecutionModel(const cluster::Machine& machine,
                                const apps::Catalog& catalog,
                                const interference::CorunModel& corun)
     : machine_(machine), catalog_(catalog), corun_(corun) {}
 
+const ExecutionModel::Running* ExecutionModel::find(JobId id) const {
+  const auto it =
+      std::lower_bound(running_.begin(), running_.end(), id, ByJobId{});
+  if (it == running_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+const ExecutionModel::Running& ExecutionModel::get(JobId id) const {
+  const Running* r = find(id);
+  COSCHED_CHECK_MSG(r != nullptr, "job " << id << " not tracked as running");
+  return *r;
+}
+
 void ExecutionModel::start(const workload::Job& job, SimTime now,
                            double initial_progress_s) {
-  COSCHED_CHECK(!running_.count(job.id));
+  COSCHED_CHECK(find(job.id) == nullptr);
   COSCHED_CHECK(machine_.allocation(job.id) != nullptr);
   COSCHED_CHECK(initial_progress_s >= 0);
   Running r;
+  r.id = job.id;
   r.app = job.app;
   r.start = now;
   r.last_sync = now;
   r.work_s = to_seconds(job.base_runtime);
   r.progress_s = std::min(initial_progress_s, r.work_s);
   r.initial_s = r.progress_s;
+  r.alloc = machine_.allocation(job.id);
   // Placement locality is fixed for the allocation's lifetime.
   r.locality = machine_.topology().locality_dilation(
-      machine_.allocation(job.id)->nodes,
-      catalog_.get(job.app).stress.network);
+      r.alloc->nodes, catalog_.get(job.app).stress.network);
   r.rate = 1.0;  // placeholder; refresh_rates() sets the true value
-  running_.emplace(job.id, r);
+  running_.insert(
+      std::lower_bound(running_.begin(), running_.end(), job.id, ByJobId{}),
+      r);
 }
 
 void ExecutionModel::finish(JobId id) {
-  const auto erased = running_.erase(id);
-  COSCHED_CHECK_MSG(erased == 1, "finish of untracked job " << id);
+  const auto it =
+      std::lower_bound(running_.begin(), running_.end(), id, ByJobId{});
+  COSCHED_CHECK_MSG(it != running_.end() && it->id == id,
+                    "finish of untracked job " << id);
+  running_.erase(it);
 }
 
 void ExecutionModel::sync(SimTime now) {
@@ -45,8 +73,7 @@ void ExecutionModel::sync(SimTime now) {
     // early-out is bit-identical, not just approximately equal.
     return;
   }
-  for (auto& [id, r] : running_) {
-    (void)id;
+  for (Running& r : running_) {
     COSCHED_CHECK(now >= r.last_sync);
     r.progress_s += to_seconds(now - r.last_sync) * r.rate;
     r.last_sync = now;
@@ -54,11 +81,9 @@ void ExecutionModel::sync(SimTime now) {
   last_sync_ = now;
 }
 
-double ExecutionModel::compute_rate(JobId id) const {
-  const cluster::Allocation* alloc = machine_.allocation(id);
-  COSCHED_CHECK(alloc != nullptr);
+double ExecutionModel::compute_rate(const Running& job) const {
   double worst = 1.0;
-  for (NodeId node_id : alloc->nodes) {
+  for (NodeId node_id : job.alloc->nodes) {
     const cluster::Node& node = machine_.node(node_id);
     const auto residents = node.jobs();
     if (residents.size() == 1) continue;  // alone: dilation 1
@@ -66,12 +91,12 @@ double ExecutionModel::compute_rate(JobId id) const {
     stresses.reserve(residents.size());
     std::size_t my_index = residents.size();
     for (std::size_t i = 0; i < residents.size(); ++i) {
-      const auto it = running_.find(residents[i]);
-      COSCHED_CHECK_MSG(it != running_.end(),
+      const Running* co = find(residents[i]);
+      COSCHED_CHECK_MSG(co != nullptr,
                         "job " << residents[i]
                                << " on machine but not tracked as running");
-      stresses.push_back(catalog_.get(it->second.app).stress);
-      if (residents[i] == id) my_index = i;
+      stresses.push_back(catalog_.get(co->app).stress);
+      if (residents[i] == job.id) my_index = i;
     }
     COSCHED_CHECK(my_index < residents.size());
     const auto slowdowns = corun_.slowdowns(stresses);
@@ -81,28 +106,24 @@ double ExecutionModel::compute_rate(JobId id) const {
 }
 
 void ExecutionModel::refresh_rates() {
-  for (auto& [id, r] : running_) {
+  for (Running& r : running_) {
     // A job's rate is a pure function of its nodes' slot contents (which
     // co-residents, which apps), all captured by the machine's per-node
     // generation counters. Unchanged generations -> the recompute would
     // overwrite r.rate with the exact same value (no accumulation), so
     // skipping it is bit-identical.
-    const cluster::Allocation* alloc = machine_.allocation(id);
-    COSCHED_CHECK(alloc != nullptr);
     std::uint64_t gen = 0;
-    for (NodeId node : alloc->nodes) {
+    for (NodeId node : r.alloc->nodes) {
       gen = std::max(gen, machine_.node_generation(node));
     }
     if (gen == r.rate_gen) continue;  // co-residency unchanged since
-    r.rate = compute_rate(id) / r.locality;
+    r.rate = compute_rate(r) / r.locality;
     r.rate_gen = gen;
   }
 }
 
 SimTime ExecutionModel::predicted_end(JobId id, SimTime now) const {
-  const auto it = running_.find(id);
-  COSCHED_CHECK(it != running_.end());
-  const Running& r = it->second;
+  const Running& r = get(id);
   COSCHED_CHECK_MSG(r.last_sync == now,
                     "predicted_end requires sync at current time");
   const double remaining = std::max(0.0, r.work_s - r.progress_s);
@@ -114,28 +135,19 @@ SimTime ExecutionModel::predicted_end(JobId id, SimTime now) const {
   return now + micros;
 }
 
-double ExecutionModel::dilation(JobId id) const {
-  const auto it = running_.find(id);
-  COSCHED_CHECK(it != running_.end());
-  return 1.0 / it->second.rate;
-}
+double ExecutionModel::dilation(JobId id) const { return 1.0 / get(id).rate; }
 
 double ExecutionModel::remaining_work_s(JobId id) const {
-  const auto it = running_.find(id);
-  COSCHED_CHECK(it != running_.end());
-  return std::max(0.0, it->second.work_s - it->second.progress_s);
+  const Running& r = get(id);
+  return std::max(0.0, r.work_s - r.progress_s);
 }
 
 double ExecutionModel::progress_s(JobId id) const {
-  const auto it = running_.find(id);
-  COSCHED_CHECK(it != running_.end());
-  return it->second.progress_s;
+  return get(id).progress_s;
 }
 
 double ExecutionModel::observed_dilation(JobId id, SimTime now) const {
-  const auto it = running_.find(id);
-  COSCHED_CHECK(it != running_.end());
-  const Running& r = it->second;
+  const Running& r = get(id);
   const double elapsed = to_seconds(now - r.start);
   const double progressed =
       r.progress_s + to_seconds(now - r.last_sync) * r.rate - r.initial_s;

@@ -10,7 +10,8 @@
 // events.
 #pragma once
 
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "apps/catalog.hpp"
 #include "cluster/machine.hpp"
@@ -33,8 +34,10 @@ class ExecutionModel {
   void start(const workload::Job& job, SimTime now,
              double initial_progress_s = 0);
 
-  /// Deregisters a finished/killed job (after machine release); the caller
-  /// must refresh_rates() afterwards.
+  /// Deregisters a finished/killed job. Must be called while the job's
+  /// machine allocation is still live (the controller releases the
+  /// allocation only after finish()), because tracked entries cache the
+  /// allocation pointer.
   void finish(JobId id);
 
   /// Advances every running job's progress to `now` at current rates.
@@ -67,10 +70,11 @@ class ExecutionModel {
   double observed_dilation(JobId id, SimTime now) const;
 
   std::size_t running_count() const { return running_.size(); }
-  bool is_running(JobId id) const { return running_.count(id) > 0; }
+  bool is_running(JobId id) const { return find(id) != nullptr; }
 
  private:
   struct Running {
+    JobId id;
     AppId app;
     SimTime start;
     SimTime last_sync;
@@ -83,16 +87,28 @@ class ExecutionModel {
     /// 0 means never computed (node generations start above 0 once
     /// allocated). See refresh_rates().
     std::uint64_t rate_gen = 0;
+    /// The job's machine allocation. Allocation records live in a
+    /// node-based container, so the pointer is stable from allocate to
+    /// release, and the controller always deregisters (finish) before
+    /// releasing — valid for this entry's whole lifetime.
+    const cluster::Allocation* alloc = nullptr;
   };
 
-  double compute_rate(JobId id) const;
+  const Running* find(JobId id) const;
+  Running* find(JobId id) {
+    return const_cast<Running*>(std::as_const(*this).find(id));
+  }
+  const Running& get(JobId id) const;
+
+  double compute_rate(const Running& r) const;
 
   const cluster::Machine& machine_;
   const apps::Catalog& catalog_;
   const interference::CorunModel& corun_;
-  // Ordered map: sync/refresh loops run in JobId order, so floating-point
-  // progress updates replay identically run to run (determinism audit).
-  std::map<JobId, Running> running_;
+  // Flat array sorted by JobId: sync/refresh loops run in JobId order, so
+  // floating-point progress updates replay the old std::map iteration
+  // identically (determinism audit) while walking contiguous memory.
+  std::vector<Running> running_;
   /// Instant of the last sync(); repeated same-instant syncs early-out.
   SimTime last_sync_ = -1;
 };

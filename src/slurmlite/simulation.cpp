@@ -28,13 +28,13 @@ bool audit_enabled(AuditMode mode) {
   return false;
 }
 
-}  // namespace
-
-SimulationResult run_jobs(const SimulationSpec& spec,
-                          const apps::Catalog& catalog,
-                          const workload::JobList& jobs) {
+/// Common simulation body behind run_jobs/run_stream; `submit` injects the
+/// workload (either the whole list upfront or a lazily-pulled stream).
+template <typename SubmitFn>
+SimulationResult run_with(const SimulationSpec& spec,
+                          const apps::Catalog& catalog, SubmitFn&& submit) {
   COSCHED_PROF_SCOPE("simulate");
-  sim::Engine engine;
+  sim::Engine engine(spec.queue.value_or(sim::default_queue_kind()));
   Controller controller(engine, spec.controller, catalog);
 
   std::optional<audit::StateAuditor> auditor;
@@ -55,7 +55,7 @@ SimulationResult run_jobs(const SimulationSpec& spec,
     engine.add_observer(&*event_tracer);
   }
 
-  controller.submit_all(jobs);
+  submit(controller);
   engine.run();
 
   SimulationResult result;
@@ -78,6 +78,23 @@ SimulationResult run_jobs(const SimulationSpec& spec,
                              << workload::to_string(job.state));
   }
   return result;
+}
+
+}  // namespace
+
+SimulationResult run_jobs(const SimulationSpec& spec,
+                          const apps::Catalog& catalog,
+                          const workload::JobList& jobs) {
+  return run_with(spec, catalog,
+                  [&](Controller& controller) { controller.submit_all(jobs); });
+}
+
+SimulationResult run_stream(const SimulationSpec& spec,
+                            const apps::Catalog& catalog,
+                            workload::JobSource& source) {
+  return run_with(spec, catalog, [&](Controller& controller) {
+    controller.submit_stream(source);
+  });
 }
 
 SimulationResult run_simulation(const SimulationSpec& spec,

@@ -5,11 +5,15 @@
 
 #include <cstdint>
 
+#include <optional>
+
 #include "apps/catalog.hpp"
 #include "audit/determinism.hpp"
 #include "metrics/metrics.hpp"
+#include "sim/engine.hpp"
 #include "slurmlite/controller.hpp"
 #include "workload/generator.hpp"
+#include "workload/source.hpp"
 
 namespace cosched::slurmlite {
 
@@ -29,6 +33,10 @@ struct SimulationSpec {
   AuditMode audit = AuditMode::kAuto;
   /// Compute SimulationResult::event_stream_hash (determinism checks).
   bool hash_events = false;
+  /// Event-queue implementation; unset runs sim::default_queue_kind().
+  /// Both kinds pop identically, so digests and decisions do not depend
+  /// on this — EngineQueueParity pins that.
+  std::optional<sim::QueueKind> queue;
 };
 
 struct SimulationResult {
@@ -49,6 +57,15 @@ SimulationResult run_simulation(const SimulationSpec& spec,
 SimulationResult run_jobs(const SimulationSpec& spec,
                           const apps::Catalog& catalog,
                           const workload::JobList& jobs);
+
+/// Runs jobs pulled lazily from `source` (streaming ingestion): each
+/// submit event pulls the next arrival, so pending state stays O(running
+/// jobs) and a 100k-job trace never fully materializes. Scheduling
+/// decisions match run_jobs over the same job sequence (pinned by test);
+/// event ids differ, so compare job records, not digests.
+SimulationResult run_stream(const SimulationSpec& spec,
+                            const apps::Catalog& catalog,
+                            workload::JobSource& source);
 
 /// One hashed run of the seeded simulation (forces hash_events).
 audit::RunDigest run_digest(const SimulationSpec& spec,

@@ -4,20 +4,18 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace cosched::trace {
 
-std::vector<SwfRecord> read_swf(std::istream& in) {
-  std::vector<SwfRecord> out;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
+std::optional<SwfRecord> SwfReader::next() {
+  while (std::getline(in_, line_)) {
+    ++line_no_;
     // Strip comments and skip blanks.
-    if (auto pos = line.find(';'); pos != std::string::npos) {
-      line.resize(pos);
+    if (auto pos = line_.find(';'); pos != std::string::npos) {
+      line_.resize(pos);
     }
-    std::istringstream fields(line);
+    std::istringstream fields(line_);
     SwfRecord r;
     if (!(fields >> r.job_number)) continue;  // blank or comment-only line
     const bool ok =
@@ -28,17 +26,38 @@ std::vector<SwfRecord> read_swf(std::istream& in) {
                           r.user_id >> r.group_id >> r.app_number >>
                           r.queue_number >> r.partition_number >>
                           r.preceding_job >> r.think_time);
-    COSCHED_REQUIRE(ok, "SWF line " << line_no
-                                    << ": expected 18 fields, got fewer");
-    out.push_back(r);
+    if (!ok) {
+      // Archive traces do contain short/garbled lines; skip and count them
+      // instead of abandoning the replay. First offender logs its line.
+      if (++malformed_ == 1) {
+        COSCHED_WARN("SWF line " << line_no_
+                                 << ": expected 18 fields, got fewer; "
+                                    "skipping (further skips counted)");
+      }
+      continue;
+    }
+    return r;
   }
+  return std::nullopt;
+}
+
+std::vector<SwfRecord> read_swf(std::istream& in, std::size_t* malformed) {
+  std::vector<SwfRecord> out;
+  SwfReader reader(in);
+  while (auto r = reader.next()) out.push_back(*r);
+  if (reader.malformed_lines() > 0) {
+    COSCHED_WARN("SWF stream: skipped " << reader.malformed_lines()
+                                        << " malformed line(s)");
+  }
+  if (malformed != nullptr) *malformed = reader.malformed_lines();
   return out;
 }
 
-std::vector<SwfRecord> read_swf_file(const std::string& path) {
+std::vector<SwfRecord> read_swf_file(const std::string& path,
+                                     std::size_t* malformed) {
   std::ifstream in(path);
   COSCHED_REQUIRE(in.good(), "cannot open SWF file '" << path << "'");
-  return read_swf(in);
+  return read_swf(in, malformed);
 }
 
 void write_swf(std::ostream& out, const std::vector<SwfRecord>& records,
@@ -68,41 +87,76 @@ void write_swf_file(const std::string& path,
   write_swf(out, records, header_note);
 }
 
+workload::Job job_from_swf(const SwfRecord& r, int app_count) {
+  COSCHED_REQUIRE(r.job_number >= 0,
+                  "SWF record with negative job number " << r.job_number);
+  workload::Job job;
+  job.id = r.job_number;
+  job.user = "uid" + std::to_string(r.user_id >= 0 ? r.user_id : 0);
+  const std::int64_t procs =
+      r.procs_requested > 0 ? r.procs_requested : r.procs_used;
+  COSCHED_REQUIRE(procs > 0, "SWF job " << r.job_number
+                                        << " has no processor count");
+  job.nodes = static_cast<int>(procs);
+  job.submit_time = (r.submit_time > 0 ? r.submit_time : 0) * kSecond;
+  COSCHED_REQUIRE(r.run_time > 0 || r.time_requested > 0,
+                  "SWF job " << r.job_number
+                             << " has neither runtime nor request");
+  job.base_runtime =
+      (r.run_time > 0 ? r.run_time : r.time_requested) * kSecond;
+  job.walltime_limit =
+      (r.time_requested > 0 ? r.time_requested : r.run_time) * kSecond;
+  if (job.walltime_limit < job.base_runtime) {
+    // Some archive traces record runtime past the request (grace kills);
+    // clamp so replays are feasible.
+    job.walltime_limit = job.base_runtime;
+  }
+  if (app_count > 0) {
+    const std::int64_t app = r.app_number >= 0 ? r.app_number : r.job_number;
+    job.app = static_cast<AppId>(app % app_count);
+  }
+  return job;
+}
+
 workload::JobList jobs_from_swf(const std::vector<SwfRecord>& records,
                                 int app_count) {
   workload::JobList jobs;
   jobs.reserve(records.size());
   for (const auto& r : records) {
-    COSCHED_REQUIRE(r.job_number >= 0,
-                    "SWF record with negative job number " << r.job_number);
-    workload::Job job;
-    job.id = r.job_number;
-    job.user = "uid" + std::to_string(r.user_id >= 0 ? r.user_id : 0);
-    const std::int64_t procs =
-        r.procs_requested > 0 ? r.procs_requested : r.procs_used;
-    COSCHED_REQUIRE(procs > 0, "SWF job " << r.job_number
-                                          << " has no processor count");
-    job.nodes = static_cast<int>(procs);
-    job.submit_time = (r.submit_time > 0 ? r.submit_time : 0) * kSecond;
-    COSCHED_REQUIRE(r.run_time > 0 || r.time_requested > 0,
-                    "SWF job " << r.job_number
-                               << " has neither runtime nor request");
-    job.base_runtime =
-        (r.run_time > 0 ? r.run_time : r.time_requested) * kSecond;
-    job.walltime_limit =
-        (r.time_requested > 0 ? r.time_requested : r.run_time) * kSecond;
-    if (job.walltime_limit < job.base_runtime) {
-      // Some archive traces record runtime past the request (grace kills);
-      // clamp so replays are feasible.
-      job.walltime_limit = job.base_runtime;
-    }
-    if (app_count > 0) {
-      const std::int64_t app = r.app_number >= 0 ? r.app_number : r.job_number;
-      job.app = static_cast<AppId>(app % app_count);
-    }
-    jobs.push_back(std::move(job));
+    jobs.push_back(job_from_swf(r, app_count));
   }
   return jobs;
+}
+
+SwfJobSource::SwfJobSource(std::istream& in, int app_count)
+    : reader_(in), app_count_(app_count) {}
+
+SwfJobSource::SwfJobSource(const std::string& path, int app_count)
+    : file_(std::make_unique<std::ifstream>(path)),
+      reader_(*file_),
+      app_count_(app_count) {
+  COSCHED_REQUIRE(file_->good(), "cannot open SWF file '" << path << "'");
+}
+
+SwfJobSource::~SwfJobSource() = default;
+
+std::optional<workload::Job> SwfJobSource::next() {
+  std::optional<SwfRecord> record = reader_.next();
+  if (!record) {
+    if (reader_.malformed_lines() > 0) {
+      COSCHED_WARN("SWF stream: skipped " << reader_.malformed_lines()
+                                          << " malformed line(s)");
+    }
+    return std::nullopt;
+  }
+  workload::Job job = job_from_swf(*record, app_count_);
+  // Lazy submission scheduling pulls arrivals one at a time, so the trace
+  // must already be in submit order (the SWF convention).
+  COSCHED_REQUIRE(job.submit_time >= last_submit_,
+                  "SWF trace not sorted by submit time at job "
+                      << job.id << "; streaming replay needs a sorted trace");
+  last_submit_ = job.submit_time;
+  return job;
 }
 
 std::vector<SwfRecord> jobs_to_swf(const workload::JobList& jobs) {

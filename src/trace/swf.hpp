@@ -8,10 +8,13 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "workload/job.hpp"
+#include "workload/source.hpp"
 
 namespace cosched::trace {
 
@@ -38,10 +41,36 @@ struct SwfRecord {
   std::int64_t think_time = -1;
 };
 
-/// Parses an SWF stream. Comment/blank lines are skipped; malformed data
-/// lines raise cosched::Error with the line number.
-std::vector<SwfRecord> read_swf(std::istream& in);
-std::vector<SwfRecord> read_swf_file(const std::string& path);
+/// Streaming SWF parser: pulls one record at a time off a line-buffered
+/// stream, so an arbitrarily long trace never materializes. Comment/blank
+/// lines are skipped. Malformed/short data lines (archives do contain
+/// them) are skipped and counted — the first one logs a warning with its
+/// line number; callers report the total via malformed_lines().
+class SwfReader {
+ public:
+  /// `in` must outlive the reader.
+  explicit SwfReader(std::istream& in) : in_(in) {}
+
+  /// The next record, or nullopt at end of stream.
+  std::optional<SwfRecord> next();
+
+  /// Data lines skipped because they did not parse as 18 fields.
+  std::size_t malformed_lines() const { return malformed_; }
+
+ private:
+  std::istream& in_;
+  std::string line_;  // reused per getline: one resident line buffer
+  std::size_t line_no_ = 0;
+  std::size_t malformed_ = 0;
+};
+
+/// Parses an SWF stream into a vector (materializing convenience wrapper
+/// over SwfReader). Malformed data lines are skipped with a counted
+/// warning; pass `malformed` to receive the skip count.
+std::vector<SwfRecord> read_swf(std::istream& in,
+                                std::size_t* malformed = nullptr);
+std::vector<SwfRecord> read_swf_file(const std::string& path,
+                                     std::size_t* malformed = nullptr);
 
 /// Writes records with a descriptive header.
 void write_swf(std::ostream& out, const std::vector<SwfRecord>& records,
@@ -50,12 +79,39 @@ void write_swf_file(const std::string& path,
                     const std::vector<SwfRecord>& records,
                     const std::string& header_note = "");
 
-/// Converts submissions from SWF records: submit time, size, walltime
+/// Converts one SWF record into a submission: submit time, size, walltime
 /// request, and (when present) actual runtime become the ground-truth
 /// runtime. `app_count` maps SWF app numbers onto catalog ids by modulo;
-/// pass 0 to leave apps unassigned (-1).
+/// pass 0 to leave apps unassigned (-1). Throws cosched::Error on records
+/// that cannot describe a job (no processor count, no runtime).
+workload::Job job_from_swf(const SwfRecord& record, int app_count);
+
+/// Materializing wrapper over job_from_swf.
 workload::JobList jobs_from_swf(const std::vector<SwfRecord>& records,
                                 int app_count);
+
+/// Streaming trace replay: a JobSource that converts SWF records straight
+/// off the stream, so replaying a 100k-job archive keeps O(1) records
+/// resident. Requires the trace to be sorted by submit time (the SWF
+/// convention; enforced because lazy submission relies on it).
+class SwfJobSource final : public workload::JobSource {
+ public:
+  /// Reads from a borrowed stream (must outlive the source).
+  SwfJobSource(std::istream& in, int app_count);
+  /// Opens and owns `path`.
+  SwfJobSource(const std::string& path, int app_count);
+  ~SwfJobSource() override;  // out-of-line: std::ifstream is incomplete here
+
+  std::optional<workload::Job> next() override;
+
+  std::size_t malformed_lines() const { return reader_.malformed_lines(); }
+
+ private:
+  std::unique_ptr<std::ifstream> file_;  ///< set iff constructed from a path
+  SwfReader reader_;
+  int app_count_;
+  SimTime last_submit_ = 0;
+};
 
 /// Converts finished jobs to SWF records (for archiving simulated runs).
 std::vector<SwfRecord> jobs_to_swf(const workload::JobList& jobs);

@@ -27,6 +27,23 @@ Generator::Generator(GeneratorParams params, const apps::Catalog& catalog)
                       static_cast<int>(params_.app_weights.size()) ==
                           catalog_.size(),
                   "app_weights size must match catalog size");
+
+  size_weights_.reserve(params_.size_mix.size());
+  for (const auto& [nodes, weight] : params_.size_mix) {
+    (void)nodes;
+    size_weights_.push_back(weight);
+  }
+
+  // Stream mode: offered load rho means the queue receives rho * capacity
+  // node-seconds of work per second, i.e. arrival rate =
+  // rho * machine_nodes / E[job node-seconds].
+  if (params_.arrival == ArrivalMode::kStream) {
+    COSCHED_REQUIRE(params_.offered_load > 0 && params_.machine_nodes > 0,
+                    "stream mode needs offered_load and machine_nodes > 0");
+    arrival_rate_ = params_.offered_load *
+                    static_cast<double>(params_.machine_nodes) /
+                    mean_job_node_seconds();
+  }
 }
 
 double Generator::mean_job_node_seconds() const {
@@ -38,85 +55,75 @@ double Generator::mean_job_node_seconds() const {
   return mean_work;
 }
 
-JobList Generator::generate(Pcg32& rng) const {
-  std::vector<double> size_weights;
-  size_weights.reserve(params_.size_mix.size());
-  for (const auto& [nodes, weight] : params_.size_mix) {
-    (void)nodes;
-    size_weights.push_back(weight);
-  }
+Job Generator::generate_one(Pcg32& rng, int index, double& clock_s) const {
+  Job job;
+  job.id = index + 1;
+  job.user = "user" + std::to_string(rng.uniform_int(1, 16));
 
-  // Stream mode: offered load rho means the queue receives rho * capacity
-  // node-seconds of work per second, i.e. arrival rate =
-  // rho * machine_nodes / E[job node-seconds].
-  double arrival_rate = 0;
+  const std::size_t app_idx = params_.app_weights.empty()
+                                  ? rng.next_below(static_cast<std::uint32_t>(
+                                        catalog_.size()))
+                                  : rng.weighted_index(params_.app_weights);
+  const apps::AppModel& app = catalog_.get(static_cast<AppId>(app_idx));
+  job.app = app.id;
+
+  job.nodes = params_.size_mix[rng.weighted_index(size_weights_)].first;
+
+  // True exclusive runtime from single-node work through the app's
+  // scaling curve.
+  const double work_1 = rng.lognormal(params_.work_mu, params_.work_sigma);
+  const double runtime_s = app.runtime_seconds(work_1, job.nodes);
+  job.base_runtime = std::max<SimDuration>(from_seconds(runtime_s), kSecond);
+
+  // Over-estimated walltime, rounded up to a whole minute like real
+  // sbatch submissions.
+  const double factor =
+      rng.uniform(params_.est_factor_min, params_.est_factor_max);
+  const auto est = static_cast<SimDuration>(
+      static_cast<double>(job.base_runtime) * factor);
+  job.walltime_limit = ((est + kMinute - 1) / kMinute) * kMinute;
+
+  job.shareable = app.shareable && rng.bernoulli(params_.shareable_prob);
+
   if (params_.arrival == ArrivalMode::kStream) {
-    COSCHED_REQUIRE(params_.offered_load > 0 && params_.machine_nodes > 0,
-                    "stream mode needs offered_load and machine_nodes > 0");
-    arrival_rate = params_.offered_load *
-                   static_cast<double>(params_.machine_nodes) /
-                   mean_job_node_seconds();
+    if (params_.diurnal_amplitude > 0) {
+      // Thinned Poisson: candidates at the peak rate, accepted with
+      // probability rate(t)/peak. Rate peaks at simulated noon.
+      const double amplitude = params_.diurnal_amplitude;
+      const double peak = arrival_rate_ * (1.0 + amplitude);
+      for (;;) {
+        clock_s += rng.exponential(peak);
+        const double phase =
+            2.0 * std::numbers::pi * (clock_s - 21600.0) / 86400.0;
+        const double rate =
+            arrival_rate_ * (1.0 + amplitude * std::sin(phase));
+        if (rng.next_double() < rate / peak) break;
+      }
+    } else {
+      clock_s += rng.exponential(arrival_rate_);
+    }
+    job.submit_time = from_seconds(clock_s);
+  } else {
+    // Campaign: all at t=0 with a tiny deterministic stagger so submit
+    // order is well-defined in logs.
+    job.submit_time = index * kMillisecond;
   }
+  return job;
+}
 
+JobList Generator::generate(Pcg32& rng) const {
   JobList jobs;
   jobs.reserve(static_cast<std::size_t>(params_.job_count));
   double clock_s = 0;
   for (int i = 0; i < params_.job_count; ++i) {
-    Job job;
-    job.id = i + 1;
-    job.user = "user" + std::to_string(rng.uniform_int(1, 16));
-
-    const std::size_t app_idx = params_.app_weights.empty()
-                                    ? rng.next_below(static_cast<std::uint32_t>(
-                                          catalog_.size()))
-                                    : rng.weighted_index(params_.app_weights);
-    const apps::AppModel& app = catalog_.get(static_cast<AppId>(app_idx));
-    job.app = app.id;
-
-    job.nodes = params_.size_mix[rng.weighted_index(size_weights)].first;
-
-    // True exclusive runtime from single-node work through the app's
-    // scaling curve.
-    const double work_1 = rng.lognormal(params_.work_mu, params_.work_sigma);
-    const double runtime_s = app.runtime_seconds(work_1, job.nodes);
-    job.base_runtime = std::max<SimDuration>(from_seconds(runtime_s), kSecond);
-
-    // Over-estimated walltime, rounded up to a whole minute like real
-    // sbatch submissions.
-    const double factor =
-        rng.uniform(params_.est_factor_min, params_.est_factor_max);
-    const auto est = static_cast<SimDuration>(
-        static_cast<double>(job.base_runtime) * factor);
-    job.walltime_limit = ((est + kMinute - 1) / kMinute) * kMinute;
-
-    job.shareable = app.shareable && rng.bernoulli(params_.shareable_prob);
-
-    if (params_.arrival == ArrivalMode::kStream) {
-      if (params_.diurnal_amplitude > 0) {
-        // Thinned Poisson: candidates at the peak rate, accepted with
-        // probability rate(t)/peak. Rate peaks at simulated noon.
-        const double amplitude = params_.diurnal_amplitude;
-        const double peak = arrival_rate * (1.0 + amplitude);
-        for (;;) {
-          clock_s += rng.exponential(peak);
-          const double phase =
-              2.0 * std::numbers::pi * (clock_s - 21600.0) / 86400.0;
-          const double rate =
-              arrival_rate * (1.0 + amplitude * std::sin(phase));
-          if (rng.next_double() < rate / peak) break;
-        }
-      } else {
-        clock_s += rng.exponential(arrival_rate);
-      }
-      job.submit_time = from_seconds(clock_s);
-    } else {
-      // Campaign: all at t=0 with a tiny deterministic stagger so submit
-      // order is well-defined in logs.
-      job.submit_time = i * kMillisecond;
-    }
-    jobs.push_back(std::move(job));
+    jobs.push_back(generate_one(rng, i, clock_s));
   }
   return jobs;
+}
+
+std::optional<Job> GeneratorJobSource::next() {
+  if (index_ >= generator_.params().job_count) return std::nullopt;
+  return generator_.generate_one(rng_, index_++, clock_s_);
 }
 
 }  // namespace cosched::workload

@@ -17,6 +17,7 @@
 #include "apps/catalog.hpp"
 #include "util/rng.hpp"
 #include "workload/job.hpp"
+#include "workload/source.hpp"
 
 namespace cosched::workload {
 
@@ -66,6 +67,13 @@ class Generator {
   /// submission order. Deterministic for a given rng state.
   JobList generate(Pcg32& rng) const;
 
+  /// Generates the job `generate()` would produce at iteration `index`,
+  /// drawing from `rng` in the identical order (same RNG state in, same
+  /// job out). `clock_s` carries the stream-mode arrival clock between
+  /// calls; start it at 0. This is the streaming primitive: a 100k-job
+  /// workload can be pulled one job at a time without materializing.
+  Job generate_one(Pcg32& rng, int index, double& clock_s) const;
+
   const GeneratorParams& params() const { return params_; }
 
   /// Mean work per job in node-seconds implied by the parameters
@@ -75,6 +83,28 @@ class Generator {
  private:
   GeneratorParams params_;
   const apps::Catalog& catalog_;
+  /// Derived in the constructor so per-job generation allocates nothing.
+  std::vector<double> size_weights_;
+  double arrival_rate_ = 0;  ///< stream mode only
+};
+
+/// JobSource over a Generator: pulls jobs one at a time in submission
+/// order, producing the exact sequence generate() materializes for the
+/// same starting rng (verified by tests/workload_test.cpp).
+class GeneratorJobSource final : public JobSource {
+ public:
+  /// `generator` must outlive the source; `rng` is copied (the source owns
+  /// its stream position).
+  GeneratorJobSource(const Generator& generator, Pcg32 rng)
+      : generator_(generator), rng_(rng) {}
+
+  std::optional<Job> next() override;
+
+ private:
+  const Generator& generator_;
+  Pcg32 rng_;
+  int index_ = 0;
+  double clock_s_ = 0;
 };
 
 }  // namespace cosched::workload

@@ -1,0 +1,206 @@
+// Differential tests pinning the calendar queue to the binary heap: the
+// two Engine queue implementations must pop the exact same event sequence
+// for any interleaving of schedules, cancels, reschedules, duplicate
+// timestamps, and far-future events. The EngineQueueParity suite extends
+// the guarantee end-to-end: full simulations digest-match across kinds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "slurmlite/simulation.hpp"
+#include "util/rng.hpp"
+#include "workload/campaign.hpp"
+
+namespace cosched {
+namespace {
+
+/// One executed event as observed through the callback, enough to compare
+/// pop order across engines.
+struct Executed {
+  SimTime time;
+  std::uint64_t tag;
+  bool operator==(const Executed&) const = default;
+};
+
+/// Drives two engines (one per queue kind) through an identical operation
+/// sequence and asserts their executed streams match at every drain point.
+class EnginePair {
+ public:
+  EnginePair()
+      : heap_(sim::QueueKind::kBinaryHeap),
+        calendar_(sim::QueueKind::kCalendar) {}
+
+  void schedule(SimTime when, sim::EventPriority priority, std::uint64_t tag) {
+    const sim::EventId h =
+        heap_.schedule_at(when, priority, [this, tag] {
+          heap_log_.push_back(Executed{heap_.now(), tag});
+        });
+    const sim::EventId c =
+        calendar_.schedule_at(when, priority, [this, tag] {
+          calendar_log_.push_back(Executed{calendar_.now(), tag});
+        });
+    ASSERT_EQ(h, c);  // ids are dense insertion counters in both
+    live_.push_back(h);
+  }
+
+  void cancel_nth(std::size_t n) {
+    if (live_.empty()) return;
+    const sim::EventId id = live_[n % live_.size()];
+    const bool h = heap_.cancel(id);
+    const bool c = calendar_.cancel(id);
+    ASSERT_EQ(h, c);
+  }
+
+  void step_both() {
+    const bool h = heap_.step();
+    const bool c = calendar_.step();
+    ASSERT_EQ(h, c);
+    check_logs();
+  }
+
+  void run_until_both(SimTime until) {
+    if (until < heap_.now()) return;
+    const std::size_t h = heap_.run_until(until);
+    const std::size_t c = calendar_.run_until(until);
+    ASSERT_EQ(h, c);
+    ASSERT_EQ(heap_.now(), calendar_.now());
+    check_logs();
+  }
+
+  void drain_both() {
+    const std::size_t h = heap_.run();
+    const std::size_t c = calendar_.run();
+    ASSERT_EQ(h, c);
+    check_logs();
+    ASSERT_TRUE(heap_.empty());
+    ASSERT_TRUE(calendar_.empty());
+  }
+
+  SimTime now() const { return heap_.now(); }
+  std::size_t scheduled() const { return live_.size(); }
+
+ private:
+  void check_logs() {
+    ASSERT_EQ(heap_log_.size(), calendar_log_.size());
+    for (std::size_t i = 0; i < heap_log_.size(); ++i) {
+      ASSERT_EQ(heap_log_[i].time, calendar_log_[i].time) << "index " << i;
+      ASSERT_EQ(heap_log_[i].tag, calendar_log_[i].tag) << "index " << i;
+    }
+  }
+
+  sim::Engine heap_;
+  sim::Engine calendar_;
+  std::vector<Executed> heap_log_;
+  std::vector<Executed> calendar_log_;
+  std::vector<sim::EventId> live_;
+};
+
+sim::EventPriority random_priority(Pcg32& rng) {
+  return static_cast<sim::EventPriority>(rng.uniform_int(0, 4));
+}
+
+TEST(EngineQueueDifferential, RandomInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Pcg32 rng(seed);
+    EnginePair pair;
+    std::uint64_t tag = 0;
+    for (int op = 0; op < 600; ++op) {
+      const auto kind = static_cast<int>(rng.uniform_int(0, 9));
+      const SimTime base = pair.now();
+      if (kind <= 4) {
+        // Mostly near-future, frequently duplicate timestamps.
+        const SimTime when =
+            base + rng.uniform_int(0, 5) * (kSecond / 4);
+        pair.schedule(when, random_priority(rng), tag++);
+      } else if (kind == 5) {
+        // Far-future event, well beyond any initial bucket window.
+        const SimTime when =
+            base + kSecond * rng.uniform_int(100'000, 10'000'000);
+        pair.schedule(when, random_priority(rng), tag++);
+      } else if (kind == 6) {
+        pair.cancel_nth(static_cast<std::size_t>(rng.uniform_int(0, 1 << 20)));
+      } else if (kind == 7) {
+        // Reschedule: cancel one, schedule a replacement nearby.
+        pair.cancel_nth(static_cast<std::size_t>(rng.uniform_int(0, 1 << 20)));
+        pair.schedule(base + rng.uniform_int(0, 3) * kSecond,
+                      random_priority(rng), tag++);
+      } else if (kind == 8) {
+        pair.step_both();
+        if (::testing::Test::HasFatalFailure()) return;
+      } else {
+        pair.run_until_both(base + rng.uniform_int(0, 20) * kSecond);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    pair.drain_both();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(EngineQueueDifferential, DuplicateTimestampBursts) {
+  EnginePair pair;
+  std::uint64_t tag = 0;
+  // Many events at the same instants, mixed priorities: pop order must
+  // fall back to priority then insertion id identically in both queues.
+  for (int round = 0; round < 50; ++round) {
+    const SimTime when = (round / 5) * kSecond;
+    for (int i = 0; i < 8; ++i) {
+      pair.schedule(when, static_cast<sim::EventPriority>(i % 5), tag++);
+    }
+  }
+  pair.drain_both();
+}
+
+TEST(EngineQueueDifferential, RescheduleEarlierAcrossRunUntil) {
+  // The cursor-regression path: run_until parks the calendar cursor past
+  // `now`, then a schedule lands behind it (a job-end moved earlier).
+  EnginePair pair;
+  std::uint64_t tag = 0;
+  pair.schedule(100 * kSecond, sim::EventPriority::kJobEnd, tag++);
+  pair.schedule(200 * kSecond, sim::EventPriority::kJobEnd, tag++);
+  pair.run_until_both(150 * kSecond);
+  if (::testing::Test::HasFatalFailure()) return;
+  // Behind the parked cursor (bucket of 200s), ahead of now (150s).
+  pair.schedule(160 * kSecond, sim::EventPriority::kJobEnd, tag++);
+  pair.schedule(155 * kSecond, sim::EventPriority::kSubmit, tag++);
+  pair.schedule(200 * kSecond, sim::EventPriority::kSubmit, tag++);
+  pair.drain_both();
+}
+
+/// End-to-end parity: every strategy's full-simulation digest must be
+/// identical under both queue kinds (events, decisions, metrics).
+class EngineQueueParity : public ::testing::TestWithParam<core::StrategyKind> {
+};
+
+TEST_P(EngineQueueParity, DigestsMatchAcrossQueueKinds) {
+  const auto catalog = apps::Catalog::trinity();
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 48;
+  spec.controller.strategy = GetParam();
+  spec.workload = workload::trinity_campaign(48, 300);
+  spec.seed = 4242;
+
+  spec.queue = sim::QueueKind::kBinaryHeap;
+  const audit::RunDigest heap = slurmlite::run_digest(spec, catalog);
+  spec.queue = sim::QueueKind::kCalendar;
+  const audit::RunDigest calendar = slurmlite::run_digest(spec, catalog);
+
+  EXPECT_EQ(heap.hash, calendar.hash);
+  EXPECT_EQ(heap.events, calendar.events);
+}
+
+std::string queue_parity_name(
+    const ::testing::TestParamInfo<core::StrategyKind>& info) {
+  return core::to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, EngineQueueParity,
+                         ::testing::ValuesIn(core::all_strategies()),
+                         queue_parity_name);
+
+}  // namespace
+}  // namespace cosched

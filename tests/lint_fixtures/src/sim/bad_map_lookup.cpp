@@ -1,0 +1,34 @@
+// Fixture: associative-container state keyed per event in src/sim. The
+// engine's hot loop executes millions of events; a map lookup per event
+// (id -> payload) is exactly the structure the pooled slot vectors
+// replaced, so the linter flags any std::map family use under src/sim.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Payload {
+  std::uint64_t when = 0;
+};
+
+struct BadEngine {
+  std::unordered_map<std::uint64_t, Payload> by_id;  // cosched-lint: expect(no-sim-map)
+  std::map<std::uint64_t, Payload> ordered;  // cosched-lint: expect(no-sim-map)
+
+  void schedule(std::uint64_t id, Payload p) {
+    by_id[id] = p;  // per-event hash-and-chase
+  }
+
+  bool cancel(std::uint64_t id) { return by_id.erase(id) > 0; }
+};
+
+// Dense per-id vectors are the sanctioned structure and stay clean.
+struct GoodEngine {
+  std::vector<Payload> slots;
+  std::vector<std::uint32_t> slot_of_id;
+
+  void schedule(std::uint32_t slot, Payload p) {
+    slots[slot] = p;
+    slot_of_id.push_back(slot);
+  }
+};

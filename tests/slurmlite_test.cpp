@@ -262,6 +262,43 @@ TEST(Simulation, AllJobsReachFinalState) {
   EXPECT_EQ(result.metrics.jobs_completed, 40);
 }
 
+TEST(Simulation, StreamSubmissionMatchesBatch) {
+  // Lazy streaming ingestion must produce the same scheduling decisions as
+  // materializing the whole workload up front: the pull-before-pass order
+  // plus kSubmit < kSchedule priority keeps every pass's arrival set
+  // identical. Event ids differ (pump events interleave differently), so
+  // compare job records, not event counts or digests.
+  for (const auto strategy : {core::StrategyKind::kCoBackfill,
+                              core::StrategyKind::kCoConservative,
+                              core::StrategyKind::kEasyBackfill}) {
+    SimulationSpec spec;
+    spec.controller = small_config(strategy);
+    spec.controller.nodes = 12;
+    spec.workload = workload::trinity_stream(12, 150, /*offered_load=*/1.1);
+    spec.seed = 21;
+
+    const workload::Generator gen(spec.workload, trinity());
+    Pcg32 rng(spec.seed);
+    const workload::JobList jobs = gen.generate(rng);
+    const auto batch = run_jobs(spec, trinity(), jobs);
+
+    workload::ListSource list(jobs);
+    const auto streamed = run_stream(spec, trinity(), list);
+
+    ASSERT_EQ(streamed.jobs.size(), batch.jobs.size());
+    for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+      EXPECT_EQ(streamed.jobs[i].id, batch.jobs[i].id);
+      EXPECT_EQ(streamed.jobs[i].state, batch.jobs[i].state);
+      EXPECT_EQ(streamed.jobs[i].start_time, batch.jobs[i].start_time);
+      EXPECT_EQ(streamed.jobs[i].end_time, batch.jobs[i].end_time);
+      EXPECT_EQ(streamed.jobs[i].alloc_kind, batch.jobs[i].alloc_kind);
+      EXPECT_EQ(streamed.jobs[i].alloc_nodes, batch.jobs[i].alloc_nodes);
+    }
+    EXPECT_DOUBLE_EQ(streamed.metrics.scheduling_efficiency,
+                     batch.metrics.scheduling_efficiency);
+  }
+}
+
 // --- Config parsing -------------------------------------------------------------------
 
 TEST(Config, ParsesFullFile) {

@@ -61,9 +61,84 @@ TEST(Swf, SkipsCommentsAndBlanks) {
   EXPECT_EQ(records[0].run_time, 100);
 }
 
-TEST(Swf, RejectsTruncatedLine) {
-  std::stringstream in("1 0 -1 100 4\n");
-  EXPECT_THROW(read_swf(in), Error);
+TEST(Swf, SkipsTruncatedLinesWithCount) {
+  // Archive traces do contain short lines; the reader must keep going and
+  // report how many it dropped instead of abandoning the replay.
+  std::stringstream in(
+      "; header\n"
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 5 -1 100 4\n"  // truncated mid-record
+      "3 10 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "4 15 -1\n"       // truncated mid-record
+      "5 20 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  std::size_t malformed = 0;
+  const auto records = read_swf(in, &malformed);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].job_number, 1);
+  EXPECT_EQ(records[1].job_number, 3);
+  EXPECT_EQ(records[2].job_number, 5);
+  EXPECT_EQ(malformed, 2u);
+}
+
+TEST(Swf, StreamingSourceMatchesMaterialized) {
+  std::vector<SwfRecord> records(4);
+  for (int i = 0; i < 4; ++i) {
+    auto& r = records[static_cast<std::size_t>(i)];
+    r.job_number = i + 1;
+    r.submit_time = i * 30;
+    r.run_time = 120 + i;
+    r.time_requested = 600;
+    r.procs_requested = 1 << i;
+    r.user_id = i;
+    r.app_number = i;
+    r.status = 1;
+  }
+  std::stringstream buffer;
+  write_swf(buffer, records);
+  const std::string text = buffer.str();
+
+  std::stringstream batch_in(text);
+  const auto batch = jobs_from_swf(read_swf(batch_in), /*app_count=*/3);
+
+  std::stringstream stream_in(text);
+  SwfJobSource source(stream_in, /*app_count=*/3);
+  workload::JobList streamed;
+  while (auto job = source.next()) streamed.push_back(*job);
+
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].id, batch[i].id);
+    EXPECT_EQ(streamed[i].submit_time, batch[i].submit_time);
+    EXPECT_EQ(streamed[i].base_runtime, batch[i].base_runtime);
+    EXPECT_EQ(streamed[i].walltime_limit, batch[i].walltime_limit);
+    EXPECT_EQ(streamed[i].nodes, batch[i].nodes);
+    EXPECT_EQ(streamed[i].app, batch[i].app);
+    EXPECT_EQ(streamed[i].user, batch[i].user);
+  }
+  EXPECT_EQ(source.malformed_lines(), 0u);
+}
+
+TEST(Swf, StreamingSourceSkipsMalformedLines) {
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 5 -1 100\n"  // truncated
+      "3 10 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfJobSource source(in, 0);
+  workload::JobList streamed;
+  while (auto job = source.next()) streamed.push_back(*job);
+  ASSERT_EQ(streamed.size(), 2u);
+  EXPECT_EQ(streamed[0].id, 1);
+  EXPECT_EQ(streamed[1].id, 3);
+  EXPECT_EQ(source.malformed_lines(), 1u);
+}
+
+TEST(Swf, StreamingSourceRequiresSortedTrace) {
+  std::stringstream in(
+      "1 100 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 50 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfJobSource source(in, 0);
+  EXPECT_TRUE(source.next().has_value());
+  EXPECT_THROW(source.next(), Error);  // lazy submission needs sorted input
 }
 
 TEST(Swf, JobsFromSwfBasics) {

@@ -139,6 +139,47 @@ TEST(Generator, StreamArrivalsMatchOfferedLoad) {
   EXPECT_LT(offered, 45.0);
 }
 
+void expect_same_jobs(const JobList& streamed, const JobList& batch) {
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].id, batch[i].id);
+    EXPECT_EQ(streamed[i].user, batch[i].user);
+    EXPECT_EQ(streamed[i].app, batch[i].app);
+    EXPECT_EQ(streamed[i].nodes, batch[i].nodes);
+    EXPECT_EQ(streamed[i].submit_time, batch[i].submit_time);
+    EXPECT_EQ(streamed[i].base_runtime, batch[i].base_runtime);
+    EXPECT_EQ(streamed[i].walltime_limit, batch[i].walltime_limit);
+    EXPECT_EQ(streamed[i].shareable, batch[i].shareable);
+  }
+}
+
+JobList drain(JobSource& source) {
+  JobList jobs;
+  while (auto job = source.next()) jobs.push_back(*job);
+  return jobs;
+}
+
+TEST(Generator, StreamingSourceMatchesBatchCampaign) {
+  const Generator gen(small_params(), trinity());
+  Pcg32 rng(7);
+  const auto batch = gen.generate(rng);
+  GeneratorJobSource source(gen, Pcg32(7));
+  expect_same_jobs(drain(source), batch);
+}
+
+TEST(Generator, StreamingSourceMatchesBatchStream) {
+  GeneratorParams p = small_params();
+  p.arrival = ArrivalMode::kStream;
+  p.offered_load = 0.8;
+  p.diurnal_amplitude = 0.3;  // exercises the thinned-Poisson draw loop
+  p.job_count = 500;
+  const Generator gen(p, trinity());
+  Pcg32 rng(11);
+  const auto batch = gen.generate(rng);
+  GeneratorJobSource source(gen, Pcg32(11));
+  expect_same_jobs(drain(source), batch);
+}
+
 TEST(Generator, AppWeightsRespected) {
   GeneratorParams p = small_params();
   p.app_weights = {1, 0, 0, 0, 0, 0, 0, 0};  // only miniFE

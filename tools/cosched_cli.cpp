@@ -2,10 +2,13 @@
 //
 //   cosched sim      --config FILE [--workload trace.swf]
 //                    [--campaign trinity|membound|compute] [--jobs N]
-//                    [--stream-load RHO] [--seed N]
+//                    [--stream-load RHO] [--seed N] [--stream]
 //                    [--sacct] [--gantt out.csv] [--swf-out out.swf]
 //                    [--json out.json] [--trace out.jsonl]
 //                    [--metrics-json out.json] [--profile]
+//                    # --stream pulls jobs lazily (SWF or generator), so a
+//                    # 100k-job trace never materializes; decisions are
+//                    # identical to the default materialized path
 //   cosched compare  --config FILE [--jobs N] [--seed N] [--csv]
 //                    [--threads N]   # parallel fan-out; output is
 //                                    # identical for every N
@@ -22,6 +25,11 @@
 // The config file is the slurm.conf-style format (see slurmlite/config.hpp);
 // without --config, built-in defaults apply (32 nodes, 2-way SMT,
 // cobackfill).
+//
+// All subcommands accept --event-queue calendar|heap to select the event
+// engine's priority-queue implementation (default calendar). Both pop in
+// the identical order, so results never depend on this; the heap remains
+// as the differential-testing baseline.
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -98,6 +106,26 @@ workload::GeneratorParams campaign_params(const Flags& flags, int nodes) {
   return params;
 }
 
+/// Streaming SWF replay decorates jobs with the catalog's shareable flag,
+/// mirroring what load_or_generate_jobs does after a materialized load.
+class ShareableFromCatalog final : public workload::JobSource {
+ public:
+  ShareableFromCatalog(workload::JobSource& inner,
+                       const apps::Catalog& catalog)
+      : inner_(inner), catalog_(catalog) {}
+  std::optional<workload::Job> next() override {
+    auto job = inner_.next();
+    if (job && job->app >= 0) {
+      job->shareable = catalog_.get(job->app).shareable;
+    }
+    return job;
+  }
+
+ private:
+  workload::JobSource& inner_;
+  const apps::Catalog& catalog_;
+};
+
 workload::JobList load_or_generate_jobs(const Flags& flags,
                                         const apps::Catalog& catalog,
                                         int nodes, std::uint64_t seed) {
@@ -119,8 +147,7 @@ int cmd_sim(const Flags& flags) {
   const auto catalog = apps::Catalog::trinity();
   const auto config = load_config(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const auto jobs =
-      load_or_generate_jobs(flags, catalog, config.nodes, seed);
+  const bool stream = flags.get_bool("stream", false);
 
   obs::Tracer tracer;
   obs::Registry registry;
@@ -137,7 +164,25 @@ int cmd_sim(const Flags& flags) {
   spec.seed = seed;
   if (!trace_path.empty()) spec.controller.tracer = &tracer;
   if (!metrics_path.empty()) spec.controller.registry = &registry;
-  const auto result = slurmlite::run_jobs(spec, catalog, jobs);
+  const auto result = [&] {
+    if (!stream) {
+      const auto jobs =
+          load_or_generate_jobs(flags, catalog, config.nodes, seed);
+      return slurmlite::run_jobs(spec, catalog, jobs);
+    }
+    // Streaming ingestion: jobs are pulled one at a time in arrival order,
+    // so pending state stays O(running) regardless of trace length.
+    const std::string trace_in = flags.get_string("workload", "");
+    if (!trace_in.empty()) {
+      trace::SwfJobSource swf(trace_in, catalog.size());
+      ShareableFromCatalog source(swf, catalog);
+      return slurmlite::run_stream(spec, catalog, source);
+    }
+    const workload::Generator generator(campaign_params(flags, config.nodes),
+                                        catalog);
+    workload::GeneratorJobSource source(generator, Pcg32(seed, 0xc11));
+    return slurmlite::run_stream(spec, catalog, source);
+  }();
 
   if (flags.get_bool("sacct", false)) {
     std::cout << slurmlite::sacct(result.jobs, catalog) << "\n";
@@ -414,6 +459,17 @@ int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
     const Flags flags(argc - 1, argv + 1);
+    if (const std::string queue = flags.get_string("event-queue", "");
+        !queue.empty()) {
+      if (queue == "heap") {
+        sim::set_default_queue_kind(sim::QueueKind::kBinaryHeap);
+      } else if (queue == "calendar") {
+        sim::set_default_queue_kind(sim::QueueKind::kCalendar);
+      } else {
+        throw cosched::Error("unknown --event-queue '" + queue +
+                             "' (want calendar|heap)");
+      }
+    }
     int rc;
     if (command == "sim") {
       rc = cmd_sim(flags);

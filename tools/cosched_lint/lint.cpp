@@ -531,6 +531,31 @@ void scan_std_function(const std::vector<Token>& tokens,
   }
 }
 
+/// The event engine's per-event state must stay flat: a std::map /
+/// std::unordered_map keyed per scheduled or executed event costs a tree
+/// walk or hash-and-chase on the hottest loop in the simulator. src/sim
+/// keeps dense vectors indexed by EventId and pooled slots instead (see
+/// engine.hpp's slot_of_id_). Genuinely cold uses opt out with
+/// `cosched-lint: allow(no-sim-map)`.
+void scan_sim_map(const std::vector<Token>& tokens, const SourceFile& file,
+                  std::vector<Finding>& findings) {
+  if (file.path.find("src/sim/") == std::string::npos) return;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (t.text != "map" && t.text != "unordered_map" &&
+        t.text != "multimap" && t.text != "unordered_multimap") {
+      continue;
+    }
+    if (tokens[i - 1].text != "::" || tokens[i - 2].text != "std") continue;
+    findings.push_back(
+        {file.path, t.line, "no-sim-map",
+         "std::" + t.text + " in src/sim: per-event keyed lookups are "
+         "too slow for the event engine's hot path; use dense vectors "
+         "indexed by EventId/slot (see engine.hpp)"});
+  }
+}
+
 }  // namespace
 
 // --- Public API --------------------------------------------------------------
@@ -589,6 +614,7 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
     scan_raw_thread(tokens, file, local);
     scan_raw_stdio(tokens, file, local);
     scan_std_function(tokens, file, local);
+    scan_sim_map(tokens, file, local);
     for (Finding& f : local) {
       if (!suppressed(file, f.line, f.rule)) {
         findings.push_back(std::move(f));
@@ -625,6 +651,7 @@ const std::vector<std::string>& rule_names() {
       "no-raw-thread",
       "no-raw-stdio",
       "no-std-function",
+      "no-sim-map",
   };
   return names;
 }
