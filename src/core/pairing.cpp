@@ -137,7 +137,10 @@ std::optional<double> CoAllocator::node_admissible(
           last_reason_ = obs::ReasonCode::kDilationCap;
           return std::nullopt;
         }
-        throughput += 1.0 / sd;
+        // Combine order is pinned: slowdowns come back in stress-vector
+        // submission order, and any future parallel split must reduce the
+        // partials in that same order to stay bit-identical.
+        throughput += 1.0 / sd;  // cosched-lint: fixed-combine
       }
       const auto extra_jobs = static_cast<double>(stresses.size() - 1);
       if (throughput < 1.0 + options_.pairing_threshold * extra_jobs) {

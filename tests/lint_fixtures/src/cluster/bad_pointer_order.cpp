@@ -1,0 +1,27 @@
+// Fixture: ordering and hashing on raw pointer values — addresses differ
+// run to run under ASLR, so any order derived from them is
+// nondeterministic.
+#include <cstddef>
+#include <functional>
+
+struct Node {
+  int id = 0;
+  Node* next = nullptr;
+  bool chain_before(const Node& other) const {
+    return next < other.next;  // cosched-lint: expect(pointer-order)
+  }
+};
+
+bool before(const Node* a, const Node* b) {
+  return a < b;  // cosched-lint: expect(pointer-order)
+}
+
+std::size_t hash_by_address(const Node* n) {
+  std::hash<const Node*> h;  // cosched-lint: expect(pointer-order)
+  return h(n);
+}
+
+// Clean: compare the stable id instead of the address.
+bool fine(const Node* a, const Node* b) {
+  return a->id < b->id;
+}

@@ -1,0 +1,39 @@
+// Fixture: floating-point accumulation order in hot-path loops (the
+// fixture path contains src/core/, which marks it hot-path for the
+// float-reduction-order pass).
+#include <vector>
+
+double unpinned(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += x;  // cosched-lint: expect(float-reduction-order)
+  }
+  return acc;
+}
+
+double rewrite_form(const std::vector<double>& xs) {
+  double acc = 1.0;
+  for (double x : xs) {
+    acc = acc * x;  // cosched-lint: expect(float-reduction-order)
+  }
+  return acc;
+}
+
+// Clean: the combine order is documented as pinned.
+double pinned(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += x;  // cosched-lint: fixed-combine
+  }
+  return acc;
+}
+
+// Clean: integer accumulators and loop-local floats are order-safe.
+int fine(const std::vector<int>& xs) {
+  int n = 0;
+  for (int x : xs) {
+    double scaled = static_cast<double>(x) * 0.5;
+    n += scaled > 1.0 ? 1 : 0;
+  }
+  return n;
+}

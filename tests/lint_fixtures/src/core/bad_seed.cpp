@@ -1,0 +1,25 @@
+// Fixture: RNG construction outside the derive_seed discipline. A local
+// Pcg32 stand-in keeps the fixture self-contained; the pass keys on the
+// type name and the literal first constructor argument.
+#include <cstdint>
+#include <random>
+
+struct Pcg32 {
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 1);
+};
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t cell);
+
+void hard_coded_seed() {
+  Pcg32 rng(12345);  // cosched-lint: expect(seed-discipline)
+}
+
+void std_engine() {
+  std::mt19937 gen(7);  // cosched-lint: expect(seed-discipline)
+}
+
+// Clean: the seed flows through derive_seed; the literal stream selector
+// is deliberate and allowed.
+void fine(std::uint64_t base) {
+  Pcg32 rng(derive_seed(base, 3), 7);
+}

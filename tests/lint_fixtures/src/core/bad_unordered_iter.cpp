@@ -10,7 +10,7 @@ double local_iteration() {
   std::unordered_map<int, double> scores = {{1, 0.5}};
   double sum = 0;
   for (const auto& [id, score] : scores) {  // cosched-lint: expect(no-unordered-iteration)
-    sum += static_cast<double>(id) + score;
+    sum += static_cast<double>(id) + score;  // cosched-lint: expect(float-reduction-order)
   }
   return sum;
 }
@@ -18,10 +18,10 @@ double local_iteration() {
 double cross_file_iteration(const Registry& registry) {
   double sum = 0;
   for (const auto& [id, weight] : registry.weights_) {  // cosched-lint: expect(no-unordered-iteration)
-    sum += static_cast<double>(id) * weight;
+    sum += static_cast<double>(id) * weight;  // cosched-lint: expect(float-reduction-order)
   }
   for (long id : registry.seen_) {  // cosched-lint: expect(no-unordered-iteration)
-    sum += static_cast<double>(id);
+    sum += static_cast<double>(id);  // cosched-lint: expect(float-reduction-order)
   }
   return sum;
 }

@@ -1,0 +1,37 @@
+// Fixture: unordered-container iteration order escaping into output sinks
+// (stream inserts and emit()-style calls). The fixture path sits in
+// src/obs/, which is outside the decision path, so only the analyzer's
+// escape pass fires — not the plain no-unordered-iteration lint.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+struct Sink {
+  void emit(int id, double v);
+};
+
+std::string leak_to_stream(const std::unordered_map<int, double>& weights) {
+  std::ostringstream os;
+  for (const auto& [id, w] : weights) {  // cosched-lint: expect(unordered-iteration-escape)
+    os << id << "=" << w << "\n";
+  }
+  return os.str();
+}
+
+void leak_to_emit(Sink& sink,
+                  const std::unordered_map<int, double>& weights) {
+  for (const auto& [id, w] : weights) {  // cosched-lint: expect(unordered-iteration-escape)
+    sink.emit(id, w);
+  }
+}
+
+// Clean: the loop only aggregates an order-insensitive count; the sink
+// fires once, after the loop.
+int fine_count(const std::unordered_map<int, double>& weights, Sink& sink) {
+  int n = 0;
+  for (const auto& [id, w] : weights) {
+    n += id > 0 ? 1 : 0;
+  }
+  sink.emit(n, 0.0);
+  return n;
+}

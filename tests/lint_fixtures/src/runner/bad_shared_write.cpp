@@ -1,0 +1,38 @@
+// Fixture: by-reference lambda captures mutating shared state across
+// ParallelRunner-style cells. The seam names (for_each/map/parallel_for)
+// are what the parallel-shared-write pass keys on.
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename Fn>
+  void for_each(std::size_t count, Fn&& fn);
+};
+
+void shared_accumulate(Pool& pool, std::vector<double>& out) {
+  double total = 0.0;
+  pool.for_each(out.size(), [&](std::size_t cell) {
+    total += out[cell];  // cosched-lint: expect(parallel-shared-write)
+  });
+}
+
+void shared_push(Pool& pool, std::vector<int>& results) {
+  pool.for_each(4, [&](std::size_t cell) {
+    results.push_back(static_cast<int>(cell));  // cosched-lint: expect(parallel-shared-write)
+  });
+}
+
+// Clean: each cell writes only its own slot.
+void per_cell(Pool& pool, std::vector<double>& out) {
+  pool.for_each(out.size(), [&](std::size_t cell) {
+    out[cell] = static_cast<double>(cell) * 2.0;
+  });
+}
+
+// Clean: single-cell ownership proven and annotated.
+void annotated(Pool& pool, std::vector<int>& scratch) {
+  pool.for_each(1, [&](std::size_t cell) {
+    // cosched-lint: cell-local(scratch)
+    scratch.push_back(static_cast<int>(cell));
+  });
+}

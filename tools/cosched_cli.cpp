@@ -21,6 +21,12 @@
 //                    # validate every record through the project JSON
 //                    # parser, summarize, optionally convert to the Chrome
 //                    # trace_event format (about:tracing / Perfetto)
+//   cosched analyze  [paths...] [--format human|json] [--baseline FILE]
+//                    [--write-baseline] [--root DIR]
+//                    # scope-aware determinism & data-race hazard analysis
+//                    # (see tools/cosched_lint/analyze.hpp); default paths
+//                    # are src/ tools/ bench/ under --root (default .).
+//                    # Exit 0 clean, 1 findings, 2 I/O error.
 //
 // The config file is the slurm.conf-style format (see slurmlite/config.hpp);
 // without --config, built-in defaults apply (32 nodes, 2-way SMT,
@@ -37,6 +43,7 @@
 #include <memory>
 #include <sstream>
 
+#include "cosched_lint/driver.hpp"
 #include "metrics/validate.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
@@ -58,8 +65,8 @@ namespace {
 using namespace cosched;
 
 int usage() {
-  std::cerr << "usage: cosched <sim|compare|validate|audit|config|trace> "
-               "[flags]\n"
+  std::cerr << "usage: cosched "
+               "<sim|compare|validate|audit|config|trace|analyze> [flags]\n"
                "run with a subcommand; see the header of tools/cosched_cli"
                ".cpp or README.md for flag details\n";
   return 2;
@@ -452,6 +459,23 @@ int cmd_trace(const Flags& flags) {
   return 0;
 }
 
+/// Static-analysis front door: runs the scope-aware analyzer passes via the
+/// shared driver so `cosched analyze` and `cosched_lint --analyze` emit
+/// byte-identical reports and exit codes.
+int cmd_analyze(const Flags& flags) {
+  lint::AnalyzeOptions opts;
+  opts.format = flags.get_string("format", "human");
+  if (opts.format != "human" && opts.format != "json") {
+    throw Error("unknown --format '" + opts.format + "' (want human|json)");
+  }
+  opts.baseline_path = flags.get_string("baseline", "");
+  opts.write_baseline = flags.get_bool("write-baseline", false);
+  opts.root = flags.get_string("root", ".");
+  opts.targets = flags.positional();
+  if (opts.targets.empty()) opts.targets = lint::default_targets(opts.root);
+  return lint::run_analyze_driver(opts, std::cout, std::cerr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -483,6 +507,8 @@ int main(int argc, char** argv) {
       rc = cmd_config(flags);
     } else if (command == "trace") {
       rc = cmd_trace(flags);
+    } else if (command == "analyze") {
+      rc = cmd_analyze(flags);
     } else {
       return usage();
     }

@@ -1,0 +1,979 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cosched::lint {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// --- Symbol table ------------------------------------------------------------
+
+enum class SymKind { kUnordered, kFloat, kPointer };
+
+/// One scoped declaration. `scope_begin`/`scope_end` are token indices of
+/// the enclosing '{' / '}' (kNone / tokens.size() for file scope); the
+/// symbol is visible from `name_tok` to `scope_end`.
+struct Decl {
+  std::string name;
+  SymKind kind = SymKind::kFloat;
+  std::size_t name_tok = 0;
+  std::size_t scope_begin = kNone;
+  std::size_t scope_end = 0;
+};
+
+/// A file plus everything the passes need: its token stream, bracket-match
+/// table, per-token enclosing brace, and the scoped declarations.
+struct FileModel {
+  const SourceFile* file = nullptr;
+  std::vector<Token> tokens;
+  /// match[i] = index of the bracket matching tokens[i] for () {} [],
+  /// kNone when unmatched or not a bracket.
+  std::vector<std::size_t> match;
+  std::vector<Decl> decls;
+};
+
+bool is_open(const std::string& t) {
+  return t == "(" || t == "{" || t == "[";
+}
+
+std::string closer_of(const std::string& t) {
+  if (t == "(") return ")";
+  if (t == "{") return "}";
+  return "]";
+}
+
+void build_matches(FileModel& m) {
+  m.match.assign(m.tokens.size(), kNone);
+  struct Open {
+    std::size_t idx;
+    std::string close;
+  };
+  std::vector<Open> stack;
+  for (std::size_t i = 0; i < m.tokens.size(); ++i) {
+    const std::string& t = m.tokens[i].text;
+    if (is_open(t)) {
+      stack.push_back({i, closer_of(t)});
+    } else if (t == ")" || t == "}" || t == "]") {
+      // Pop through mismatches (defensive on malformed input) to the
+      // nearest matching opener.
+      while (!stack.empty() && stack.back().close != t) stack.pop_back();
+      if (!stack.empty()) {
+        m.match[stack.back().idx] = i;
+        m.match[i] = stack.back().idx;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+const std::set<std::string>& unordered_types() {
+  static const std::set<std::string> s = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return s;
+}
+
+const std::set<std::string>& decl_qualifiers() {
+  static const std::set<std::string> s = {
+      "const",    "static", "constexpr", "mutable",  "inline",
+      "volatile", "signed", "unsigned",  "long",     "short",
+      "typename", "explicit"};
+  return s;
+}
+
+/// Words that can never be the type of a declaration; guards the decl
+/// scanner against `return *p;`, `throw x;`, etc.
+const std::set<std::string>& non_type_words() {
+  static const std::set<std::string> s = {
+      "return",   "delete",  "new",      "throw",    "else",   "case",
+      "goto",     "break",   "continue", "if",       "while",  "for",
+      "do",       "switch",  "sizeof",   "using",    "namespace",
+      "template", "class",   "struct",   "enum",     "public", "private",
+      "protected", "operator", "default", "true",    "false",  "nullptr",
+      "this",     "co_await", "co_return", "co_yield", "static_assert"};
+  return s;
+}
+
+/// Skips a balanced template argument list starting at the '<' at `j`.
+/// Returns the index just past the closing '>', or kNone when the list
+/// never closes before a ';' (i.e. the '<' was a comparison).
+std::size_t skip_template_args(const std::vector<Token>& tokens,
+                               std::size_t j) {
+  int depth = 0;
+  for (; j < tokens.size(); ++j) {
+    const std::string& t = tokens[j].text;
+    if (t == "<") ++depth;
+    if (t == "<<") depth += 2;
+    if (t == ">") --depth;
+    if (t == ">>") depth -= 2;
+    if (depth <= 0 && (t == ">" || t == ">>")) return j + 1;
+    if (t == ";" && depth > 0) return kNone;
+  }
+  return kNone;
+}
+
+/// Raw-pointer declarations are only recorded when the pointee type is
+/// plausibly a type name (fundamental, project CamelCase, or *_t): this
+/// keeps `f(a * b, c)`-style multiplications out of the symbol table.
+bool pointer_base_plausible(const std::string& base) {
+  static const std::set<std::string> fundamental = {
+      "char", "int", "double", "float", "void", "auto", "bool",
+      "size_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+      "int8_t", "int16_t", "int32_t", "int64_t", "uintptr_t"};
+  if (fundamental.count(base)) return true;
+  if (!base.empty() && std::isupper(static_cast<unsigned char>(base[0]))) {
+    return true;
+  }
+  return base.size() > 2 && base.compare(base.size() - 2, 2, "_t") == 0;
+}
+
+/// Attempts to parse a declaration whose first token is at `i` (already
+/// known to sit at a statement-ish start). On success appends to `decls`.
+void parse_decl_at(FileModel& m, std::size_t i,
+                   const std::vector<std::size_t>& enclosing) {
+  const std::vector<Token>& tokens = m.tokens;
+  std::size_t j = i;
+  while (j < tokens.size() && decl_qualifiers().count(tokens[j].text)) ++j;
+  if (j >= tokens.size() || tokens[j].kind != Token::Kind::kIdent) return;
+  if (non_type_words().count(tokens[j].text)) return;
+  std::string base = tokens[j].text;
+  ++j;
+  // Qualified type name: keep the last component (std::unordered_map -> ...).
+  while (j + 1 < tokens.size() && tokens[j].text == "::" &&
+         tokens[j + 1].kind == Token::Kind::kIdent) {
+    base = tokens[j + 1].text;
+    j += 2;
+  }
+  if (j < tokens.size() && tokens[j].text == "<") {
+    j = skip_template_args(tokens, j);
+    if (j == kNone) return;
+  }
+  bool has_star = false;
+  while (j < tokens.size() &&
+         (tokens[j].text == "*" || tokens[j].text == "&" ||
+          tokens[j].text == "const")) {
+    if (tokens[j].text == "*") has_star = true;
+    ++j;
+  }
+  if (j + 1 >= tokens.size() || tokens[j].kind != Token::Kind::kIdent) return;
+  if (non_type_words().count(tokens[j].text)) return;
+  const std::string& name = tokens[j].text;
+  const std::string& after = tokens[j + 1].text;
+
+  SymKind kind;
+  if (unordered_types().count(base) && !has_star &&
+      (after == ";" || after == "=" || after == "{" || after == "," ||
+       after == ")" || after == ":")) {
+    kind = SymKind::kUnordered;
+  } else if ((base == "double" || base == "float") && !has_star &&
+             (after == ";" || after == "=" || after == "," ||
+              after == ")" || after == "{" || after == ":")) {
+    kind = SymKind::kFloat;
+  } else if (has_star && pointer_base_plausible(base) &&
+             (after == ";" || after == "=" || after == "," ||
+              after == ")" || after == ":")) {
+    kind = SymKind::kPointer;
+  } else {
+    return;
+  }
+  Decl d;
+  d.name = name;
+  d.kind = kind;
+  d.name_tok = j;
+  d.scope_begin = enclosing[j];
+  d.scope_end = d.scope_begin == kNone || m.match[d.scope_begin] == kNone
+                    ? tokens.size()
+                    : m.match[d.scope_begin];
+  m.decls.push_back(std::move(d));
+}
+
+void build_decls(FileModel& m) {
+  const std::vector<Token>& tokens = m.tokens;
+  // enclosing[i] = token index of the innermost '{' containing token i.
+  std::vector<std::size_t> enclosing(tokens.size(), kNone);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    enclosing[i] = stack.empty() ? kNone : stack.back();
+    if (tokens[i].text == "{" && m.match[i] != kNone) stack.push_back(i);
+    if (tokens[i].text == "}" && !stack.empty() &&
+        m.match[stack.back()] == i) {
+      stack.pop_back();
+    }
+  }
+  static const std::set<std::string> starters = {";", "{", "}", "(", ","};
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0 && !starters.count(tokens[i - 1].text)) continue;
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    parse_decl_at(m, i, enclosing);
+  }
+}
+
+/// Innermost declaration of `name` visible at token `at`, or nullptr.
+const Decl* resolve(const FileModel& m, const std::string& name,
+                    std::size_t at) {
+  const Decl* best = nullptr;
+  for (const Decl& d : m.decls) {
+    if (d.name != name) continue;
+    if (d.name_tok > at || at >= d.scope_end) continue;
+    if (best == nullptr || d.name_tok > best->name_tok) best = &d;
+  }
+  return best;
+}
+
+// --- Shared loop / lambda geometry -------------------------------------------
+
+struct LoopInfo {
+  std::size_t keyword = 0;     ///< token index of for/while/do
+  std::size_t header_open = 0; ///< '(' of the header (kNone for do)
+  std::size_t body_begin = 0;  ///< first body token
+  std::size_t body_end = 0;    ///< one past the last body token
+  std::size_t colon = kNone;   ///< range-for ':' inside the header
+};
+
+/// Decodes the loop at token `i` (must be for/while/do). Returns false when
+/// the shape is malformed.
+bool decode_loop(const FileModel& m, std::size_t i, LoopInfo& out) {
+  const std::vector<Token>& tokens = m.tokens;
+  out.keyword = i;
+  out.header_open = kNone;
+  out.colon = kNone;
+  std::size_t after_header;
+  if (tokens[i].text == "do") {
+    after_header = i + 1;
+  } else {
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") return false;
+    out.header_open = i + 1;
+    const std::size_t close = m.match[i + 1];
+    if (close == kNone) return false;
+    // Top-level ':' marks a range-for; a ';' first marks a classic for.
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (tokens[j].text == ";") break;
+      if (tokens[j].text == ":" &&
+          (j == 0 || tokens[j - 1].text != ":")) {
+        // Walk only immediate header depth: accept any ':' not part of '::'.
+        out.colon = j;
+        break;
+      }
+    }
+    after_header = close + 1;
+  }
+  if (after_header >= tokens.size()) return false;
+  if (tokens[after_header].text == "{") {
+    const std::size_t close = m.match[after_header];
+    if (close == kNone) return false;
+    out.body_begin = after_header + 1;
+    out.body_end = close;
+  } else {
+    out.body_begin = after_header;
+    std::size_t j = after_header;
+    int depth = 0;
+    for (; j < tokens.size(); ++j) {
+      if (is_open(tokens[j].text)) ++depth;
+      if (tokens[j].text == ")" || tokens[j].text == "}" ||
+          tokens[j].text == "]") {
+        --depth;
+      }
+      if (tokens[j].text == ";" && depth <= 0) break;
+    }
+    out.body_end = j;
+  }
+  return true;
+}
+
+bool line_has_marker(const SourceFile& file, int line,
+                     const std::string& word) {
+  if (line < 1 || line > static_cast<int>(file.raw.size())) return false;
+  return has_bare_marker(file.raw[static_cast<std::size_t>(line) - 1], word);
+}
+
+// --- Pass: float-reduction-order ---------------------------------------------
+
+bool in_float_hot_path(const std::string& path) {
+  return path.find("src/core/") != std::string::npos ||
+         path.find("src/cluster/") != std::string::npos;
+}
+
+void pass_float_reduction(const FileModel& m, std::vector<Finding>& out) {
+  if (!in_float_hot_path(m.file->path)) return;
+  const std::vector<Token>& tokens = m.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& kw = tokens[i].text;
+    if (kw != "for" && kw != "while" && kw != "do") continue;
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    LoopInfo loop;
+    if (!decode_loop(m, i, loop)) continue;
+    for (std::size_t j = loop.body_begin; j < loop.body_end; ++j) {
+      const std::string& op = tokens[j].text;
+      std::size_t target = kNone;
+      if ((op == "+=" || op == "-=" || op == "*=" || op == "/=") && j > 0 &&
+          tokens[j - 1].kind == Token::Kind::kIdent) {
+        target = j - 1;
+      } else if (op == "=" && j > 0 && j + 2 < tokens.size() &&
+                 tokens[j - 1].kind == Token::Kind::kIdent &&
+                 tokens[j + 1].kind == Token::Kind::kIdent &&
+                 tokens[j + 1].text == tokens[j - 1].text &&
+                 (tokens[j + 2].text == "+" || tokens[j + 2].text == "-" ||
+                  tokens[j + 2].text == "*" || tokens[j + 2].text == "/")) {
+        target = j - 1;  // x = x + ...
+      }
+      if (target == kNone) continue;
+      // Member writes (obj.sum += v) resolve through their object, which
+      // the file-local table cannot see; skip them.
+      if (target > 0 && (tokens[target - 1].text == "." ||
+                         tokens[target - 1].text == "->")) {
+        continue;
+      }
+      const Decl* d = resolve(m, tokens[target].text, target);
+      if (d == nullptr || d->kind != SymKind::kFloat) continue;
+      // Accumulator must predate the loop: loop-local floats (including
+      // range-for bindings in the header) reset every iteration and
+      // cannot leak order across a parallel partition.
+      if (d->name_tok >= loop.keyword) continue;
+      if (line_has_marker(*m.file, tokens[j].line, "fixed-combine") ||
+          line_has_marker(*m.file, tokens[loop.keyword].line,
+                          "fixed-combine")) {
+        continue;
+      }
+      out.push_back(
+          {m.file->path, tokens[j].line, tokens[j].col,
+           "float-reduction-order",
+           "floating-point accumulation into '" + tokens[target].text +
+               "' inside a hot-path loop: FP addition is not associative, "
+               "so any parallel partition of this loop reorders the sum",
+           "pin the combine order and annotate the accumulation with "
+           "// cosched-lint: fixed-combine, or accumulate per partition "
+           "and reduce in a fixed order"});
+    }
+  }
+}
+
+// --- Pass: unordered-iteration-escape ----------------------------------------
+
+const std::set<std::string>& sink_idents() {
+  static const std::set<std::string> s = {
+      "emit",      "write",     "record",   "observe", "trace",
+      "co_decision", "append",  "value",    "digest",  "update",
+      "fold",      "print",     "add_row",  "push_record", "to_json",
+      "write_file"};
+  return s;
+}
+
+void pass_unordered_escape(const FileModel& m,
+                           const std::set<std::string>& unordered_names,
+                           std::vector<Finding>& out) {
+  const std::vector<Token>& tokens = m.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text != "for" || tokens[i].kind != Token::Kind::kIdent) {
+      continue;
+    }
+    LoopInfo loop;
+    if (!decode_loop(m, i, loop)) continue;
+    if (loop.colon == kNone || loop.header_open == kNone) continue;
+    const std::size_t header_close = m.match[loop.header_open];
+    // The iterated expression: any identifier declared (here or in another
+    // file) as an unordered container marks the loop.
+    std::size_t container = kNone;
+    for (std::size_t j = loop.colon + 1; j < header_close; ++j) {
+      if (tokens[j].kind != Token::Kind::kIdent) continue;
+      const Decl* d = resolve(m, tokens[j].text, j);
+      const bool unordered_here =
+          d != nullptr && d->kind == SymKind::kUnordered;
+      if (unordered_here || unordered_names.count(tokens[j].text)) {
+        container = j;
+        break;
+      }
+    }
+    if (container == kNone) continue;
+    // Does the body feed an output/trace/digest sink?
+    std::size_t sink = kNone;
+    for (std::size_t j = loop.body_begin; j < loop.body_end && sink == kNone;
+         ++j) {
+      if (tokens[j].text == "<<") sink = j;
+      if (tokens[j].kind == Token::Kind::kIdent &&
+          sink_idents().count(tokens[j].text) && j + 1 < tokens.size() &&
+          tokens[j + 1].text == "(") {
+        sink = j;
+      }
+    }
+    if (sink == kNone) continue;
+    out.push_back(
+        {m.file->path, tokens[container].line, tokens[container].col,
+         "unordered-iteration-escape",
+         "iteration order of unordered container '" +
+             tokens[container].text + "' escapes into '" +
+             tokens[sink].text +
+             "' — hash order is unspecified, so emitted/digested output "
+             "differs across runs and standard libraries",
+         "iterate a sorted snapshot (copy keys into a vector and sort) or "
+         "switch the container to std::map/std::set"});
+  }
+}
+
+// --- Pass: parallel-shared-write ---------------------------------------------
+
+const std::set<std::string>& seam_idents() {
+  static const std::set<std::string> s = {"for_each", "map", "parallel_for"};
+  return s;
+}
+
+const std::set<std::string>& mutator_methods() {
+  static const std::set<std::string> s = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace",
+      "erase",     "clear",        "resize",   "observe", "inc",
+      "add",       "set",          "merge_from", "record", "append",
+      "fold"};
+  return s;
+}
+
+struct Lambda {
+  bool by_ref = false;                ///< default [&] or any &name capture
+  bool captures_this = false;
+  std::set<std::string> ref_names;    ///< explicit &name captures
+  bool explicit_only = false;         ///< no default capture: only ref_names
+  std::string cell_param;             ///< first parameter name, "" if none
+  std::set<std::string> params;
+  std::size_t intro = 0;              ///< '[' token
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+/// Parses the lambda whose introducer '[' sits at `lb`. Returns false for
+/// shapes that are not lambdas (or have no body).
+bool decode_lambda(const FileModel& m, std::size_t lb, Lambda& out) {
+  const std::vector<Token>& tokens = m.tokens;
+  const std::size_t cap_close = m.match[lb];
+  if (cap_close == kNone) return false;
+  out.intro = lb;
+  bool has_default = false;
+  for (std::size_t j = lb + 1; j < cap_close; ++j) {
+    const std::string& t = tokens[j].text;
+    if (t == "&") {
+      if (j + 1 < cap_close && tokens[j + 1].kind == Token::Kind::kIdent) {
+        out.by_ref = true;
+        out.ref_names.insert(tokens[j + 1].text);
+        ++j;
+      } else {
+        out.by_ref = true;
+        has_default = true;
+      }
+    } else if (t == "=") {
+      has_default = true;
+    } else if (t == "this") {
+      out.captures_this = true;
+    }
+  }
+  out.explicit_only = !has_default;
+  std::size_t j = cap_close + 1;
+  if (j < tokens.size() && tokens[j].text == "(") {
+    const std::size_t pclose = m.match[j];
+    if (pclose == kNone) return false;
+    // Parameter names: the last identifier of each comma chunk at depth 1.
+    std::size_t last_ident = kNone;
+    int depth = 0;
+    for (std::size_t k = j; k <= pclose; ++k) {
+      const std::string& t = tokens[k].text;
+      if (is_open(t)) ++depth;
+      if (t == ")" || t == "}" || t == "]") --depth;
+      if (t == "<") ++depth;  // template args inside parameter types
+      if (t == ">") --depth;
+      if ((t == "," && depth == 1) || k == pclose) {
+        if (last_ident != kNone) {
+          out.params.insert(tokens[last_ident].text);
+          if (out.cell_param.empty()) {
+            out.cell_param = tokens[last_ident].text;
+          }
+          last_ident = kNone;
+        }
+        continue;
+      }
+      if (tokens[k].kind == Token::Kind::kIdent) last_ident = k;
+    }
+    j = pclose + 1;
+  }
+  // Skip specifiers/trailing return up to the body brace.
+  while (j < tokens.size() && tokens[j].text != "{" &&
+         tokens[j].text != ";" && tokens[j].text != ")") {
+    ++j;
+  }
+  if (j >= tokens.size() || tokens[j].text != "{") return false;
+  const std::size_t bclose = m.match[j];
+  if (bclose == kNone) return false;
+  out.body_begin = j + 1;
+  out.body_end = bclose;
+  return true;
+}
+
+/// Walks left from `end_tok` over a member/subscript chain (a.b[i].c) to
+/// its base identifier. Reports whether any subscript index mentions
+/// `cell_param`.
+struct WriteTarget {
+  std::size_t base = kNone;
+  bool cell_indexed = false;
+};
+
+WriteTarget resolve_target(const FileModel& m, std::size_t end_tok,
+                           const std::string& cell_param) {
+  const std::vector<Token>& tokens = m.tokens;
+  WriteTarget out;
+  std::size_t k = end_tok;
+  for (;;) {
+    if (tokens[k].text == "]") {
+      const std::size_t open = m.match[k];
+      if (open == kNone || open == 0) return out;
+      if (!cell_param.empty()) {
+        for (std::size_t q = open + 1; q < k; ++q) {
+          if (tokens[q].kind == Token::Kind::kIdent &&
+              tokens[q].text == cell_param) {
+            out.cell_indexed = true;
+          }
+        }
+      }
+      k = open - 1;
+      continue;
+    }
+    if (tokens[k].kind == Token::Kind::kIdent) {
+      if (k >= 2 && (tokens[k - 1].text == "." ||
+                     tokens[k - 1].text == "->")) {
+        k -= 2;
+        continue;
+      }
+      out.base = k;
+      return out;
+    }
+    return out;  // parenthesised or otherwise opaque target
+  }
+}
+
+/// True when a `cosched-lint: cell-local(name)` annotation covers `name`
+/// between the lambda's first line and `line` inclusive.
+bool cell_local_annotated(const SourceFile& file, int from_line, int line,
+                          const std::string& name) {
+  for (int l = from_line; l <= line; ++l) {
+    if (l < 1 || l > static_cast<int>(file.raw.size())) continue;
+    for (const std::string& n : annotation_rules(
+             file.raw[static_cast<std::size_t>(l) - 1], "cell-local")) {
+      if (n == name || n == "*") return true;
+    }
+  }
+  return false;
+}
+
+void pass_parallel_shared_write(const FileModel& m,
+                                std::vector<Finding>& out) {
+  const std::vector<Token>& tokens = m.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent ||
+        !seam_idents().count(tokens[i].text)) {
+      continue;
+    }
+    // A seam *call*: not a declaration (preceded by a type) and not a
+    // std:: algorithm (preceded by ::). Member calls and free statement
+    // calls qualify.
+    if (i > 0) {
+      const std::string& prev = tokens[i - 1].text;
+      const bool callish = prev == "." || prev == "->" || prev == ";" ||
+                           prev == "{" || prev == "}" || prev == "(" ||
+                           prev == "," || prev == "=";
+      if (!callish) continue;
+    }
+    std::size_t j = i + 1;
+    if (j < tokens.size() && tokens[j].text == "<") {
+      j = skip_template_args(tokens, j);  // pool.map<R>(...)
+      if (j == kNone) continue;
+    }
+    if (j >= tokens.size() || tokens[j].text != "(") continue;
+    const std::size_t call_close = m.match[j];
+    if (call_close == kNone) continue;
+    // Find lambda introducers among the arguments: '[' preceded by ',' or
+    // '(' (subscripts follow an identifier or a closing bracket instead).
+    for (std::size_t lb = j + 1; lb < call_close; ++lb) {
+      if (tokens[lb].text != "[") continue;
+      const std::string& prev = tokens[lb - 1].text;
+      if (prev != "(" && prev != ",") continue;
+      Lambda lam;
+      if (!decode_lambda(m, lb, lam)) continue;
+      if (!lam.by_ref && !lam.captures_this) continue;
+      // Locals declared inside the lambda body are cell-private.
+      std::set<std::string> locals = lam.params;
+      for (const Decl& d : m.decls) {
+        if (d.name_tok > lam.body_begin && d.name_tok < lam.body_end) {
+          locals.insert(d.name);
+        }
+      }
+      const int lambda_line = tokens[lam.intro].line;
+      auto flag = [&](std::size_t op_tok, const WriteTarget& target,
+                      const std::string& how) {
+        if (target.base == kNone || target.cell_indexed) return;
+        const std::string& name = tokens[target.base].text;
+        if (locals.count(name)) return;
+        // With an explicit capture list, names not captured by reference
+        // are copies — mutating a copy is cell-private.
+        if (lam.explicit_only && !lam.ref_names.count(name) &&
+            name != "this") {
+          return;
+        }
+        if (cell_local_annotated(*m.file, lambda_line,
+                                 tokens[op_tok].line, name)) {
+          return;
+        }
+        out.push_back(
+            {m.file->path, tokens[op_tok].line, tokens[op_tok].col,
+             "parallel-shared-write",
+             "lambda handed to runner seam '" + tokens[i].text +
+                 "' captures by reference and " + how + " '" + name +
+                 "', which is shared across cells — a data race once the "
+                 "seam runs on the pool",
+             "give each cell its own slot (index the write by the cell "
+             "argument '" +
+                 (lam.cell_param.empty() ? std::string("<cell>")
+                                         : lam.cell_param) +
+                 "') or, after proving single-cell ownership, annotate "
+                 "// cosched-lint: cell-local(" +
+                 name + ")"});
+      };
+      for (std::size_t k = lam.body_begin; k < lam.body_end; ++k) {
+        const std::string& t = tokens[k].text;
+        const bool assign = t == "=" || t == "+=" || t == "-=" ||
+                            t == "*=" || t == "/=";
+        if (assign && k > lam.body_begin) {
+          const Token& lhs = tokens[k - 1];
+          if (lhs.kind == Token::Kind::kIdent || lhs.text == "]") {
+            flag(k, resolve_target(m, k - 1, lam.cell_param), "writes");
+          }
+          continue;
+        }
+        if (t == "++" || t == "--") {
+          if (k > lam.body_begin &&
+              (tokens[k - 1].kind == Token::Kind::kIdent ||
+               tokens[k - 1].text == "]")) {
+            flag(k, resolve_target(m, k - 1, lam.cell_param), "mutates");
+          } else if (k + 1 < lam.body_end &&
+                     tokens[k + 1].kind == Token::Kind::kIdent) {
+            flag(k, resolve_target(m, k + 1, lam.cell_param), "mutates");
+          }
+          continue;
+        }
+        // Mutating method call on a captured object: shared.push_back(x).
+        if (tokens[k].kind == Token::Kind::kIdent &&
+            mutator_methods().count(t) && k + 1 < lam.body_end &&
+            tokens[k + 1].text == "(" && k >= 2 &&
+            (tokens[k - 1].text == "." || tokens[k - 1].text == "->")) {
+          flag(k, resolve_target(m, k - 2, lam.cell_param),
+               "calls mutator '" + t + "' on");
+        }
+      }
+    }
+  }
+}
+
+// --- Pass: pointer-order -----------------------------------------------------
+
+/// The identifier whose *value* is the right-hand operand of a comparison
+/// starting at token `j`: the last component of any member/subscript chain
+/// (`best->name_tok` compares name_tok, not the pointer best).
+std::size_t rhs_operand_ident(const FileModel& m, std::size_t j) {
+  const std::vector<Token>& tokens = m.tokens;
+  if (j >= tokens.size() || tokens[j].kind != Token::Kind::kIdent) {
+    return kNone;
+  }
+  for (;;) {
+    if (j + 2 < tokens.size() &&
+        (tokens[j + 1].text == "->" || tokens[j + 1].text == ".") &&
+        tokens[j + 2].kind == Token::Kind::kIdent) {
+      j += 2;
+      continue;
+    }
+    if (j + 1 < tokens.size() && tokens[j + 1].text == "[" &&
+        m.match[j + 1] != kNone) {
+      j = m.match[j + 1];  // lands on ']'; the loop below ends the chain
+      if (j + 2 < tokens.size() &&
+          (tokens[j + 1].text == "->" || tokens[j + 1].text == ".") &&
+          tokens[j + 2].kind == Token::Kind::kIdent) {
+        j += 2;
+        continue;
+      }
+      return kNone;  // arr[i] as operand: element, not the array pointer
+    }
+    return j;
+  }
+}
+
+void pass_pointer_order(const FileModel& m, std::vector<Finding>& out) {
+  const std::vector<Token>& tokens = m.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    const bool relational =
+        t == "<" || t == ">" || t == "<=" || t == ">=";
+    if (relational && i > 0 && i + 1 < tokens.size()) {
+      const Token* side = nullptr;
+      // Left operand: an identifier directly before the operator is already
+      // the last component of its chain. Right operand: walk the chain
+      // forward to its last component.
+      for (std::size_t s : {i - 1, rhs_operand_ident(m, i + 1)}) {
+        if (s == kNone || tokens[s].kind != Token::Kind::kIdent) continue;
+        // Member chains resolve through their last component (Node* next;
+        // used as node->next inside the class scope).
+        const Decl* d = resolve(m, tokens[s].text, s);
+        if (d != nullptr && d->kind == SymKind::kPointer) {
+          side = &tokens[s];
+          break;
+        }
+      }
+      if (side != nullptr) {
+        out.push_back(
+            {m.file->path, tokens[i].line, tokens[i].col, "pointer-order",
+             "ordering comparison on raw pointer '" + side->text +
+                 "': pointer values differ run to run under ASLR, so any "
+                 "order or branch derived from them is nondeterministic",
+             "compare a stable key instead (JobId/NodeId or an explicit "
+             "sequence number)"});
+      }
+      continue;
+    }
+    // std::hash<T*> / std::less<T*>: hashing or ordering by address.
+    if ((t == "hash" || t == "less") &&
+        tokens[i].kind == Token::Kind::kIdent && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "<") {
+      const std::size_t end = skip_template_args(tokens, i + 1);
+      if (end == kNone) continue;
+      for (std::size_t j = i + 2; j + 1 < end; ++j) {
+        if (tokens[j].text == "*") {
+          out.push_back(
+              {m.file->path, tokens[i].line, tokens[i].col, "pointer-order",
+               "std::" + t + " over a raw pointer type: addresses vary "
+               "run to run under ASLR, so hash/order derived from them "
+               "is nondeterministic",
+               "key the container by a stable id instead of a pointer"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- Pass: seed-discipline ---------------------------------------------------
+
+const std::set<std::string>& std_engines() {
+  static const std::set<std::string> s = {
+      "mt19937",      "mt19937_64",  "minstd_rand", "minstd_rand0",
+      "default_random_engine",       "ranlux24",    "ranlux48",
+      "ranlux24_base", "ranlux48_base", "knuth_b"};
+  return s;
+}
+
+void pass_seed_discipline(const FileModel& m, std::vector<Finding>& out) {
+  const std::string& path = m.file->path;
+  // The engine implementation itself constructs from raw state.
+  if (path.find("util/rng.") != std::string::npos) return;
+  const std::vector<Token>& tokens = m.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    const bool member_access =
+        i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->");
+    if (std_engines().count(t.text) && !member_access) {
+      out.push_back(
+          {path, t.line, t.col, "seed-discipline",
+           "std::" + t.text + " bypasses the project RNG: <random> engine "
+           "streams are not derivable per cell, so sweeps lose paired-seed "
+           "comparability",
+           "use cosched::Pcg32 (util/rng.hpp) seeded via "
+           "derive_seed(base, cell)"});
+      continue;
+    }
+    if (t.text != "Pcg32" || member_access) continue;
+    // Construction forms: `Pcg32 name(args)`, `Pcg32 name{args}`, and the
+    // temporary `Pcg32(args)` / `Pcg32{args}`.
+    std::size_t open = kNone;
+    if (i + 1 < tokens.size() &&
+        (tokens[i + 1].text == "(" || tokens[i + 1].text == "{")) {
+      open = i + 1;
+    } else if (i + 2 < tokens.size() &&
+               tokens[i + 1].kind == Token::Kind::kIdent &&
+               (tokens[i + 2].text == "(" || tokens[i + 2].text == "{")) {
+      open = i + 2;
+    }
+    if (open == kNone || m.match[open] == kNone) continue;
+    if (m.match[open] == open + 1) continue;  // empty args: default ctor/decl
+    const Token& first_arg = tokens[open + 1];
+    // A literal first argument is a hard-coded seed. Seeds must flow from
+    // derive_seed()/an upstream seed variable so sweeps stay comparable;
+    // stream selectors (later arguments) may be literal by design.
+    if (first_arg.kind == Token::Kind::kNumber) {
+      out.push_back(
+          {path, first_arg.line, first_arg.col, "seed-discipline",
+           "Pcg32 constructed from the hard-coded seed literal " +
+               first_arg.text + ": low-entropy fixed seeds decorrelate "
+               "nothing and break paired-seed sweep comparisons",
+           "derive the seed: Pcg32(derive_seed(base, cell), stream) or "
+           "thread the experiment's --seed through"});
+    }
+  }
+}
+
+// --- Cross-file unordered name collection ------------------------------------
+
+std::set<std::string> collect_unordered_names(
+    const std::vector<FileModel>& models) {
+  std::set<std::string> names;
+  for (const FileModel& m : models) {
+    for (const Decl& d : m.decls) {
+      if (d.kind == SymKind::kUnordered) names.insert(d.name);
+    }
+  }
+  return names;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Public API --------------------------------------------------------------
+
+std::vector<Finding> run_analyze(const std::vector<SourceFile>& files) {
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const SourceFile& file : files) {
+    FileModel m;
+    m.file = &file;
+    m.tokens = tokenize(file.code);
+    build_matches(m);
+    build_decls(m);
+    models.push_back(std::move(m));
+  }
+  const std::set<std::string> unordered_names =
+      collect_unordered_names(models);
+
+  std::vector<Finding> findings;
+  for (const FileModel& m : models) {
+    std::vector<Finding> local;
+    pass_unordered_escape(m, unordered_names, local);
+    pass_parallel_shared_write(m, local);
+    pass_float_reduction(m, local);
+    pass_pointer_order(m, local);
+    pass_seed_discipline(m, local);
+    for (Finding& f : local) {
+      if (!suppressed(*m.file, f.line, f.rule)) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  sort_findings(findings);
+  return findings;
+}
+
+const std::vector<std::string>& analyze_rule_names() {
+  static const std::vector<std::string> names = {
+      "unordered-iteration-escape",
+      "parallel-shared-write",
+      "float-reduction-order",
+      "pointer-order",
+      "seed-discipline",
+  };
+  return names;
+}
+
+std::string finding_key(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ":" << f.col << " " << f.rule;
+  return os.str();
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open baseline " + path);
+  Baseline b;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    b.keys.insert(line.substr(start));
+  }
+  return b;
+}
+
+std::string baseline_text(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& f : findings) keys.insert(finding_key(f));
+  std::ostringstream os;
+  os << "# cosched analyze baseline: grandfathered findings, one key per "
+        "line.\n"
+     << "# Regenerate with: cosched_lint --analyze --write-baseline "
+        "<this file>\n";
+  for (const std::string& k : keys) os << k << "\n";
+  return os.str();
+}
+
+BaselineSplit apply_baseline(const std::vector<Finding>& findings,
+                             const Baseline& baseline) {
+  BaselineSplit split;
+  std::set<std::string> hit;
+  for (const Finding& f : findings) {
+    const std::string key = finding_key(f);
+    if (baseline.keys.count(key)) {
+      ++split.baselined;
+      hit.insert(key);
+    } else {
+      split.fresh.push_back(f);
+    }
+  }
+  for (const std::string& k : baseline.keys) {
+    if (!hit.count(k)) split.stale.push_back(k);
+  }
+  return split;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t baselined, std::size_t files) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"tool\": \"cosched-analyze\",\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"files_scanned\": " << files << ",\n"
+     << "  \"baselined\": " << baselined << ",\n"
+     << "  \"finding_count\": " << findings.size() << ",\n"
+     << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"file\": \"" << json_escape(f.file) << "\", "
+       << "\"line\": " << f.line << ", "
+       << "\"col\": " << f.col << ", "
+       << "\"rule\": \"" << json_escape(f.rule) << "\", "
+       << "\"message\": \"" << json_escape(f.message) << "\", "
+       << "\"hint\": \"" << json_escape(f.hint) << "\"}";
+  }
+  os << (findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+}  // namespace cosched::lint

@@ -1,0 +1,91 @@
+// cosched analyze: scope-aware determinism & data-race hazard analysis.
+//
+// Where lint.hpp's rules are single-token pattern bans, the analyzer builds
+// a per-file symbol table (scoped declarations of unordered containers,
+// floating-point variables, raw pointers, and RNG engines) from the shared
+// token stream and runs cross-line passes over loop bodies, lambda bodies,
+// and call sites. These are the hazard classes that break bit-identical
+// decisions the moment mutation moves into a parallel pass (ROADMAP item 1:
+// deterministic intra-pass parallelism over the CoAllocator scoring loop):
+//
+//   unordered-iteration-escape  iterating an unordered container inside a
+//                               loop whose body feeds an emit/trace/digest
+//                               sink — hash order leaks into output
+//   parallel-shared-write       a lambda handed to a ParallelRunner seam
+//                               (for_each/map/parallel_for) captures by
+//                               reference and mutates the capture without
+//                               per-cell ownership (write indexed by the
+//                               cell argument, or a cell-local(<name>)
+//                               annotation)
+//   float-reduction-order       floating-point accumulation in a loop in
+//                               the src/core / src/cluster hot paths
+//                               without a `fixed-combine` annotation —
+//                               FP addition is not associative, so a
+//                               parallel partition reorders the sum
+//   pointer-order               ordering, hashing, or branching on raw
+//                               pointer values — ASLR makes them differ
+//                               run to run
+//   seed-discipline             RNG engines seeded from hard-coded
+//                               literals instead of derive_seed()/an
+//                               upstream seed, and <random> engines that
+//                               bypass cosched::Pcg32 entirely
+//
+// Annotation grammar (shared marker `// cosched-lint:`, see token.hpp):
+//   allow(<rule>)        silence a finding on this line
+//   fixed-combine        this accumulation's combine order is pinned
+//                        (placed on the accumulation or loop-header line)
+//   cell-local(<name>)   the named by-reference capture is owned by one
+//                        cell (placed on or after the lambda's first line)
+//
+// Grandfathered findings live in a checked-in baseline (one finding key
+// per line); `--write-baseline` regenerates it, and only unbaselined
+// findings fail the CI gate.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token.hpp"
+
+namespace cosched::lint {
+
+/// Runs every analyzer pass over the file set. Findings are sorted by
+/// (file, line, col, rule); `allow()`-suppressed findings are dropped.
+std::vector<Finding> run_analyze(const std::vector<SourceFile>& files);
+
+const std::vector<std::string>& analyze_rule_names();
+
+/// Stable identity of a finding for baselines: "file:line:col rule".
+std::string finding_key(const Finding& f);
+
+/// A checked-in set of grandfathered finding keys. Lines are finding keys;
+/// blank lines and '#' comments are ignored.
+struct Baseline {
+  std::set<std::string> keys;
+};
+
+/// Throws std::runtime_error on I/O error.
+Baseline load_baseline(const std::string& path);
+
+/// Serializes `findings` as baseline text (sorted keys, trailing newline).
+std::string baseline_text(const std::vector<Finding>& findings);
+
+/// Splits `findings` into fresh (not in baseline) findings, counting the
+/// baselined ones, and reports baseline keys that no longer match any
+/// finding (stale entries a maintainer should prune).
+struct BaselineSplit {
+  std::vector<Finding> fresh;
+  std::size_t baselined = 0;
+  std::vector<std::string> stale;
+};
+BaselineSplit apply_baseline(const std::vector<Finding>& findings,
+                             const Baseline& baseline);
+
+/// The findings as one deterministic JSON document (findings sorted, keys
+/// in fixed order, no timestamps) — byte-identical across runs on the same
+/// tree.
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t baselined, std::size_t files);
+
+}  // namespace cosched::lint

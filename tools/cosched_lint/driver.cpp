@@ -1,0 +1,174 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "analyze.hpp"
+
+namespace fs = std::filesystem;
+
+namespace cosched::lint {
+
+namespace {
+
+bool has_source_extension(const fs::path& path) {
+  static const std::set<std::string> kExtensions = {
+      ".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".hxx"};
+  return kExtensions.count(path.extension().string()) > 0;
+}
+
+bool skip_path(const std::string& generic, bool include_fixtures) {
+  if (generic.find("/.git/") != std::string::npos) return true;
+  if (generic.find("/build") != std::string::npos) return true;
+  if (!include_fixtures &&
+      generic.find("lint_fixtures") != std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> collect_sources(const std::string& target,
+                                         bool include_fixtures) {
+  std::vector<std::string> out;
+  const fs::path root(target);
+  if (fs::is_regular_file(root)) {
+    out.push_back(root.generic_string());
+    return out;
+  }
+  if (fs::is_directory(root)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string generic = entry.path().generic_string();
+      if (skip_path(generic, include_fixtures)) continue;
+      if (has_source_extension(entry.path())) out.push_back(generic);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<SourceFile> load_sources(const std::vector<std::string>& paths) {
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    files.push_back(load_source(path));
+  }
+  return files;
+}
+
+std::vector<std::string> default_targets(const std::string& root) {
+  std::vector<std::string> targets;
+  for (const char* sub : {"src", "tools", "bench"}) {
+    const fs::path p = fs::path(root) / sub;
+    if (fs::exists(p)) targets.push_back(p.generic_string());
+  }
+  return targets;
+}
+
+void print_findings(std::ostream& out,
+                    const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line;
+    if (f.col > 0) out << ":" << f.col;
+    out << ": [" << f.rule << "] " << f.message << "\n";
+    if (!f.hint.empty()) out << "    hint: " << f.hint << "\n";
+  }
+}
+
+int run_analyze_driver(const AnalyzeOptions& opts, std::ostream& out,
+                       std::ostream& err) {
+  try {
+    std::vector<std::string> paths;
+    for (const std::string& target : opts.targets) {
+      const auto collected =
+          collect_sources(target, /*include_fixtures=*/false);
+      paths.insert(paths.end(), collected.begin(), collected.end());
+    }
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+    if (paths.empty()) {
+      err << "cosched analyze: no source files to scan\n";
+      return kExitError;
+    }
+
+    // Report paths relative to the root so findings (and so baseline keys
+    // and the JSON report) do not depend on how the scan was invoked.
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    for (const std::string& path : paths) {
+      SourceFile file = load_source(path);
+      file.path = fs::proximate(fs::path(path), fs::path(opts.root))
+                      .generic_string();
+      files.push_back(std::move(file));
+    }
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                return a.path < b.path;
+              });
+
+    const std::vector<Finding> findings = run_analyze(files);
+
+    if (opts.write_baseline) {
+      if (opts.baseline_path.empty()) {
+        err << "cosched analyze: --write-baseline needs --baseline FILE\n";
+        return kExitError;
+      }
+      std::ofstream bout(opts.baseline_path);
+      if (!bout) {
+        err << "cosched analyze: cannot write baseline "
+            << opts.baseline_path << "\n";
+        return kExitError;
+      }
+      bout << baseline_text(findings);
+      err << "cosched analyze: wrote " << findings.size()
+          << " finding key(s) to " << opts.baseline_path << "\n";
+      return kExitClean;
+    }
+
+    BaselineSplit split;
+    if (!opts.baseline_path.empty()) {
+      split = apply_baseline(findings, load_baseline(opts.baseline_path));
+    } else {
+      split.fresh = findings;
+    }
+
+    if (opts.format == "json") {
+      out << findings_to_json(split.fresh, split.baselined, paths.size());
+    } else {
+      print_findings(out, split.fresh);
+      if (!split.fresh.empty()) {
+        out << split.fresh.size() << " finding(s) in " << paths.size()
+            << " scanned file(s)";
+        if (split.baselined > 0) {
+          out << " (+" << split.baselined << " baselined)";
+        }
+        out << "; see tools/cosched_lint/analyze.hpp for the annotation "
+               "grammar\n";
+      } else {
+        out << "cosched analyze: " << paths.size() << " file(s) clean";
+        if (split.baselined > 0) {
+          out << " (" << split.baselined << " baselined finding(s))";
+        }
+        out << "\n";
+      }
+    }
+    for (const std::string& stale : split.stale) {
+      err << "cosched analyze: stale baseline entry (no longer produced): "
+          << stale << "\n";
+    }
+    const bool failed = !split.fresh.empty() || !split.stale.empty();
+    return failed ? kExitFindings : kExitClean;
+  } catch (const std::exception& e) {
+    err << "cosched analyze: " << e.what() << "\n";
+    return kExitError;
+  }
+}
+
+}  // namespace cosched::lint

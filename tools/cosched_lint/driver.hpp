@@ -1,0 +1,58 @@
+// Shared driver for the analyzer: file collection, report formatting, and
+// the baseline workflow. Used by both the standalone cosched_lint binary
+// (--analyze) and the `cosched analyze` CLI subcommand, so both entry
+// points produce byte-identical reports and exit codes.
+//
+// Exit-code contract (kExitClean/kExitFindings/kExitError):
+//   0  no unbaselined findings
+//   1  unbaselined findings (or stale baseline entries)
+//   2  I/O or usage error (unreadable file, bad baseline path, no input)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "token.hpp"
+
+namespace cosched::lint {
+
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitFindings = 1;
+inline constexpr int kExitError = 2;
+
+/// Recursively collects .cpp/.cc/.cxx/.hpp/.hh/.h/.hxx files under
+/// `target` (or `target` itself when it is a regular file), skipping
+/// .git/, build trees, and — unless `include_fixtures` — lint_fixtures/.
+/// The result is sorted and deduplicated for deterministic reports.
+std::vector<std::string> collect_sources(const std::string& target,
+                                         bool include_fixtures);
+
+/// Loads every path; throws std::runtime_error on the first I/O error.
+std::vector<SourceFile> load_sources(const std::vector<std::string>& paths);
+
+/// Default scan targets under `root`: src/, tools/, bench/ when present.
+std::vector<std::string> default_targets(const std::string& root);
+
+/// Human-readable report: one "file:line:col: [rule] message" block per
+/// finding with the fix-it hint indented beneath it.
+void print_findings(std::ostream& out, const std::vector<Finding>& findings);
+
+struct AnalyzeOptions {
+  std::vector<std::string> targets;  ///< files or directories to scan
+  /// Reported paths (and so baseline keys and JSON) are relative to this
+  /// directory, so reports are byte-identical whether the scan was invoked
+  /// with relative or absolute targets.
+  std::string root = ".";
+  std::string format = "human";      ///< "human" or "json"
+  std::string baseline_path;         ///< "" = no baseline
+  bool write_baseline = false;       ///< regenerate baseline_path instead
+};
+
+/// Runs the analyzer passes over the collected targets, applies the
+/// baseline, and writes the report to `out` (diagnostics to `err`).
+/// Returns kExitClean/kExitFindings/kExitError; never throws.
+int run_analyze_driver(const AnalyzeOptions& opts, std::ostream& out,
+                       std::ostream& err);
+
+}  // namespace cosched::lint

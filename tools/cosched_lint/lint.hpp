@@ -15,16 +15,22 @@
 //   no-float-equality        == / != against a floating-point literal
 //   no-using-namespace-std   `using namespace std` in a header
 //   include-guard            header lacks #pragma once (or a classic guard)
+//   no-raw-thread            bare std::thread outside src/runner/
 //   no-raw-stdio             std::cerr / printf-family calls in src/
 //                            outside src/util/log and src/obs/ (use the
 //                            COSCHED_WARN/COSCHED_ERROR macros or an obs/
 //                            sink; snprintf formats, so it stays legal)
+//   no-std-function          std::function in src/sim and src/core hot paths
+//   no-sim-map               std::map/unordered_map keyed per event in src/sim
 //
 // A finding on a line is silenced by a trailing
 //   // cosched-lint: allow(<rule>[, <rule>...])    (or allow(*))
 // comment on that same line. Fixture files for the self-test declare the
 // findings they must produce with
 //   // cosched-lint: expect(<rule>)
+//
+// The deeper scope-aware passes (symbol table + cross-line data flow) live
+// in analyze.hpp and run under `cosched analyze` / `cosched_lint --analyze`.
 //
 // The tool is standalone (no cosched library dependencies) so it can lint
 // the very code that implements the simulator.
@@ -33,47 +39,15 @@
 #include <string>
 #include <vector>
 
+#include "token.hpp"
+
 namespace cosched::lint {
-
-struct Finding {
-  std::string file;
-  int line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-};
-
-/// A source file prepared for scanning: `raw` is the text as written
-/// (suppression and expectation comments are read from here); `code` has
-/// comments and string/character literals blanked out, preserving line
-/// and column positions.
-struct SourceFile {
-  std::string path;
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-};
-
-bool is_header(const std::string& path);
-/// True for the directories whose iteration order feeds scheduling
-/// decisions: src/core/, src/sim/, src/slurmlite/.
-bool in_decision_path(const std::string& path);
-
-/// Reads and preprocesses one file. Throws std::runtime_error on I/O error.
-SourceFile load_source(const std::string& path);
 
 /// Lints the whole file set. A single call sees every file so that
 /// unordered containers declared in one file (a header) are recognised
 /// when iterated in another (its .cpp). Findings are sorted by
-/// (file, line, rule); suppressed findings are dropped.
+/// (file, line, col, rule); suppressed findings are dropped.
 std::vector<Finding> run_lint(const std::vector<SourceFile>& files);
-
-/// A `cosched-lint: expect(<rule>)` annotation in a fixture file.
-struct Expectation {
-  std::string file;
-  int line = 0;
-  std::string rule;
-};
-
-std::vector<Expectation> expectations(const SourceFile& file);
 
 const std::vector<std::string>& rule_names();
 

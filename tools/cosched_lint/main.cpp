@@ -1,80 +1,50 @@
 // cosched_lint command-line driver.
 //
-//   cosched_lint [--root DIR] [paths...]   lint src/ tools/ bench/ under
-//                                          DIR (default .), or the given
-//                                          files/directories; exit 1 on
-//                                          findings
-//   cosched_lint --self-test DIR           scan fixture files under DIR and
-//                                          verify the produced findings
-//                                          match their expect() annotations
-//   cosched_lint --list-rules              print the rule names
+//   cosched_lint [--root DIR] [paths...]     lint src/ tools/ bench/ under
+//                                            DIR (default .), or the given
+//                                            files/directories
+//   cosched_lint --analyze [opts] [paths...] run the scope-aware analyzer
+//                                            passes instead of the lint
+//     --format human|json                    report format (json is
+//                                            byte-deterministic)
+//     --baseline FILE                        subtract grandfathered findings
+//     --write-baseline                       regenerate FILE from the
+//                                            current findings
+//   cosched_lint --self-test DIR             scan fixtures under DIR with
+//                                            lint AND analyzer, verify the
+//                                            union matches the expect()
+//                                            annotations
+//   cosched_lint --check-docs FILE           verify every rule name is
+//                                            documented in FILE
+//   cosched_lint --list-rules                print lint + analyzer rules
+//
+// Exit codes: 0 clean, 1 findings/mismatches, 2 I/O or usage error.
 #include <algorithm>
-#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "analyze.hpp"
+#include "driver.hpp"
 #include "lint.hpp"
 
-namespace fs = std::filesystem;
 using cosched::lint::Finding;
 using cosched::lint::SourceFile;
 
 namespace {
 
-bool has_source_extension(const fs::path& path) {
-  static const std::set<std::string> kExtensions = {
-      ".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".hxx"};
-  return kExtensions.count(path.extension().string()) > 0;
-}
-
-bool skip_path(const std::string& generic, bool include_fixtures) {
-  if (generic.find("/.git/") != std::string::npos) return true;
-  if (generic.find("/build") != std::string::npos) return true;
-  if (!include_fixtures &&
-      generic.find("lint_fixtures") != std::string::npos) {
-    return true;
-  }
-  return false;
-}
-
-std::vector<std::string> collect(const std::string& target,
-                                 bool include_fixtures) {
-  std::vector<std::string> out;
-  const fs::path root(target);
-  if (fs::is_regular_file(root)) {
-    out.push_back(root.generic_string());
-    return out;
-  }
-  if (!fs::is_directory(root)) return out;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string generic = entry.path().generic_string();
-    if (skip_path(generic, include_fixtures)) continue;
-    if (has_source_extension(entry.path())) out.push_back(generic);
-  }
-  return out;
-}
-
-std::vector<SourceFile> load_all(const std::vector<std::string>& paths) {
-  std::vector<SourceFile> files;
-  files.reserve(paths.size());
-  for (const std::string& path : paths) {
-    files.push_back(cosched::lint::load_source(path));
-  }
-  return files;
-}
-
 int run_self_test(const std::string& dir) {
-  std::vector<std::string> paths = collect(dir, /*include_fixtures=*/true);
-  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> paths =
+      cosched::lint::collect_sources(dir, /*include_fixtures=*/true);
   if (paths.empty()) {
     std::cerr << "cosched_lint: no fixture files under " << dir << "\n";
-    return 2;
+    return cosched::lint::kExitError;
   }
-  const std::vector<SourceFile> files = load_all(paths);
+  const std::vector<SourceFile> files = cosched::lint::load_sources(paths);
 
   using Key = std::tuple<std::string, int, std::string>;  // file, line, rule
   std::set<Key> expected;
@@ -83,8 +53,13 @@ int run_self_test(const std::string& dir) {
       expected.insert({e.file, e.line, e.rule});
     }
   }
+  // The lint rules and the analyzer passes have disjoint rule names, so
+  // their findings can be matched against one expectation pool.
   std::set<Key> produced;
   for (const Finding& f : cosched::lint::run_lint(files)) {
+    produced.insert({f.file, f.line, f.rule});
+  }
+  for (const Finding& f : cosched::lint::run_analyze(files)) {
     produced.insert({f.file, f.line, f.rule});
   }
 
@@ -107,40 +82,74 @@ int run_self_test(const std::string& dir) {
   if (mismatches > 0) {
     std::cerr << "cosched_lint self-test FAILED: " << mismatches
               << " mismatch(es)\n";
-    return 1;
+    return cosched::lint::kExitFindings;
   }
   std::cout << "cosched_lint self-test OK: " << expected.size()
             << " expected finding(s) matched across " << files.size()
             << " fixture file(s)\n";
-  return 0;
+  return cosched::lint::kExitClean;
 }
 
-int run_tree(const std::vector<std::string>& targets) {
+std::vector<std::string> all_rule_names() {
+  std::vector<std::string> rules = cosched::lint::rule_names();
+  const auto& analyze = cosched::lint::analyze_rule_names();
+  rules.insert(rules.end(), analyze.begin(), analyze.end());
+  return rules;
+}
+
+/// Every rule name must appear verbatim in the documentation file, so the
+/// rule set and DESIGN.md cannot drift apart silently.
+int run_check_docs(const std::string& doc_path) {
+  std::ifstream in(doc_path);
+  if (!in) {
+    std::cerr << "cosched_lint: cannot open " << doc_path << "\n";
+    return cosched::lint::kExitError;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  int missing = 0;
+  for (const std::string& rule : all_rule_names()) {
+    if (doc.find(rule) == std::string::npos) {
+      ++missing;
+      std::cerr << "UNDOCUMENTED rule [" << rule << "] not found in "
+                << doc_path << "\n";
+    }
+  }
+  if (missing > 0) {
+    std::cerr << "cosched_lint docs check FAILED: " << missing
+              << " undocumented rule(s)\n";
+    return cosched::lint::kExitFindings;
+  }
+  std::cout << "cosched_lint docs check OK: " << all_rule_names().size()
+            << " rule(s) documented in " << doc_path << "\n";
+  return cosched::lint::kExitClean;
+}
+
+int run_lint_tree(const std::vector<std::string>& targets) {
   std::vector<std::string> paths;
   for (const std::string& target : targets) {
-    const auto collected = collect(target, /*include_fixtures=*/false);
+    const auto collected =
+        cosched::lint::collect_sources(target, /*include_fixtures=*/false);
     paths.insert(paths.end(), collected.begin(), collected.end());
   }
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
   if (paths.empty()) {
     std::cerr << "cosched_lint: no source files to scan\n";
-    return 2;
+    return cosched::lint::kExitError;
   }
   const std::vector<Finding> findings =
-      cosched::lint::run_lint(load_all(paths));
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  }
+      cosched::lint::run_lint(cosched::lint::load_sources(paths));
+  cosched::lint::print_findings(std::cout, findings);
   if (!findings.empty()) {
     std::cout << findings.size() << " finding(s) in " << paths.size()
               << " scanned file(s); silence intentional uses with "
                  "// cosched-lint: allow(<rule>)\n";
-    return 1;
+    return cosched::lint::kExitFindings;
   }
   std::cout << "cosched_lint: " << paths.size() << " file(s) clean\n";
-  return 0;
+  return cosched::lint::kExitClean;
 }
 
 }  // namespace
@@ -148,6 +157,9 @@ int run_tree(const std::vector<std::string>& targets) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string self_test_dir;
+  std::string check_docs_path;
+  bool analyze = false;
+  cosched::lint::AnalyzeOptions opts;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -157,7 +169,7 @@ int main(int argc, char** argv) {
       }
       if (i + 1 >= argc) {
         std::cerr << "cosched_lint: " << flag << " needs a value\n";
-        std::exit(2);
+        std::exit(cosched::lint::kExitError);
       }
       return argv[++i];
     };
@@ -165,18 +177,35 @@ int main(int argc, char** argv) {
       root = value("--root");
     } else if (arg == "--self-test" || arg.rfind("--self-test=", 0) == 0) {
       self_test_dir = value("--self-test");
+    } else if (arg == "--check-docs" || arg.rfind("--check-docs=", 0) == 0) {
+      check_docs_path = value("--check-docs");
+    } else if (arg == "--analyze") {
+      analyze = true;
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      opts.format = value("--format");
+      if (opts.format != "human" && opts.format != "json") {
+        std::cerr << "cosched_lint: --format must be human or json\n";
+        return cosched::lint::kExitError;
+      }
+    } else if (arg == "--baseline" || arg.rfind("--baseline=", 0) == 0) {
+      opts.baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      opts.write_baseline = true;
     } else if (arg == "--list-rules") {
-      for (const std::string& rule : cosched::lint::rule_names()) {
+      for (const std::string& rule : all_rule_names()) {
         std::cout << rule << "\n";
       }
-      return 0;
+      return cosched::lint::kExitClean;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: cosched_lint [--root DIR] [paths...] | "
-                   "--self-test DIR | --list-rules\n";
-      return 0;
+      std::cout << "usage: cosched_lint [--root DIR] [paths...]\n"
+                   "       cosched_lint --analyze [--format human|json] "
+                   "[--baseline FILE [--write-baseline]] [paths...]\n"
+                   "       cosched_lint --self-test DIR | --check-docs FILE "
+                   "| --list-rules\n";
+      return cosched::lint::kExitClean;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "cosched_lint: unknown flag " << arg << "\n";
-      return 2;
+      return cosched::lint::kExitError;
     } else {
       positional.push_back(arg);
     }
@@ -184,16 +213,17 @@ int main(int argc, char** argv) {
 
   try {
     if (!self_test_dir.empty()) return run_self_test(self_test_dir);
+    if (!check_docs_path.empty()) return run_check_docs(check_docs_path);
     std::vector<std::string> targets = positional;
-    if (targets.empty()) {
-      for (const char* sub : {"src", "tools", "bench"}) {
-        const fs::path p = fs::path(root) / sub;
-        if (fs::exists(p)) targets.push_back(p.generic_string());
-      }
+    if (targets.empty()) targets = cosched::lint::default_targets(root);
+    if (analyze) {
+      opts.targets = targets;
+      opts.root = root;
+      return cosched::lint::run_analyze_driver(opts, std::cout, std::cerr);
     }
-    return run_tree(targets);
+    return run_lint_tree(targets);
   } catch (const std::exception& e) {
     std::cerr << "cosched_lint: " << e.what() << "\n";
-    return 2;
+    return cosched::lint::kExitError;
   }
 }

@@ -1,0 +1,302 @@
+#include "token.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace cosched::lint {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+}
+
+namespace {
+
+/// Blanks comments, string literals (including raw strings), and character
+/// literals with spaces, preserving line and column positions so findings
+/// point at the original text.
+std::vector<std::string> strip(const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the ")delim\"" terminator
+
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string code = line;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      if (state == State::kBlockComment) {
+        const std::size_t end = code.find("*/", i);
+        const std::size_t stop =
+            (end == std::string::npos) ? code.size() : end + 2;
+        for (std::size_t k = i; k < stop; ++k) code[k] = ' ';
+        i = stop;
+        if (end != std::string::npos) state = State::kCode;
+        continue;
+      }
+      if (state == State::kRawString) {
+        const std::size_t end = code.find(raw_delim, i);
+        const std::size_t stop = (end == std::string::npos)
+                                     ? code.size()
+                                     : end + raw_delim.size();
+        for (std::size_t k = i; k < stop; ++k) code[k] = ' ';
+        i = stop;
+        if (end != std::string::npos) state = State::kCode;
+        continue;
+      }
+      const char c = code[i];
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '/') {
+        for (std::size_t k = i; k < code.size(); ++k) code[k] = ' ';
+        break;
+      }
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '*') {
+        code[i] = code[i + 1] = ' ';
+        i += 2;
+        state = State::kBlockComment;
+        continue;
+      }
+      if (c == '"') {
+        // Raw string? The quote is preceded by R (optionally u8R/uR/LR).
+        const bool rawstr =
+            i >= 1 && code[i - 1] == 'R' &&
+            (i < 2 || !is_ident_char(code[i - 2]) || code[i - 2] == '8' ||
+             code[i - 2] == 'u' || code[i - 2] == 'L');
+        if (rawstr) {
+          const std::size_t open = code.find('(', i + 1);
+          if (open == std::string::npos) {  // malformed; blank the rest
+            for (std::size_t k = i; k < code.size(); ++k) code[k] = ' ';
+            break;
+          }
+          raw_delim = ")" + code.substr(i + 1, open - i - 1) + "\"";
+          for (std::size_t k = i; k <= open; ++k) code[k] = ' ';
+          i = open + 1;
+          state = State::kRawString;
+          continue;
+        }
+        std::size_t k = i + 1;
+        while (k < code.size() && code[k] != '"') {
+          if (code[k] == '\\') ++k;
+          ++k;
+        }
+        const std::size_t stop = std::min(k + 1, code.size());
+        for (std::size_t m = i; m < stop; ++m) code[m] = ' ';
+        i = stop;
+        continue;
+      }
+      if (c == '\'') {
+        // A quote directly after an alphanumeric is a digit separator
+        // (1'000'000), not a character literal.
+        if (i > 0 && std::isalnum(static_cast<unsigned char>(code[i - 1]))) {
+          ++i;
+          continue;
+        }
+        std::size_t k = i + 1;
+        while (k < code.size() && code[k] != '\'') {
+          if (code[k] == '\\') ++k;
+          ++k;
+        }
+        const std::size_t stop = std::min(k + 1, code.size());
+        for (std::size_t m = i; m < stop; ++m) code[m] = ' ';
+        i = stop;
+        continue;
+      }
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+const char* const kTwoCharOps[] = {"==", "!=", "<=", ">=", "::", "->",
+                                   "<<", ">>", "&&", "||", "++", "--",
+                                   "+=", "-=", "*=", "/="};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::vector<std::string>& code) {
+  std::vector<Token> tokens;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& line = code[li];
+    const int line_no = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      const int col = static_cast<int>(i) + 1;
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t j = i;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        tokens.push_back(
+            {Token::Kind::kIdent, line.substr(i, j - i), line_no, col, false});
+        i = j;
+        continue;
+      }
+      const bool dot_number = c == '.' && i + 1 < line.size() &&
+                              std::isdigit(static_cast<unsigned char>(line[i + 1]));
+      if (std::isdigit(static_cast<unsigned char>(c)) || dot_number) {
+        // pp-number: digits, idents, dots, separators, exponent signs.
+        std::size_t j = i;
+        while (j < line.size()) {
+          const char d = line[j];
+          if (is_ident_char(d) || d == '.' || d == '\'') {
+            ++j;
+          } else if ((d == '+' || d == '-') && j > i &&
+                     (line[j - 1] == 'e' || line[j - 1] == 'E' ||
+                      line[j - 1] == 'p' || line[j - 1] == 'P')) {
+            ++j;
+          } else {
+            break;
+          }
+        }
+        Token t{Token::Kind::kNumber, line.substr(i, j - i), line_no, col,
+                false};
+        const bool hex =
+            t.text.size() > 1 && t.text[0] == '0' &&
+            (t.text[1] == 'x' || t.text[1] == 'X');
+        if (hex) {
+          t.is_float = t.text.find('.') != std::string::npos ||
+                       t.text.find('p') != std::string::npos ||
+                       t.text.find('P') != std::string::npos;
+        } else {
+          t.is_float = t.text.find('.') != std::string::npos ||
+                       t.text.find('e') != std::string::npos ||
+                       t.text.find('E') != std::string::npos;
+        }
+        tokens.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      std::string op(1, c);
+      if (i + 1 < line.size()) {
+        const std::string two = line.substr(i, 2);
+        for (const char* candidate : kTwoCharOps) {
+          if (two == candidate) {
+            op = two;
+            break;
+          }
+        }
+      }
+      tokens.push_back({Token::Kind::kPunct, op, line_no, col, false});
+      i += op.size();
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> annotation_rules(const std::string& raw_line,
+                                          const std::string& kind) {
+  std::vector<std::string> rules;
+  const std::string marker = "cosched-lint:";
+  std::size_t pos = 0;
+  while ((pos = raw_line.find(marker, pos)) != std::string::npos) {
+    pos += marker.size();
+    while (pos < raw_line.size() && raw_line[pos] == ' ') ++pos;
+    if (raw_line.compare(pos, kind.size(), kind) != 0) continue;
+    const std::size_t open = pos + kind.size();
+    if (open >= raw_line.size() || raw_line[open] != '(') continue;
+    const std::size_t close = raw_line.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string item;
+    for (std::size_t k = open + 1; k <= close; ++k) {
+      const char c = raw_line[k];
+      if (c == ',' || c == ')' || c == ' ') {
+        if (!item.empty()) rules.push_back(item);
+        item.clear();
+      } else {
+        item += c;
+      }
+    }
+    pos = close;
+  }
+  return rules;
+}
+
+bool has_bare_marker(const std::string& raw_line, const std::string& word) {
+  const std::string marker = "cosched-lint:";
+  std::size_t pos = 0;
+  while ((pos = raw_line.find(marker, pos)) != std::string::npos) {
+    pos += marker.size();
+    while (pos < raw_line.size() && raw_line[pos] == ' ') ++pos;
+    if (raw_line.compare(pos, word.size(), word) == 0) {
+      const std::size_t after = pos + word.size();
+      // The word must end here (not be a prefix of a longer marker).
+      if (after >= raw_line.size() || !is_ident_char(raw_line[after])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool suppressed(const SourceFile& file, int line, const std::string& rule) {
+  if (line < 1 || line > static_cast<int>(file.raw.size())) return false;
+  const auto allowed =
+      annotation_rules(file.raw[static_cast<std::size_t>(line) - 1], "allow");
+  for (const std::string& a : allowed) {
+    if (a == rule || a == "*") return true;
+  }
+  return false;
+}
+
+std::vector<Expectation> expectations(const SourceFile& file) {
+  std::vector<Expectation> out;
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    for (const std::string& rule : annotation_rules(file.raw[i], "expect")) {
+      out.push_back({file.path, static_cast<int>(i) + 1, rule});
+    }
+  }
+  return out;
+}
+
+bool is_header(const std::string& path) {
+  for (const char* ext : {".hpp", ".hh", ".h", ".hxx"}) {
+    const std::string suffix(ext);
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool in_decision_path(const std::string& path) {
+  return path.find("src/core/") != std::string::npos ||
+         path.find("src/sim/") != std::string::npos ||
+         path.find("src/slurmlite/") != std::string::npos;
+}
+
+SourceFile load_source(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  SourceFile file;
+  file.path = path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    file.raw.push_back(line);
+  }
+  file.code = strip(file.raw);
+  return file;
+}
+
+}  // namespace cosched::lint

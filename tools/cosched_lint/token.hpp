@@ -1,0 +1,93 @@
+// Shared lexical layer for the project's static-analysis tools.
+//
+// Both the single-line lint rules (lint.hpp) and the scope-aware analyzer
+// passes (analyze.hpp) work from the same preprocessed view of a source
+// file: comments and string/character literals blanked out in place (so
+// findings keep their original line/column), then a flat token stream with
+// 1-based line and column positions.
+//
+// The annotation grammar is also shared. A raw line may carry any number of
+//   // cosched-lint: <kind>(<arg>[, <arg>...])
+// markers; `allow(<rule>)` (or `allow(*)`) silences findings on that line,
+// `expect(<rule>)` declares a fixture's required finding, and the analyzer
+// adds `cell-local(<name>)` (per-cell ownership of a by-reference capture)
+// plus the bare marker `// cosched-lint: fixed-combine` (floating-point
+// reduction order deliberately pinned).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cosched::lint {
+
+/// One reported defect. `col` is 1-based; 0 means "whole line" (legacy
+/// rules that predate column tracking). `hint` is the fix-it text shown
+/// under the finding in human output and carried in the JSON report.
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based, 0 = unknown
+  std::string rule;
+  std::string message;
+  std::string hint;
+};
+
+/// Stable order for reports and CI diffs: (file, line, col, rule).
+void sort_findings(std::vector<Finding>& findings);
+
+/// A source file prepared for scanning: `raw` is the text as written
+/// (suppression and expectation comments are read from here); `code` has
+/// comments and string/character literals blanked out, preserving line
+/// and column positions.
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+/// Reads and preprocesses one file. Throws std::runtime_error on I/O error.
+SourceFile load_source(const std::string& path);
+
+bool is_header(const std::string& path);
+/// True for the directories whose iteration order feeds scheduling
+/// decisions: src/core/, src/sim/, src/slurmlite/.
+bool in_decision_path(const std::string& path);
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+  bool is_float = false;
+};
+
+/// Lexes the blanked `code` lines into a flat token stream.
+std::vector<Token> tokenize(const std::vector<std::string>& code);
+
+bool is_ident_start(char c);
+bool is_ident_char(char c);
+
+/// Parses every `cosched-lint: <kind>(a, b)` annotation on a raw line into
+/// the listed argument names.
+std::vector<std::string> annotation_rules(const std::string& raw_line,
+                                          const std::string& kind);
+
+/// True when the raw line carries a bare `cosched-lint: <word>` marker
+/// (no parenthesised argument list), e.g. `fixed-combine`.
+bool has_bare_marker(const std::string& raw_line, const std::string& word);
+
+/// True when `// cosched-lint: allow(<rule>)` (or allow(*)) appears on the
+/// given 1-based raw line.
+bool suppressed(const SourceFile& file, int line, const std::string& rule);
+
+/// A `cosched-lint: expect(<rule>)` annotation in a fixture file.
+struct Expectation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+};
+
+std::vector<Expectation> expectations(const SourceFile& file);
+
+}  // namespace cosched::lint
