@@ -12,15 +12,20 @@
 //     getrusage peak RSS is process-cumulative, so the sweep reports
 //     time only.
 //   --single: runs exactly ONE configuration (--queue heap|calendar,
-//     --stream) and prints a JSON record with wall seconds and peak RSS.
-//     BENCH_pr5.json's headline cell runs one process per configuration
-//     so the RSS numbers are honest.
+//     --stream, --pass-threads) and prints a JSON record with wall
+//     seconds, scheduler-pass seconds (--profile arms the sampler), peak
+//     RSS, and the resolved pass_threads count. BENCH_pr5.json's headline
+//     cell runs one process per configuration so the RSS numbers are
+//     honest; BENCH_pr7.json uses the pass_threads/sched_s fields to
+//     attribute intra-pass speedup.
 #include <sys/resource.h>
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "runner/parallel_reduce.hpp"
 #include "trace/swf.hpp"
 
 namespace {
@@ -65,6 +70,10 @@ slurmlite::SimulationSpec make_spec(int nodes, int jobs,
 
 struct CellResult {
   double wall_s = 0;
+  /// Wall clock spent inside scheduler passes (ControllerStats) — the
+  /// phase --pass-threads accelerates. Nonzero only when --profile armed
+  /// the sampler; the event loop and ingestion are the remainder.
+  double sched_s = 0;
   double makespan_h = 0;
   std::size_t events = 0;
   std::size_t completed = 0;
@@ -88,6 +97,8 @@ CellResult run_cell(const slurmlite::SimulationSpec& spec,
   const std::chrono::duration<double> wall = Clock::now() - start;
   CellResult cell;
   cell.wall_s = wall.count();
+  cell.sched_s =
+      std::chrono::duration<double>(result.stats.scheduler_cpu).count();
   cell.makespan_h = result.metrics.makespan_s / 3600.0;
   cell.events = result.events_executed;
   for (const auto& job : result.jobs) {
@@ -108,20 +119,35 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("single", false)) {
     // One configuration, one process: the JSON record's peak_rss_mb is
-    // attributable to exactly this queue/ingestion combination.
+    // attributable to exactly this queue/ingestion combination, and its
+    // pass_threads field to exactly this intra-pass fan-out (so
+    // BENCH_pr7.json can attribute pass-phase speedup to --pass-threads).
     const std::string queue_name = flags.get_string("queue", "calendar");
     const bool stream = flags.get_bool("stream", false);
     const sim::QueueKind queue = queue_name == "heap"
                                      ? sim::QueueKind::kBinaryHeap
                                      : sim::QueueKind::kCalendar;
-    const auto spec = make_spec(env.nodes, env.jobs, strategy, env.base_seed,
-                                load, queue);
+    auto spec = make_spec(env.nodes, env.jobs, strategy, env.base_seed,
+                          load, queue);
+    // This is the one-giant-simulation regime intra-pass parallelism is
+    // for: a single cell, so the runner pool is otherwise idle and the
+    // executor's re-entry restriction (one live simulation) holds.
+    const int pass_threads = runner::resolve_threads(env.pass_threads);
+    std::optional<runner::ParallelRunner> pass_pool;
+    std::optional<runner::ParallelForReduce> pass_exec;
+    if (pass_threads > 1) {
+      pass_pool.emplace(pass_threads);
+      pass_exec.emplace(*pass_pool);
+      spec.controller.pass_executor = &*pass_exec;
+    }
     const auto cell = run_cell(spec, catalog, stream);
     std::cout << "{\"nodes\": " << env.nodes << ", \"jobs\": " << env.jobs
               << ", \"queue\": \"" << queue_name << "\""
               << ", \"stream\": " << (stream ? "true" : "false")
               << ", \"strategy\": \"" << core::to_string(strategy) << "\""
+              << ", \"pass_threads\": " << pass_threads
               << ", \"wall_s\": " << cell.wall_s
+              << ", \"sched_s\": " << cell.sched_s
               << ", \"peak_rss_mb\": " << peak_rss_mb()
               << ", \"events\": " << cell.events
               << ", \"completed\": " << cell.completed

@@ -31,40 +31,40 @@ std::optional<double> CoAllocator::admissible(SchedulerHost& host,
   const workload::Job& cand = host.job(candidate);
   const apps::AppModel& cand_app = host.app_of(candidate);
   if (!cand.shareable || !cand_app.shareable) {
-    last_reason_ = obs::ReasonCode::kCandidateNotShareable;
+    serial_gate_.last_reason = obs::ReasonCode::kCandidateNotShareable;
     return std::nullopt;
   }
   if (!host.machine().node(node_id).secondary_free()) {
-    last_reason_ = obs::ReasonCode::kInsufficientNodes;
+    serial_gate_.last_reason = obs::ReasonCode::kInsufficientNodes;
     return std::nullopt;
   }
   return node_admissible(
       host, Candidate{&cand, &cand_app, host.now() + cand.walltime_limit},
-      node_id, respect_deadline);
+      node_id, respect_deadline, serial_gate_);
 }
 
 std::optional<double> CoAllocator::node_admissible(
     SchedulerHost& host, const Candidate& cand, NodeId node_id,
-    bool respect_deadline) const {
+    bool respect_deadline, GateScratch& scratch) const {
   const cluster::Machine& machine = host.machine();
   const apps::AppModel& cand_app = *cand.app;
 
   // Consent and (optionally) deadline checks are common to every gate.
-  // Resident-side host lookups are served from the per-node snapshot,
-  // rebuilt only when the node's generation moved — the same node is
-  // scanned by every candidate of every pass, but changes rarely.
+  // Resident-side host lookups are served from the lane's per-node
+  // snapshot, rebuilt only when the node's generation moved — the same
+  // node is scanned by every candidate of every pass, but changes rarely.
   const std::size_t node_idx = static_cast<std::size_t>(node_id);
-  if (cache_machine_ != machine.instance_id()) {
+  if (scratch.cache_machine != machine.instance_id()) {
     // The host switched machines (test fixtures reuse one allocator across
     // scenarios): every snapshot is for the wrong machine, even where the
     // generation stamps happen to coincide.
-    node_cache_.clear();
-    cache_machine_ = machine.instance_id();
+    scratch.node_cache.clear();
+    scratch.cache_machine = machine.instance_id();
   }
-  if (node_cache_.size() <= node_idx) {
-    node_cache_.resize(static_cast<std::size_t>(machine.node_count()));
+  if (scratch.node_cache.size() <= node_idx) {
+    scratch.node_cache.resize(static_cast<std::size_t>(machine.node_count()));
   }
-  NodeResidents& cache = node_cache_[node_idx];
+  NodeResidents& cache = scratch.node_cache[node_idx];
   const std::uint64_t gen = machine.node_generation(node_id);
   if (cache.gen != gen) {
     cache.residents.clear();
@@ -77,11 +77,11 @@ std::optional<double> CoAllocator::node_admissible(
     }
     cache.gen = gen;
   }
-  std::vector<const apps::AppModel*>& resident_apps = apps_scratch_;
+  std::vector<const apps::AppModel*>& resident_apps = scratch.apps_scratch;
   resident_apps.clear();
   for (const Resident& r : cache.residents) {
     if (!r.shareable) {
-      last_reason_ = obs::ReasonCode::kResidentNotShareable;
+      scratch.last_reason = obs::ReasonCode::kResidentNotShareable;
       return std::nullopt;
     }
     resident_apps.push_back(r.app);
@@ -89,7 +89,7 @@ std::optional<double> CoAllocator::node_admissible(
       // The candidate must be gone (by walltime bound) before any resident
       // primary's walltime end, so reservation math stays valid.
       if (cand.walltime_end > r.walltime_end) {
-        last_reason_ = obs::ReasonCode::kWalltimeFence;
+        scratch.last_reason = obs::ReasonCode::kWalltimeFence;
         return std::nullopt;
       }
     }
@@ -103,9 +103,9 @@ std::optional<double> CoAllocator::node_admissible(
         const std::uint64_t key =
             (static_cast<std::uint64_t>(resident_apps[0]->id) << 32) |
             static_cast<std::uint32_t>(cand_app.id);
-        const auto cached = oracle_pair_cache_.find(key);
-        if (cached != oracle_pair_cache_.end()) {
-          last_reason_ = cached->second.reason;
+        const auto cached = scratch.oracle_pair_cache.find(key);
+        if (cached != scratch.oracle_pair_cache.end()) {
+          scratch.last_reason = cached->second.reason;
           return cached->second.score;
         }
         const auto [sd_res, sd_cand] = host.corun().pair_slowdowns(
@@ -120,8 +120,8 @@ std::optional<double> CoAllocator::node_admissible(
         } else {
           outcome.score = throughput;
         }
-        oracle_pair_cache_.emplace(key, outcome);
-        last_reason_ = outcome.reason;
+        scratch.oracle_pair_cache.emplace(key, outcome);
+        scratch.last_reason = outcome.reason;
         return outcome.score;
       }
       std::vector<apps::StressVector> stresses;
@@ -134,7 +134,7 @@ std::optional<double> CoAllocator::node_admissible(
       double throughput = 0;
       for (double sd : slowdowns) {
         if (sd > options_.max_dilation) {
-          last_reason_ = obs::ReasonCode::kDilationCap;
+          scratch.last_reason = obs::ReasonCode::kDilationCap;
           return std::nullopt;
         }
         // Combine order is pinned: slowdowns come back in stress-vector
@@ -144,21 +144,21 @@ std::optional<double> CoAllocator::node_admissible(
       }
       const auto extra_jobs = static_cast<double>(stresses.size() - 1);
       if (throughput < 1.0 + options_.pairing_threshold * extra_jobs) {
-        last_reason_ = obs::ReasonCode::kBelowThreshold;
+        scratch.last_reason = obs::ReasonCode::kBelowThreshold;
         return std::nullopt;
       }
-      last_reason_ = obs::ReasonCode::kAccepted;
+      scratch.last_reason = obs::ReasonCode::kAccepted;
       return throughput;
     }
 
     case GateMode::kClassRule: {
       for (const apps::AppModel* app : resident_apps) {
         if (!classes_complementary(cand_app.app_class, app->app_class)) {
-          last_reason_ = obs::ReasonCode::kClassMismatch;
+          scratch.last_reason = obs::ReasonCode::kClassMismatch;
           return std::nullopt;
         }
       }
-      last_reason_ = obs::ReasonCode::kAccepted;
+      scratch.last_reason = obs::ReasonCode::kAccepted;
       return 1.0;  // no quantitative prediction: all admits rank equal
     }
 
@@ -173,7 +173,7 @@ std::optional<double> CoAllocator::node_admissible(
         if (!tput) {
           // Unseen pair: explore via the class rule.
           if (!classes_complementary(cand_app.app_class, app->app_class)) {
-            last_reason_ = obs::ReasonCode::kClassMismatch;
+            scratch.last_reason = obs::ReasonCode::kClassMismatch;
             return std::nullopt;
           }
           continue;
@@ -183,22 +183,45 @@ std::optional<double> CoAllocator::node_admissible(
                 options_.max_dilation ||
             est->estimate(app->id, cand_app.id).dilation >
                 options_.max_dilation) {
-          last_reason_ = obs::ReasonCode::kDilationCap;
+          scratch.last_reason = obs::ReasonCode::kDilationCap;
           return std::nullopt;
         }
         if (*tput < 1.0 + options_.pairing_threshold) {
-          last_reason_ = obs::ReasonCode::kBelowThreshold;
+          scratch.last_reason = obs::ReasonCode::kBelowThreshold;
           return std::nullopt;
         }
         score = std::min(score == kLearnedFallbackScore ? *tput : score,
                          *tput);
       }
-      last_reason_ = obs::ReasonCode::kAccepted;
+      scratch.last_reason = obs::ReasonCode::kAccepted;
       return score;
     }
   }
   COSCHED_CHECK(false);
   return std::nullopt;
+}
+
+void CoAllocator::score_shard(SchedulerHost& host, const Candidate& cand,
+                              bool respect_deadline, int shard,
+                              int shards) const {
+  // Runs on a pool thread. Everything read is immutable for the duration
+  // of the pass (host const queries, flat_nodes_, options_); everything
+  // written lives in this shard's heap-separated slot.
+  ShardResult& out = *shard_results_[static_cast<std::size_t>(shard)];
+  out.ranked.clear();
+  out.rejects = obs::ReasonCounts{};
+  out.scanned = 0;
+  const BlockRange block = shard_block(flat_nodes_.size(), shards, shard);
+  for (std::size_t i = block.begin; i < block.end; ++i) {
+    const NodeId n = flat_nodes_[i];
+    ++out.scanned;
+    if (auto score =
+            node_admissible(host, cand, n, respect_deadline, out.gate)) {
+      out.ranked.emplace_back(-*score, n);
+    } else {
+      out.rejects.add(out.gate.last_reason);
+    }
+  }
 }
 
 std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
@@ -227,12 +250,45 @@ std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
   // every node.
   obs::ReasonCounts rejects;
   int scanned = 0;
-  for (NodeId n : machine.free_secondary_nodes()) {
-    ++scanned;
-    if (auto score = node_admissible(host, ctx, n, respect_deadline)) {
-      ranked.emplace_back(-*score, n);
-    } else {
-      rejects.add(last_reason_);
+  const cluster::NodeIdSet& free_set = machine.free_secondary_nodes();
+  PassExecutor* exec = host.pass_executor();
+  const int shards =
+      exec != nullptr ? exec->plan_shards(free_set.size()) : 1;
+  if (shards <= 1) {
+    // Inline serial scan — the differential reference PassParity compares
+    // the parallel split against, and the only path when no executor is
+    // attached (--pass-threads 1, every sweep cell, all historical runs).
+    for (NodeId n : free_set) {
+      ++scanned;
+      if (auto score =
+              node_admissible(host, ctx, n, respect_deadline, serial_gate_)) {
+        ranked.emplace_back(-*score, n);
+      } else {
+        rejects.add(serial_gate_.last_reason);
+      }
+    }
+  } else {
+    // Parallel scan: materialize the bitmap walk (ascending ids; bitmap
+    // iteration has no random access) so shard_block can slice it into
+    // contiguous blocks, then score every shard share-nothing.
+    flat_nodes_.clear();
+    flat_nodes_.reserve(free_set.size());
+    for (NodeId n : free_set) flat_nodes_.push_back(n);
+    while (shard_results_.size() < static_cast<std::size_t>(shards)) {
+      shard_results_.push_back(std::make_unique<ShardResult>());
+    }
+    exec->parallel_for(shards, [&](int shard) {
+      score_shard(host, ctx, respect_deadline, shard, shards);
+    });
+    // Shard blocks are contiguous slices of the ascending-id array, so
+    // concatenating shard results in ascending shard order replays the
+    // serial scan's append order byte for byte — same ranked sequence,
+    // same reject tallies, same scanned total.
+    for (int s = 0; s < shards; ++s) {  // cosched-lint: fixed-combine
+      const ShardResult& r = *shard_results_[static_cast<std::size_t>(s)];
+      ranked.insert(ranked.end(), r.ranked.begin(), r.ranked.end());
+      rejects.merge(r.rejects);
+      scanned += r.scanned;
     }
   }
   if (obs::Registry* registry = host.registry()) {
@@ -250,7 +306,9 @@ std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
     return std::nullopt;
   }
   // Only the best `wanted` entries are taken; keys (-score, id) are unique,
-  // so a partial sort yields exactly the full sort's prefix.
+  // so a partial sort yields exactly the full sort's prefix — including
+  // the tie-break: equal scores order by lower node id, and no shard
+  // split can reorder equal keys because the keys carry the id.
   std::partial_sort(ranked.begin(),
                     ranked.begin() + static_cast<std::ptrdiff_t>(wanted),
                     ranked.end());

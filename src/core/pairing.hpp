@@ -9,12 +9,22 @@
 //      (when the caller asks, as CoBackfill does) the candidate's walltime
 //      end does not outlive any primary it would join, so backfill
 //      reservations computed from walltime bounds stay valid.
+//
+// The candidate scan is embarrassingly parallel: each node's gate is a
+// pure function of immutable pass state. When the host provides a
+// core::PassExecutor, select_nodes() block-partitions the scan across it
+// (DESIGN.md "Intra-pass parallelism") with every piece of mutable scratch
+// made shard-local, and folds shard results in ascending shard order — so
+// decisions, reason codes, and trace bytes are identical to the serial
+// scan at any thread count (tests/pass_parity_test.cpp).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/scheduler.hpp"
 #include "obs/trace.hpp"
 
@@ -71,44 +81,82 @@ class CoAllocator {
     std::vector<Resident> residents;
   };
 
-  /// The per-node gate body behind admissible()/select_nodes(); assumes
-  /// the node's secondary slot is free and the candidate side is already
-  /// shareable.
-  std::optional<double> node_admissible(SchedulerHost& host,
-                                        const Candidate& cand, NodeId node,
-                                        bool respect_deadline) const;
-
-  CoAllocationOptions options_;
-  /// Why the most recent node_admissible() call went the way it did:
-  /// kAccepted after an admit, else the first fence the candidate hit.
-  /// Single-writer scratch like the maps below; select_nodes folds it into
-  /// the per-scan ReasonCounts for trace emission.
-  mutable obs::ReasonCode last_reason_ = obs::ReasonCode::kAccepted;
   /// One memoized oracle gate outcome: the score when admitted, plus the
   /// rejection reason so cache hits still explain themselves to the trace.
   struct CachedGate {
     std::optional<double> score;
     obs::ReasonCode reason;
   };
-  /// Oracle-mode gate outcomes per (resident-app, candidate-app) pair.
-  /// Stress vectors and gate options are immutable, so the two-job gate
-  /// result is a pure pair function; caching it removes the dominant cost
-  /// of co-allocation passes (recomputing pair slowdowns per node).
-  mutable std::unordered_map<std::uint64_t, CachedGate> oracle_pair_cache_;
-  /// Per-node resident snapshots (indexed by NodeId, grown lazily to the
-  /// machine size). Validated against Machine::node_generation on every
-  /// query, so snapshots survive across passes until the node actually
-  /// changes. A CoAllocator belongs to one scheduler, which belongs to
-  /// one (single-threaded) simulation cell, so mutable scratch needs no
-  /// synchronization.
-  mutable std::vector<NodeResidents> node_cache_;
-  /// Machine::instance_id() the snapshots above were filled from. Distinct
-  /// machines can share generation histories (same construction + mutation
-  /// sequence), so generation stamps alone cannot detect that the host
-  /// switched machines; the instance id can. 0 = cache never filled.
-  mutable std::uint64_t cache_machine_ = 0;
-  mutable std::vector<const apps::AppModel*> apps_scratch_;
+
+  /// Every piece of mutable state one gate evaluation lane reads or
+  /// writes. The serial scan owns one (serial_gate_); a parallel scan
+  /// gives each shard its own inside ShardResult, so node_admissible is
+  /// share-nothing by construction — no member of CoAllocator itself is
+  /// written while shards run. Gate outcomes are pure functions of
+  /// immutable pass state, so lane-local caches (which shard scans which
+  /// node shifts between passes) never change a result, only its cost.
+  struct GateScratch {
+    /// Why the most recent node_admissible() call on this lane went the
+    /// way it did: kAccepted after an admit, else the first fence hit.
+    obs::ReasonCode last_reason = obs::ReasonCode::kAccepted;
+    /// Oracle-mode gate outcomes per (resident-app, candidate-app) pair.
+    /// Stress vectors and gate options are immutable, so the two-job gate
+    /// result is a pure pair function; caching it removes the dominant
+    /// cost of co-allocation passes (recomputing pair slowdowns per node).
+    std::unordered_map<std::uint64_t, CachedGate> oracle_pair_cache;
+    /// Per-node resident snapshots (indexed by NodeId, grown lazily to
+    /// the machine size). Validated against Machine::node_generation on
+    /// every query, so snapshots survive across passes until the node
+    /// actually changes.
+    std::vector<NodeResidents> node_cache;
+    /// Machine::instance_id() the snapshots above were filled from.
+    /// Distinct machines can share generation histories (same
+    /// construction + mutation sequence), so generation stamps alone
+    /// cannot detect that the host switched machines; the instance id
+    /// can. 0 = cache never filled.
+    std::uint64_t cache_machine = 0;
+    std::vector<const apps::AppModel*> apps_scratch;
+  };
+
+  /// One shard's share-nothing scan output: its private gate lane plus
+  /// the partial results the coordinator folds after the join. Heap-
+  /// separated (unique_ptr in shard_results_) so concurrently-written
+  /// shard states never share a cache line (the false-sharing trap
+  /// pSTL-Bench documents for contiguous per-thread accumulators).
+  struct ShardResult {
+    GateScratch gate;
+    std::vector<std::pair<double, NodeId>> ranked;  ///< (-throughput, node)
+    obs::ReasonCounts rejects;
+    int scanned = 0;
+  };
+
+  /// The per-node gate body behind admissible()/select_nodes(); assumes
+  /// the node's secondary slot is free and the candidate side is already
+  /// shareable. Touches mutable state only through `scratch` — the lane
+  /// discipline that makes the parallel scan share-nothing.
+  std::optional<double> node_admissible(SchedulerHost& host,
+                                        const Candidate& cand, NodeId node,
+                                        bool respect_deadline,
+                                        GateScratch& scratch) const;
+
+  /// Scores this shard's shard_block of flat_nodes_ into
+  /// shard_results_[shard]. Runs on a pool thread; writes nothing else.
+  void score_shard(SchedulerHost& host, const Candidate& cand,
+                   bool respect_deadline, int shard, int shards) const;
+
+  CoAllocationOptions options_;
+  /// The serial scan's gate lane (also serves the public admissible()
+  /// probe). A CoAllocator belongs to one scheduler, which belongs to one
+  /// simulation cell; outside a PassExecutor fan-out, mutable scratch
+  /// needs no synchronization.
+  mutable GateScratch serial_gate_;
   mutable std::vector<std::pair<double, NodeId>> ranked_scratch_;
+  /// Parallel-scan staging: the free-secondary bitmap materialized to a
+  /// flat ascending-id array (bitmap iteration has no random access, and
+  /// block partitioning needs it), and one heap-separated result slot per
+  /// shard, reused across passes.
+  mutable std::vector<NodeId> flat_nodes_;
+  mutable std::vector<std::unique_ptr<ShardResult>> shard_results_;
 };
 
 }  // namespace cosched::core

@@ -1,0 +1,89 @@
+// Deterministic intra-pass parallelism seam.
+//
+// The co-allocation candidate scan (pairing.cpp) is embarrassingly
+// parallel: every candidate node is gated by a pure function of immutable
+// pass state. This header defines the partitioning rule and the executor
+// interface that lets that scan fan out WITHOUT moving any decision:
+//
+//   1. shard_block() splits [0, items) into `shards` contiguous blocks in
+//      index order (sizes differ by at most one, larger blocks first).
+//      Contiguity is the determinism lever: concatenating per-shard
+//      results in shard order reproduces the serial left-to-right scan
+//      exactly, so no merge-time reordering can change a tie-break.
+//   2. PassExecutor runs one callable per shard. Implementations live in
+//      src/runner (the only place allowed to spawn threads); core code
+//      sees only this abstract seam, keeping the dependency layering
+//      (core never links runner) intact.
+//
+// The contract mirrors ParallelRunner's share-nothing rule: shard bodies
+// write only shard-local state, and the caller folds shard results on its
+// own thread in ascending shard order (`fixed-combine`).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/function_ref.hpp"
+
+namespace cosched::core {
+
+/// A contiguous index block [begin, end) assigned to one shard.
+struct BlockRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Deterministic block partition of [0, items) into `shards` contiguous
+/// ranges. Block s covers items [s*q + min(s, r), ...) with q = items /
+/// shards and r = items % shards: the first r blocks get one extra item,
+/// so sizes differ by at most one and the concatenation of blocks
+/// 0..shards-1 is exactly [0, items) in order. Pure arithmetic — the
+/// partition depends only on (items, shards), never on thread timing.
+inline BlockRange shard_block(std::size_t items, int shards, int shard) {
+  const auto k = static_cast<std::size_t>(shards);
+  const auto s = static_cast<std::size_t>(shard);
+  const std::size_t quota = items / k;
+  const std::size_t remainder = items % k;
+  const std::size_t begin = s * quota + std::min(s, remainder);
+  return BlockRange{begin, begin + quota + (s < remainder ? 1 : 0)};
+}
+
+/// Executes one callable per shard, possibly on pool threads. The seam a
+/// scheduler pass parallelizes its candidate scoring through.
+///
+/// Contract (what keeps decisions bit-identical at any thread count):
+///   - body(s) is invoked exactly once for every s in [0, shards), with
+///     no ordering guarantee between shards — bodies must be
+///     share-nothing (write only state owned by shard s);
+///   - parallel_for returns only after every body finished (a barrier),
+///     so the caller's subsequent fold in ascending shard order sees all
+///     shard results and is single-threaded;
+///   - shards == 1 must run body(0) inline on the caller — the serial
+///     differential reference, paying no synchronization.
+///
+/// FunctionRef (not std::function) keeps this header usable from
+/// src/core under the no-std-function lint rule and allocation-free on
+/// the pass hot path; the callable lives on the caller's stack for the
+/// duration of the call.
+class PassExecutor {
+ public:
+  virtual ~PassExecutor() = default;
+
+  /// Upper bound on shards parallel_for accepts (the pool width).
+  virtual int max_shards() const = 0;
+
+  /// Shard count for a scan of `items` candidates: enough shards to use
+  /// the pool, but never so many that per-shard work falls under the
+  /// implementation's grain (tiny scans return 1 and stay serial). Pure
+  /// function of `items` — never of load or timing.
+  virtual int plan_shards(std::size_t items) const = 0;
+
+  /// Runs body(0..shards-1) to completion (see class contract).
+  virtual void parallel_for(int shards,
+                            util::FunctionRef<void(int)> body) = 0;
+};
+
+}  // namespace cosched::core

@@ -1,0 +1,32 @@
+#include "runner/parallel_reduce.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cosched::runner {
+
+ParallelForReduce::ParallelForReduce(ParallelRunner& pool,
+                                     std::size_t min_grain)
+    : pool_(pool), min_grain_(std::max<std::size_t>(min_grain, 1)) {}
+
+int ParallelForReduce::plan_shards(std::size_t items) const {
+  const std::size_t by_grain = items / min_grain_;
+  const auto width = static_cast<std::size_t>(pool_.threads());
+  return static_cast<int>(std::clamp<std::size_t>(by_grain, 1, width));
+}
+
+void ParallelForReduce::parallel_for(int shards,
+                                     util::FunctionRef<void(int)> body) {
+  COSCHED_CHECK(shards >= 1);
+  COSCHED_CHECK(shards <= pool_.threads());
+  if (shards == 1) {
+    // Inline serial path: the differential reference, no pool wakeup.
+    body(0);
+    return;
+  }
+  pool_.for_each(static_cast<std::size_t>(shards),
+                 [body](std::size_t s) { body(static_cast<int>(s)); });
+}
+
+}  // namespace cosched::runner

@@ -1,0 +1,53 @@
+// ParallelForReduce: the concrete intra-pass executor over the shared
+// ParallelRunner pool.
+//
+// PR 2's ParallelRunner parallelizes ACROSS simulation cells; this adapter
+// parallelizes WITHIN one cell's scheduler pass, reusing the same fixed
+// worker pool (no second thread population) through the core::PassExecutor
+// seam. The split mirrors the FastFlow ParallelForReduce pattern: the
+// caller partitions with core::shard_block, workers fill share-nothing
+// shard slots, and the caller folds the slots in ascending shard order —
+// so the reduction order is fixed and results are bit-identical at any
+// thread count (tests/pass_parity_test.cpp pins this end to end,
+// tests/parallel_reduce_test.cpp differentially fuzzes the primitive).
+//
+// One executor serves one simulation at a time: parallel_for re-enters the
+// underlying pool, and ParallelRunner batches cannot nest. Sweeps that fan
+// cells over a pool must therefore NOT hand that same pool's executor to
+// their cells; intra-pass parallelism is for the one-giant-simulation
+// regime (bench_a8_scale --single, cosched sim --pass-threads).
+#pragma once
+
+#include <cstddef>
+
+#include "core/parallel.hpp"
+#include "runner/runner.hpp"
+
+namespace cosched::runner {
+
+class ParallelForReduce final : public core::PassExecutor {
+ public:
+  /// Below this many items per would-be shard the scan stays serial: a
+  /// pass over a handful of candidates costs less than waking the pool.
+  static constexpr std::size_t kDefaultMinGrain = 64;
+
+  /// Adapts `pool` (non-owning; must outlive this executor). Tests pass
+  /// min_grain = 1 to force sharding on small fixtures.
+  explicit ParallelForReduce(ParallelRunner& pool,
+                             std::size_t min_grain = kDefaultMinGrain);
+
+  int max_shards() const override { return pool_.threads(); }
+
+  /// min(pool width, items / min_grain), floored at 1. Pure function of
+  /// `items`, so the partition — and every decision downstream of it —
+  /// is reproducible from the spec alone.
+  int plan_shards(std::size_t items) const override;
+
+  void parallel_for(int shards, util::FunctionRef<void(int)> body) override;
+
+ private:
+  ParallelRunner& pool_;
+  const std::size_t min_grain_;
+};
+
+}  // namespace cosched::runner

@@ -24,7 +24,8 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
       priority_(config.priority_weights, config.nodes),
       requeue_on_failure_(config.requeue_on_failure),
       tracer_(config.tracer),
-      registry_(config.registry) {
+      registry_(config.registry),
+      pass_executor_(config.pass_executor) {
   if (tracer_ != nullptr) tracer_->bind(engine_);
   machine_.set_tracer(tracer_);
   COSCHED_REQUIRE(config.checkpoint_interval >= 0,

@@ -73,6 +73,14 @@ struct ControllerConfig {
   /// histograms. Neither ever influences a decision.
   obs::Tracer* tracer = nullptr;
   obs::Registry* registry = nullptr;
+
+  /// Intra-pass parallel scoring executor (core/parallel.hpp), optional
+  /// and non-owning; must outlive the controller. nullptr (the default)
+  /// scans candidates inline — the serial differential reference.
+  /// Attaching one never changes a decision (PassParity pins this).
+  /// One executor serves ONE live simulation: it re-enters the runner
+  /// pool, so sweep cells fanned over that same pool must leave it null.
+  core::PassExecutor* pass_executor = nullptr;
 };
 
 struct ControllerStats {
@@ -150,6 +158,9 @@ class Controller final : public core::SchedulerHost,
   void start_secondary(JobId id, const std::vector<NodeId>& nodes) override;
   obs::Tracer* tracer() const override { return tracer_; }
   obs::Registry* registry() const override { return registry_; }
+  core::PassExecutor* pass_executor() const override {
+    return pass_executor_;
+  }
 
   /// Decayed per-user usage for fair-share (read-only access for tools).
   const core::UsageTracker& usage() const { return usage_; }
@@ -264,6 +275,8 @@ class Controller final : public core::SchedulerHost,
   ControllerStats stats_;
   obs::Tracer* tracer_;      // non-owning, may be nullptr (config.tracer)
   obs::Registry* registry_;  // non-owning, may be nullptr (config.registry)
+  // Non-owning, may be nullptr (config.pass_executor).
+  core::PassExecutor* pass_executor_;
 };
 
 }  // namespace cosched::slurmlite

@@ -1,0 +1,256 @@
+// Differential fuzz for the intra-pass partition/reduce primitive
+// (core::shard_block + runner::ParallelForReduce): the partition must
+// tile [0, items) exactly for every (items, shards) combination — empty,
+// single-item, prime, and huge counts included — and a parallel fill of
+// share-nothing shard slots folded in ascending shard order must equal
+// the same fold computed serially, element for element and bit for bit.
+// This is the primitive PassParity's end-to-end guarantee rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "runner/parallel_reduce.hpp"
+#include "runner/runner.hpp"
+#include "util/rng.hpp"
+
+namespace cosched {
+namespace {
+
+using core::BlockRange;
+using core::shard_block;
+
+// --- shard_block: the deterministic partition -----------------------------------
+
+// Candidate counts the fuzz sweeps: the edge cases the ISSUE names (0, 1,
+// prime, huge) plus word-boundary neighbours of the bitmap iteration.
+const std::size_t kItemCounts[] = {0,  1,  2,  3,   5,    7,     8,
+                                   63, 64, 65, 97,  127,  128,   1009,
+                                   4096, 16384, 104729};
+
+TEST(ShardBlock, TilesEveryCountExactly) {
+  for (const std::size_t items : kItemCounts) {
+    for (int shards = 1; shards <= 17; ++shards) {
+      std::size_t covered = 0;
+      std::size_t expect_begin = 0;
+      const std::size_t quota = items / static_cast<std::size_t>(shards);
+      for (int s = 0; s < shards; ++s) {
+        const BlockRange block = shard_block(items, shards, s);
+        // Contiguous: each block starts where the previous ended (this is
+        // what makes concatenation in shard order equal the serial scan).
+        EXPECT_EQ(block.begin, expect_begin)
+            << items << " items, shard " << s << "/" << shards;
+        EXPECT_LE(block.begin, block.end);
+        // Balanced: sizes are quota or quota+1, larger blocks first.
+        EXPECT_GE(block.size(), quota);
+        EXPECT_LE(block.size(), quota + 1);
+        if (s > 0) {
+          EXPECT_LE(block.size(), shard_block(items, shards, s - 1).size());
+        }
+        covered += block.size();
+        expect_begin = block.end;
+      }
+      // Exact cover, no overlap, no gap.
+      EXPECT_EQ(expect_begin, items) << items << " items, " << shards;
+      EXPECT_EQ(covered, items) << items << " items, " << shards;
+    }
+  }
+}
+
+TEST(ShardBlock, EmptyAndSingleItemEdgeCases) {
+  // 0 items: every shard gets an empty block.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_TRUE(shard_block(0, 4, s).empty());
+  }
+  // 1 item: shard 0 owns it, the rest are empty.
+  EXPECT_EQ(shard_block(1, 4, 0).size(), 1u);
+  for (int s = 1; s < 4; ++s) {
+    EXPECT_TRUE(shard_block(1, 4, s).empty());
+  }
+  // Single shard: the whole range, i.e. exactly the serial loop.
+  for (const std::size_t items : kItemCounts) {
+    const BlockRange all = shard_block(items, 1, 0);
+    EXPECT_EQ(all.begin, 0u);
+    EXPECT_EQ(all.end, items);
+  }
+}
+
+// --- ParallelForReduce: planning --------------------------------------------------
+
+TEST(ParallelReduce, PlanShardsRespectsGrainAndPoolWidth) {
+  runner::ParallelRunner pool(4);
+  runner::ParallelForReduce exec(pool, /*min_grain=*/64);
+  EXPECT_EQ(exec.max_shards(), 4);
+  // Tiny scans stay serial: fewer than two grains never shard.
+  EXPECT_EQ(exec.plan_shards(0), 1);
+  EXPECT_EQ(exec.plan_shards(1), 1);
+  EXPECT_EQ(exec.plan_shards(127), 1);
+  // Then one shard per full grain, capped at the pool width.
+  EXPECT_EQ(exec.plan_shards(128), 2);
+  EXPECT_EQ(exec.plan_shards(192), 3);
+  EXPECT_EQ(exec.plan_shards(1u << 20), 4);
+
+  // min_grain = 1 (the test configuration): item-count-limited sharding.
+  runner::ParallelForReduce fine(pool, /*min_grain=*/1);
+  EXPECT_EQ(fine.plan_shards(0), 1);
+  EXPECT_EQ(fine.plan_shards(3), 3);
+  EXPECT_EQ(fine.plan_shards(100), 4);
+}
+
+TEST(ParallelReduce, SingleShardRunsInlineOnCaller) {
+  runner::ParallelRunner pool(4);
+  runner::ParallelForReduce exec(pool, 1);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  exec.parallel_for(1, [&](int shard) {
+    EXPECT_EQ(shard, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelReduce, EveryShardRunsExactlyOnce) {
+  runner::ParallelRunner pool(3);
+  runner::ParallelForReduce exec(pool, 1);
+  for (int shards = 1; shards <= 3; ++shards) {
+    std::vector<int> hits(static_cast<std::size_t>(shards), 0);
+    // Writes are indexed by the shard parameter: share-nothing slots.
+    exec.parallel_for(shards,
+                      [&](int shard) { ++hits[static_cast<std::size_t>(shard)]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+// --- Differential fold fuzz -------------------------------------------------------
+
+/// The select_nodes shape in miniature: per item, a pure double transform;
+/// per shard, results appended to a private slot; after the join, slots
+/// concatenated in ascending shard order. The parallel result must equal
+/// the plain serial loop element for element (concatenation of contiguous
+/// blocks in order IS the serial order — no FP reassociation anywhere).
+std::vector<double> parallel_transform(runner::ParallelForReduce& exec,
+                                       const std::vector<double>& input,
+                                       int shards) {
+  std::vector<std::vector<double>> slots(static_cast<std::size_t>(shards));
+  exec.parallel_for(shards, [&](int shard) {
+    const BlockRange block = shard_block(input.size(), shards, shard);
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      // Writes indexed by the shard parameter: share-nothing slots.
+      slots[static_cast<std::size_t>(shard)].push_back(1.0 / (1.0 + input[i]));
+    }
+  });
+  std::vector<double> folded;
+  folded.reserve(input.size());
+  for (const auto& slot : slots) {  // ascending shard order: fixed combine
+    folded.insert(folded.end(), slot.begin(), slot.end());
+  }
+  return folded;
+}
+
+TEST(ParallelReduce, FoldEqualsSerialElementwiseAcrossFuzzedShapes) {
+  runner::ParallelRunner pool(8);
+  runner::ParallelForReduce exec(pool, 1);
+  Pcg32 rng(0x5eed, 0xf01d);
+  for (const std::size_t items : kItemCounts) {
+    if (items > 20000) continue;  // keep the fuzz under a second
+    std::vector<double> input;
+    input.reserve(items);
+    for (std::size_t i = 0; i < items; ++i) {
+      input.push_back(rng.next_double());
+    }
+    // Serial reference: one left-to-right pass.
+    std::vector<double> serial;
+    serial.reserve(items);
+    for (const double v : input) serial.push_back(1.0 / (1.0 + v));
+
+    // Uneven block sizes on purpose: shard counts that do not divide the
+    // item count, plus the single-shard and max-width edges.
+    for (const int shards : {1, 2, 3, 5, 7, 8}) {
+      const auto folded = parallel_transform(exec, input, shards);
+      ASSERT_EQ(folded.size(), serial.size())
+          << items << " items, " << shards << " shards";
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        // Bitwise equality, not tolerance: same inputs, same expression,
+        // no reassociation.
+        ASSERT_EQ(folded[i], serial[i])
+            << "element " << i << " of " << items << ", " << shards
+            << " shards";
+      }
+    }
+  }
+}
+
+TEST(ParallelReduce, RandomizedCountsAndThreadWidths) {
+  Pcg32 rng(0xfa57, 0xbeef);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto items =
+        static_cast<std::size_t>(rng.uniform_int(0, 3000));
+    const int threads = static_cast<int>(rng.uniform_int(1, 8));
+    std::vector<double> input;
+    input.reserve(items);
+    for (std::size_t i = 0; i < items; ++i) {
+      input.push_back(rng.uniform(0.0, 10.0));
+    }
+    std::vector<double> serial;
+    serial.reserve(items);
+    for (const double v : input) serial.push_back(1.0 / (1.0 + v));
+
+    runner::ParallelRunner pool(threads);
+    runner::ParallelForReduce exec(pool, 1);
+    const int shards = exec.plan_shards(items);
+    ASSERT_GE(shards, 1);
+    ASSERT_LE(shards, threads);
+    const auto folded = parallel_transform(exec, input, shards);
+    ASSERT_EQ(folded, serial) << items << " items over " << threads
+                              << " threads (trial " << trial << ")";
+  }
+}
+
+/// The tie-break shape: a min-reduction over (score, index) keys where
+/// many scores collide. Per-shard minima folded in ascending shard order
+/// must pick the same winner as the serial scan — the lowest index among
+/// the best scores — at every shard count.
+TEST(ParallelReduce, ArgminTieBreakMatchesSerialAtEveryShardCount) {
+  runner::ParallelRunner pool(8);
+  runner::ParallelForReduce exec(pool, 1);
+  Pcg32 rng(0x71eb, 0x4ea4);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto items = static_cast<std::size_t>(rng.uniform_int(1, 500));
+    // Scores drawn from a tiny set => many exact ties.
+    std::vector<double> score(items);
+    for (auto& s : score) s = static_cast<double>(rng.uniform_int(0, 3));
+
+    std::pair<double, std::size_t> serial_best{score[0], 0};
+    for (std::size_t i = 1; i < items; ++i) {
+      serial_best = std::min(serial_best, {score[i], i});
+    }
+
+    for (const int shards : {1, 2, 3, 5, 8}) {
+      std::vector<std::pair<double, std::size_t>> best(
+          static_cast<std::size_t>(shards),
+          {std::numeric_limits<double>::infinity(), items});
+      exec.parallel_for(shards, [&](int shard) {
+        const BlockRange block = shard_block(items, shards, shard);
+        for (std::size_t i = block.begin; i < block.end; ++i) {
+          best[static_cast<std::size_t>(shard)] =
+              std::min(best[static_cast<std::size_t>(shard)], {score[i], i});
+        }
+      });
+      std::pair<double, std::size_t> folded = best[0];
+      for (int s = 1; s < shards; ++s) {  // ascending shard order
+        folded = std::min(folded, best[static_cast<std::size_t>(s)]);
+      }
+      EXPECT_EQ(folded, serial_best)
+          << items << " items, " << shards << " shards, trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cosched

@@ -6,9 +6,14 @@
 //                    [--sacct] [--gantt out.csv] [--swf-out out.swf]
 //                    [--json out.json] [--trace out.jsonl]
 //                    [--metrics-json out.json] [--profile]
+//                    [--pass-threads N]
 //                    # --stream pulls jobs lazily (SWF or generator), so a
 //                    # 100k-job trace never materializes; decisions are
 //                    # identical to the default materialized path
+//                    # --pass-threads parallelizes candidate scoring
+//                    # INSIDE each scheduler pass (0 = hardware, default
+//                    # 1 = inline serial); every output byte is identical
+//                    # for every N (PassParity pins this)
 //   cosched compare  --config FILE [--jobs N] [--seed N] [--csv]
 //                    [--threads N]   # parallel fan-out; output is
 //                                    # identical for every N
@@ -41,6 +46,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "cosched_lint/driver.hpp"
@@ -48,6 +54,7 @@
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "runner/parallel_reduce.hpp"
 #include "runner/runner.hpp"
 #include "slurmlite/config.hpp"
 #include "slurmlite/report.hpp"
@@ -171,6 +178,18 @@ int cmd_sim(const Flags& flags) {
   spec.seed = seed;
   if (!trace_path.empty()) spec.controller.tracer = &tracer;
   if (!metrics_path.empty()) spec.controller.registry = &registry;
+  // --pass-threads: intra-pass candidate scoring over a worker pool
+  // (0 = hardware concurrency). A resolved count of 1 leaves the executor
+  // detached — the inline serial path every historical run took.
+  const int pass_threads = runner::resolve_threads(
+      static_cast<int>(flags.get_int("pass-threads", 1)));
+  std::optional<runner::ParallelRunner> pass_pool;
+  std::optional<runner::ParallelForReduce> pass_exec;
+  if (pass_threads > 1) {
+    pass_pool.emplace(pass_threads);
+    pass_exec.emplace(*pass_pool);
+    spec.controller.pass_executor = &*pass_exec;
+  }
   const auto result = [&] {
     if (!stream) {
       const auto jobs =
