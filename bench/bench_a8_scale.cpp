@@ -18,13 +18,12 @@
 //     cell runs one process per configuration so the RSS numbers are
 //     honest; BENCH_pr7.json uses the pass_threads/sched_s fields to
 //     attribute intra-pass speedup.
-#include <sys/resource.h>
-
 #include <chrono>
 #include <optional>
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "obs/process_stats.hpp"
 #include "runner/parallel_reduce.hpp"
 #include "trace/swf.hpp"
 
@@ -45,12 +44,6 @@ std::vector<int> parse_list(const std::string& csv) {
   }
   if (out.empty()) throw Error("empty list flag: '" + csv + "'");
   return out;
-}
-
-double peak_rss_mb() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KB
 }
 
 slurmlite::SimulationSpec make_spec(int nodes, int jobs,
@@ -111,7 +104,7 @@ CellResult run_cell(const slurmlite::SimulationSpec& spec,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const auto env = bench::BenchEnv::from_flags(flags);
+  const auto env = bench::BenchEnv::from_flags(flags, "bench_a8_scale");
   const auto catalog = apps::Catalog::trinity();
   const auto strategy =
       core::parse_strategy(flags.get_string("strategy", "cobackfill"));
@@ -141,6 +134,9 @@ int main(int argc, char** argv) {
       spec.controller.pass_executor = &*pass_exec;
     }
     const auto cell = run_cell(spec, catalog, stream);
+    // Shared getrusage probe (obs/process_stats.hpp); peak_rss_mb keeps
+    // its historical name for the BENCH_pr5/pr7 consumers.
+    const obs::ProcessStats process = obs::process_stats();
     std::cout << "{\"nodes\": " << env.nodes << ", \"jobs\": " << env.jobs
               << ", \"queue\": \"" << queue_name << "\""
               << ", \"stream\": " << (stream ? "true" : "false")
@@ -148,7 +144,9 @@ int main(int argc, char** argv) {
               << ", \"pass_threads\": " << pass_threads
               << ", \"wall_s\": " << cell.wall_s
               << ", \"sched_s\": " << cell.sched_s
-              << ", \"peak_rss_mb\": " << peak_rss_mb()
+              << ", \"peak_rss_mb\": " << process.max_rss_mb
+              << ", \"user_cpu_s\": " << process.user_cpu_s
+              << ", \"sys_cpu_s\": " << process.sys_cpu_s
               << ", \"events\": " << cell.events
               << ", \"completed\": " << cell.completed
               << ", \"makespan_h\": " << cell.makespan_h << "}\n";

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "apps/catalog.hpp"
+#include "obs/manifest.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "runner/runner.hpp"
@@ -55,8 +57,14 @@ struct BenchEnv {
   /// Merged cell metrics (shared so env copies observe the same registry);
   /// non-null exactly when --metrics-json was given.
   std::shared_ptr<obs::Registry> registry;
+  /// Run manifest stamped into the --metrics-json dump (obs/manifest.hpp).
+  /// from_flags fills what the shared flags pin down; fields a bench
+  /// resolves itself (strategy, workload) default to "-" until it
+  /// overrides them.
+  obs::RunManifest manifest;
 
-  static BenchEnv from_flags(const Flags& flags) {
+  static BenchEnv from_flags(const Flags& flags,
+                             const char* command = "bench") {
     BenchEnv env;
     env.csv = flags.get_bool("csv", false);
     env.seeds = static_cast<int>(flags.get_int("seeds", 3));
@@ -74,6 +82,19 @@ struct BenchEnv {
       obs::profiler_reset();
       obs::set_profiling_enabled(true);
     }
+    env.manifest.command = command;
+    env.manifest.strategy = flags.get_string("strategy", "-");
+    env.manifest.queue_policy = "-";
+    env.manifest.event_queue =
+        sim::default_queue_kind() == sim::QueueKind::kBinaryHeap
+            ? "heap"
+            : "calendar";
+    env.manifest.workload = flags.get_string("campaign", "-");
+    env.manifest.seed = env.base_seed;
+    env.manifest.nodes = env.nodes;
+    env.manifest.jobs = env.jobs;
+    env.manifest.pass_threads = env.pass_threads;
+    env.manifest.threads = env.threads;
     return env;
   }
 };
@@ -179,15 +200,19 @@ inline void emit(const Table& table, const BenchEnv& env,
 }
 
 /// Observability epilogue, called once before a bench exits: writes the
-/// merged --metrics-json dump and prints the --profile phase table. Both
-/// go to stderr so --csv stdout pipelines stay clean.
+/// merged --metrics-json dump (manifest header + end-of-run getrusage
+/// process stats + registry instruments) and prints the --profile phase
+/// table. Both go to stderr so --csv stdout pipelines stay clean.
 inline void finish(const BenchEnv& env) {
   if (env.registry != nullptr && !env.metrics_json.empty()) {
     std::ofstream out(env.metrics_json);
     if (!out.good()) {
       throw Error("cannot write '" + env.metrics_json + "'");
     }
-    out << env.registry->to_json() << "\n";
+    out << "{\"manifest\":"
+        << obs::manifest_json(env.manifest, /*include_execution=*/true)
+        << ",\"process\":" << obs::process_stats_json(obs::process_stats())
+        << ",\"registry\":" << env.registry->to_json() << "}\n";
     std::cerr << "wrote metrics to " << env.metrics_json << "\n";
   }
   if (env.profile) {

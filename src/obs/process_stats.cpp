@@ -1,0 +1,52 @@
+#include "obs/process_stats.hpp"
+
+#include "util/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define COSCHED_HAVE_GETRUSAGE 1
+#endif
+
+namespace cosched::obs {
+
+ProcessStats process_stats() {
+  ProcessStats stats;
+#ifdef COSCHED_HAVE_GETRUSAGE
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#ifdef __APPLE__
+    stats.max_rss_mb = static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    stats.max_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+    auto seconds = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) +
+             static_cast<double>(tv.tv_usec) / 1e6;
+    };
+    stats.user_cpu_s = seconds(usage.ru_utime);
+    stats.sys_cpu_s = seconds(usage.ru_stime);
+  }
+#endif
+  return stats;
+}
+
+void write_process_stats(JsonWriter& w, const char* key,
+                         const ProcessStats& stats) {
+  w.begin_object(key);
+  w.value("max_rss_mb", stats.max_rss_mb);
+  w.value("user_cpu_s", stats.user_cpu_s);
+  w.value("sys_cpu_s", stats.sys_cpu_s);
+  w.end_object();
+}
+
+std::string process_stats_json(const ProcessStats& stats) {
+  JsonWriter w;
+  w.begin_object();
+  w.value("max_rss_mb", stats.max_rss_mb);
+  w.value("user_cpu_s", stats.user_cpu_s);
+  w.value("sys_cpu_s", stats.sys_cpu_s);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cosched::obs

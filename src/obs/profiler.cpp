@@ -84,7 +84,7 @@ std::uint64_t prof_now_ns() {
   // simulated state (see file comment in profiler.hpp).
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())  // cosched-lint: allow(no-wallclock)
+          std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
 

@@ -12,9 +12,9 @@
 //
 // Determinism contract: the profiler reads the HOST clock and therefore
 // never touches simulated state, digests, traces, or golden metrics — it
-// is reporting-only, enabled by the --profile flag. This file and its .cpp
-// are the blessed wall-clock exception (lint allow(no-wallclock) at the
-// clock-read sites).
+// is reporting-only, enabled by the --profile flag. src/obs/ is the
+// blessed wall-clock seam: the lint no-wallclock rule exempts this
+// directory (and src/util/log) and bans clock reads everywhere else.
 #pragma once
 
 #include <cstdint>

@@ -68,21 +68,27 @@ void Registry::merge_from(const Registry& other) {
   }
 }
 
-std::string Registry::to_json() const {
+std::string Registry::to_json(bool include_wall) const {
+  const auto skip = [include_wall](const std::string& name) {
+    return !include_wall && name.find("_wall_") != std::string::npos;
+  };
   JsonWriter w;
   w.begin_object();
   w.begin_object("counters");
   for (const auto& [name, c] : counters_) {
+    if (skip(name)) continue;
     w.value(name, static_cast<std::int64_t>(c->value()));
   }
   w.end_object();
   w.begin_object("gauges");
   for (const auto& [name, g] : gauges_) {
+    if (skip(name)) continue;
     w.value(name, g->value());
   }
   w.end_object();
   w.begin_object("histograms");
   for (const auto& [name, h] : histograms_) {
+    if (skip(name)) continue;
     w.begin_object(name);
     w.value("count", static_cast<std::int64_t>(h->count()));
     w.value("sum", h->sum());

@@ -91,8 +91,11 @@ class Registry {
   void merge_from(const Registry& other);
 
   /// The full registry as one JSON document, instruments sorted by name:
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
-  std::string to_json() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}. With
+  /// `include_wall` false, instruments named by the `_wall_` convention
+  /// are dropped — the filtered dump is byte-deterministic for identical
+  /// runs and safe to byte-compare (`cosched report` uses it).
+  std::string to_json(bool include_wall = true) const;
 
  private:
   // std::map keeps dump order deterministic; unique_ptr keeps references

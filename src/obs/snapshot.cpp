@@ -1,0 +1,52 @@
+#include "obs/snapshot.hpp"
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace cosched::obs {
+
+SnapshotSampler::SnapshotSampler(const SnapshotSource& source,
+                                 SimDuration period, Tracer* tracer,
+                                 Registry* registry)
+    : source_(source),
+      period_(period),
+      next_due_(period),
+      tracer_(tracer),
+      registry_(registry) {
+  COSCHED_REQUIRE(period > 0, "snapshot period must be positive");
+}
+
+void SnapshotSampler::on_event_executed(SimTime when,
+                                        sim::EventPriority /*priority*/,
+                                        sim::EventId /*id*/,
+                                        const char* /*label*/) {
+  if (when < next_due_) return;
+  const SnapshotSource::Sample s = source_.snapshot_sample();
+  const double util =
+      s.total_nodes > 0
+          ? static_cast<double>(s.busy_nodes) / s.total_nodes
+          : 0.0;
+  // The tick this sample answers for is the last period boundary at or
+  // before `when`; the next due tick is one period past it, so an idle
+  // gap collapses to a single sample instead of a backlog.
+  const SimTime tick = when - (when % period_);
+  if (tracer_ != nullptr) {
+    tracer_->snapshot(when, tick, s.busy_nodes, s.total_nodes, s.pending,
+                      s.running, util);
+  }
+  if (registry_ != nullptr) {
+    registry_->counter("snapshots").inc();
+    registry_->gauge("snapshot_utilization").set(util);
+    registry_->gauge("snapshot_queue_depth")
+        .set(static_cast<double>(s.pending));
+    registry_->gauge("snapshot_running").set(static_cast<double>(s.running));
+    registry_
+        ->histogram("snapshot_util_pct",
+                    {10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+        .observe(util * 100.0);
+  }
+  next_due_ = tick + period_;
+}
+
+}  // namespace cosched::obs

@@ -165,6 +165,24 @@ void Tracer::engine_event(SimTime when, sim::EventPriority priority,
       .value("label", label == nullptr ? "" : label);
 }
 
+void Tracer::manifest(const RunManifest& m) {
+  Record r(*this, "manifest", /*when=*/0);
+  write_manifest_fields(r.w(), m, /*include_execution=*/true);
+}
+
+void Tracer::snapshot(SimTime when, SimTime tick, int busy_nodes,
+                      int total_nodes, std::int64_t pending,
+                      std::int64_t running, double utilization) {
+  Record r(*this, "snapshot", when);
+  r.w()
+      .value("tick_us", tick)
+      .value("busy_nodes", busy_nodes)
+      .value("total_nodes", total_nodes)
+      .value("pending", pending)
+      .value("running", running)
+      .value("utilization", utilization);
+}
+
 // --- Chrome trace_event conversion -------------------------------------------
 
 std::string to_chrome_trace(const std::string& jsonl) {

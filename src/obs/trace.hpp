@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hpp"
 #include "sim/engine.hpp"
 #include "util/types.hpp"
 
@@ -129,6 +130,18 @@ class Tracer {
   /// EventTracer when engine-event tracing is on.
   void engine_event(SimTime when, sim::EventPriority priority,
                     sim::EventId id, const char* label);
+
+  /// Run manifest header (obs/manifest.hpp), stamped t_us=0. Emitted by
+  /// the CLI/bench harness as the first record; `cosched diff` ignores
+  /// the nested execution block when comparing.
+  void manifest(const RunManifest& m);
+
+  /// Time-series gauge sample (obs/snapshot.hpp): `when` is the event
+  /// time the sampler fired at, `tick` the period boundary it answers
+  /// for.
+  void snapshot(SimTime when, SimTime tick, int busy_nodes, int total_nodes,
+                std::int64_t pending, std::int64_t running,
+                double utilization);
 
  private:
   class Record;  // one JSONL line under construction

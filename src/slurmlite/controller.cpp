@@ -25,9 +25,18 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
       requeue_on_failure_(config.requeue_on_failure),
       tracer_(config.tracer),
       registry_(config.registry),
+      spans_(config.spans),
       pass_executor_(config.pass_executor) {
   if (tracer_ != nullptr) tracer_->bind(engine_);
   machine_.set_tracer(tracer_);
+  COSCHED_REQUIRE(config.snapshot_period >= 0,
+                  "snapshot period must be non-negative");
+  if (config.snapshot_period > 0 &&
+      (tracer_ != nullptr || registry_ != nullptr)) {
+    sampler_ = std::make_unique<obs::SnapshotSampler>(
+        *this, config.snapshot_period, tracer_, registry_);
+    engine_.add_observer(sampler_.get());
+  }
   COSCHED_REQUIRE(config.checkpoint_interval >= 0,
                   "checkpoint interval must be non-negative");
   for (const NodeFailure& failure : config.failures) {
@@ -43,7 +52,9 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
   }
 }
 
-Controller::~Controller() = default;
+Controller::~Controller() {
+  if (sampler_ != nullptr) engine_.remove_observer(sampler_.get());
+}
 
 std::optional<SimTime> Controller::register_job(workload::Job job) {
   COSCHED_REQUIRE(job.id != kInvalidJob, "job must have an id");
@@ -237,6 +248,7 @@ void Controller::on_submit(JobId id) {
   COSCHED_DEBUG("t=" << format_duration(now()) << " submit job " << id
                      << " (" << j.nodes << " nodes)");
   if (tracer_ != nullptr) tracer_->submit(id, j.nodes);
+  if (spans_ != nullptr) spans_->on_submit(id, now());
   if (registry_ != nullptr) registry_->counter("jobs_submitted").inc();
   if (j.depends_on != kInvalidJob) {
     const workload::Job& dep = job(j.depends_on);
@@ -281,6 +293,7 @@ void Controller::settle_dependents(JobId id, bool success) {
 void Controller::cancel_held(JobId id) {
   workload::Job& j = job_mutable(id);
   j.state = workload::JobState::kCancelled;
+  if (spans_ != nullptr) spans_->on_end(id, now(), obs::SpanEnd::kCancelled);
   ++stats_.dependency_cancellations;
   COSCHED_INFO("t=" << format_duration(now()) << " job " << id
                     << " cancelled: dependency " << j.depends_on
@@ -319,8 +332,11 @@ bool Controller::pass_can_early_exit() const {
   // byte of any digest, golden metric, or trace. Strategies emit trace
   // records (shadow, backfill_reject, co_decision) and registry samples
   // from inside their bodies, so any attached observer disables skipping
-  // outright.
-  if (tracer_ != nullptr || registry_ != nullptr) return false;
+  // outright. The span ledger likewise needs every pass: first_considered
+  // marking happens at the top of a real pass.
+  if (tracer_ != nullptr || registry_ != nullptr || spans_ != nullptr) {
+    return false;
+  }
   // Saturated machine: no free primary slot and no free secondary slot
   // means no strategy can start anything (every start path goes through
   // find_free_nodes / the free-secondary scan). Sound under any queue
@@ -361,6 +377,12 @@ void Controller::run_scheduler_pass() {
     return;
   }
   order_queue();
+  if (spans_ != nullptr) {
+    // Every job this pass will look at is "considered" now; the call is
+    // idempotent, so re-marking survivors of earlier passes is free of
+    // bookkeeping here.
+    for (JobId id : pending_) spans_->on_first_considered(id, now());
+  }
   ++stats_.scheduler_passes;
   const std::uint64_t pass = stats_.scheduler_passes;
   const std::size_t primary_before = stats_.primary_starts;
@@ -375,19 +397,23 @@ void Controller::run_scheduler_pass() {
   execution_.sync(now());
   // Host clock measures real decision cost only; it never feeds back into
   // simulated state, so it cannot break determinism. Untraced runs skip
-  // the clock reads entirely — two steady_clock samples per pass are pure
-  // overhead when nobody consumes them.
+  // the clock reads entirely — two clock samples per pass are pure
+  // overhead when nobody consumes them. The read routes through the
+  // profiler's blessed wall-clock seam (obs::detail::prof_now_ns), the
+  // one place outside src/obs allowed to see host time going away — the
+  // no-wallclock lint rule scopes direct clock reads out of decision
+  // paths like this one.
   const bool timed = registry_ != nullptr || obs::profiling_enabled();
-  std::chrono::steady_clock::time_point t0;  // cosched-lint: allow(no-wallclock)
-  if (timed) t0 = std::chrono::steady_clock::now();  // cosched-lint: allow(no-wallclock)
+  std::uint64_t t0_ns = 0;
+  if (timed) t0_ns = obs::detail::prof_now_ns();
   {
     COSCHED_PROF_SCOPE("pass_strategy");
     scheduler_->schedule(*this);
   }
-  std::chrono::steady_clock::duration pass_wall{0};  // cosched-lint: allow(no-wallclock)
+  std::uint64_t pass_wall_ns = 0;
   if (timed) {
-    pass_wall = std::chrono::steady_clock::now() - t0;  // cosched-lint: allow(no-wallclock)
-    stats_.scheduler_cpu += pass_wall;
+    pass_wall_ns = obs::detail::prof_now_ns() - t0_ns;
+    stats_.scheduler_cpu += std::chrono::nanoseconds(pass_wall_ns);
   }
   in_pass_ = false;
   // Starts changed co-residency; settle rates and completion events once
@@ -408,10 +434,7 @@ void Controller::run_scheduler_pass() {
     registry_
         ->histogram("pass_wall_us",
                     {10, 50, 100, 500, 1000, 5000, 10000, 100000})
-        .observe(static_cast<double>(
-                     std::chrono::duration_cast<std::chrono::microseconds>(
-                         pass_wall)
-                         .count()));
+        .observe(static_cast<double>(pass_wall_ns / 1000));
   }
   // Record the no-op snapshot for the generation exit above. A pass that
   // started nothing left both generations exactly as it found them.
@@ -462,6 +485,10 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
   j.alloc_kind = kind;
   j.alloc_nodes = nodes;
   const double wait_s = to_seconds(j.start_time - j.submit_time);
+  if (spans_ != nullptr) {
+    spans_->on_start(id, now(),
+                     /*secondary=*/kind == cluster::AllocationKind::kSecondary);
+  }
   if (tracer_ != nullptr) {
     tracer_->start(id,
                    kind == cluster::AllocationKind::kPrimary ? "primary"
@@ -544,6 +571,7 @@ void Controller::on_complete(JobId id) {
   j.end_time = now();
   ++stats_.completions;
   if (tracer_ != nullptr) tracer_->finish("complete", id, j.observed_dilation);
+  if (spans_ != nullptr) spans_->on_end(id, now(), obs::SpanEnd::kComplete);
   if (registry_ != nullptr) registry_->counter("completions").inc();
 
   if (auto it = kill_events_.find(id); it != kill_events_.end()) {
@@ -581,6 +609,7 @@ void Controller::on_timeout(JobId id) {
   j.end_time = now();
   ++stats_.timeouts;
   if (tracer_ != nullptr) tracer_->finish("timeout", id, j.observed_dilation);
+  if (spans_ != nullptr) spans_->on_end(id, now(), obs::SpanEnd::kTimeout);
   if (registry_ != nullptr) registry_->counter("timeouts").inc();
   COSCHED_WARN("t=" << format_duration(now()) << " job " << id
                     << " hit its walltime limit with "
@@ -644,6 +673,7 @@ void Controller::requeue(JobId id) {
   j.alloc_nodes.clear();
   j.observed_dilation = 1.0;
   partner_.erase(id);  // aborted attempt: no pair observation
+  if (spans_ != nullptr) spans_->on_requeue(id, now());
   ++j.requeues;
   ++stats_.requeues;
   pending_.push_back(id);
@@ -669,6 +699,7 @@ void Controller::on_node_fail(NodeId node, SimDuration duration) {
       j.state = workload::JobState::kTimeout;
       j.end_time = now();
       j.observed_dilation = execution_.observed_dilation(id, now());
+      if (spans_ != nullptr) spans_->on_end(id, now(), obs::SpanEnd::kTimeout);
       ++stats_.timeouts;
       cancel_end_event(id);
       if (auto it = kill_events_.find(id); it != kill_events_.end()) {
@@ -708,6 +739,9 @@ bool Controller::cancel(JobId id) {
         ++queue_generation_;
       }
       j.state = workload::JobState::kCancelled;
+      if (spans_ != nullptr) {
+        spans_->on_end(id, now(), obs::SpanEnd::kCancelled);
+      }
       settle_dependents(id, /*success=*/false);
       return true;
     }
@@ -716,6 +750,9 @@ bool Controller::cancel(JobId id) {
       waiting.erase(std::remove(waiting.begin(), waiting.end(), id),
                     waiting.end());
       j.state = workload::JobState::kCancelled;
+      if (spans_ != nullptr) {
+        spans_->on_end(id, now(), obs::SpanEnd::kCancelled);
+      }
       settle_dependents(id, /*success=*/false);
       return true;
     }
@@ -724,6 +761,9 @@ bool Controller::cancel(JobId id) {
       j.observed_dilation = execution_.observed_dilation(id, now());
       j.state = workload::JobState::kCancelled;
       j.end_time = now();
+      if (spans_ != nullptr) {
+        spans_->on_end(id, now(), obs::SpanEnd::kCancelled);
+      }
       cancel_end_event(id);
       if (auto k = kill_events_.find(id); k != kill_events_.end()) {
         engine_.cancel(k->second);
@@ -746,6 +786,15 @@ bool Controller::cancel(JobId id) {
     default:
       return false;  // already in a final state
   }
+}
+
+obs::SnapshotSource::Sample Controller::snapshot_sample() const {
+  obs::SnapshotSource::Sample s;
+  s.total_nodes = machine_.node_count();
+  s.busy_nodes = machine_.node_count() - machine_.free_node_count();
+  s.pending = static_cast<std::int64_t>(pending_.size());
+  s.running = static_cast<std::int64_t>(running_by_submit_.size());
+  return s;
 }
 
 void Controller::remove_pending(JobId id) {

@@ -20,6 +20,8 @@
 #include "cluster/machine.hpp"
 #include "core/priority.hpp"
 #include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "core/scheduler.hpp"
 #include "core/walltime_predictor.hpp"
@@ -74,6 +76,16 @@ struct ControllerConfig {
   obs::Tracer* tracer = nullptr;
   obs::Registry* registry = nullptr;
 
+  /// Job lifecycle span ledger (obs/span.hpp), optional and non-owning.
+  /// Attaching one disables the pass early-exit (first_considered marking
+  /// needs every pass to run), exactly like attaching a tracer — and like
+  /// the tracer it never influences a decision.
+  obs::SpanLedger* spans = nullptr;
+
+  /// Sim-time cadence for utilization/queue-depth snapshot records; 0
+  /// disables sampling. Needs a tracer or registry to write into.
+  SimDuration snapshot_period = 0;
+
   /// Intra-pass parallel scoring executor (core/parallel.hpp), optional
   /// and non-owning; must outlive the controller. nullptr (the default)
   /// scans candidates inline — the serial differential reference.
@@ -100,7 +112,8 @@ struct ControllerStats {
 };
 
 class Controller final : public core::SchedulerHost,
-                         public audit::SystemView {
+                         public audit::SystemView,
+                         public obs::SnapshotSource {
  public:
   Controller(sim::Engine& engine, const ControllerConfig& config,
              const apps::Catalog& catalog);
@@ -174,6 +187,9 @@ class Controller final : public core::SchedulerHost,
   const workload::Job& audit_job(JobId id) const override { return job(id); }
   std::size_t audit_queue_length() const override { return pending_.size(); }
   std::size_t audit_submitted() const override { return jobs_.size(); }
+
+  // --- obs::SnapshotSource -----------------------------------------------------
+  obs::SnapshotSource::Sample snapshot_sample() const override;
 
  private:
   /// Validation + registration shared by submit/submit_stream. Returns the
@@ -275,6 +291,12 @@ class Controller final : public core::SchedulerHost,
   ControllerStats stats_;
   obs::Tracer* tracer_;      // non-owning, may be nullptr (config.tracer)
   obs::Registry* registry_;  // non-owning, may be nullptr (config.registry)
+  obs::SpanLedger* spans_;   // non-owning, may be nullptr (config.spans)
+  /// Snapshot sampler riding the engine observer seam; owned here, added
+  /// to the engine in the constructor and removed in the destructor (the
+  /// engine outlives the controller in run_with — engine is declared
+  /// first).
+  std::unique_ptr<obs::SnapshotSampler> sampler_;
   // Non-owning, may be nullptr (config.pass_executor).
   core::PassExecutor* pass_executor_;
 };

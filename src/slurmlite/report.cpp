@@ -7,14 +7,8 @@
 
 namespace cosched::slurmlite {
 
-std::string to_json(const SimulationResult& result,
-                    const apps::Catalog& catalog) {
-  JsonWriter w;
-  w.begin_object();
-
-  const auto& m = result.metrics;
-  w.begin_object("metrics")
-      .value("jobs_total", m.jobs_total)
+void write_metrics_fields(JsonWriter& w, const metrics::ScheduleMetrics& m) {
+  w.value("jobs_total", m.jobs_total)
       .value("jobs_completed", m.jobs_completed)
       .value("jobs_timeout", m.jobs_timeout)
       .value("makespan_s", m.makespan_s)
@@ -31,23 +25,44 @@ std::string to_json(const SimulationResult& result,
       .value("mean_dilation", m.mean_dilation)
       .value("throughput_jobs_per_h", m.throughput_jobs_per_h)
       .value("energy_kwh", m.energy_kwh)
-      .value("work_node_h_per_kwh", m.work_node_h_per_kwh)
-      .end_object();
+      .value("work_node_h_per_kwh", m.work_node_h_per_kwh);
+}
 
-  const auto& s = result.stats;
-  w.begin_object("stats")
-      .value("scheduler_passes",
-             static_cast<std::int64_t>(s.scheduler_passes))
+void write_stats_fields(JsonWriter& w, const ControllerStats& s,
+                        bool include_wall) {
+  w.value("scheduler_passes", static_cast<std::int64_t>(s.scheduler_passes))
       .value("primary_starts", static_cast<std::int64_t>(s.primary_starts))
       .value("secondary_starts",
              static_cast<std::int64_t>(s.secondary_starts))
       .value("completions", static_cast<std::int64_t>(s.completions))
       .value("timeouts", static_cast<std::int64_t>(s.timeouts))
       .value("requeues", static_cast<std::int64_t>(s.requeues))
-      .value("node_failures", static_cast<std::int64_t>(s.node_failures))
-      .value("scheduler_cpu_ms",
-             static_cast<double>(s.scheduler_cpu.count()) / 1e6)
-      .end_object();
+      .value("node_failures", static_cast<std::int64_t>(s.node_failures));
+  if (include_wall) {
+    w.value("scheduler_cpu_ms",
+            static_cast<double>(s.scheduler_cpu.count()) / 1e6);
+  }
+}
+
+std::string to_json(const SimulationResult& result,
+                    const apps::Catalog& catalog,
+                    const obs::RunManifest* manifest) {
+  JsonWriter w;
+  w.begin_object();
+
+  if (manifest != nullptr) {
+    w.begin_object("manifest");
+    obs::write_manifest_fields(w, *manifest, /*include_execution=*/true);
+    w.end_object();
+  }
+
+  w.begin_object("metrics");
+  write_metrics_fields(w, result.metrics);
+  w.end_object();
+
+  w.begin_object("stats");
+  write_stats_fields(w, result.stats, /*include_wall=*/true);
+  w.end_object();
 
   w.begin_array("jobs");
   for (const auto& job : result.jobs) {
@@ -78,10 +93,11 @@ std::string to_json(const SimulationResult& result,
 }
 
 void write_json_file(const std::string& path, const SimulationResult& result,
-                     const apps::Catalog& catalog) {
+                     const apps::Catalog& catalog,
+                     const obs::RunManifest* manifest) {
   std::ofstream out(path);
   COSCHED_REQUIRE(out.good(), "cannot write JSON file '" << path << "'");
-  out << to_json(result, catalog) << '\n';
+  out << to_json(result, catalog, manifest) << '\n';
 }
 
 }  // namespace cosched::slurmlite

@@ -6,16 +6,34 @@
 #include <string>
 
 #include "apps/catalog.hpp"
+#include "obs/manifest.hpp"
 #include "slurmlite/simulation.hpp"
+
+namespace cosched {
+class JsonWriter;
+}
 
 namespace cosched::slurmlite {
 
 /// Serializes metrics, controller stats, and per-job records:
-/// { "metrics": {...}, "stats": {...}, "jobs": [ {...}, ... ] }.
+/// { "manifest": {...}, "metrics": {...}, "stats": {...},
+///   "jobs": [ {...}, ... ] }. The manifest header (obs/manifest.hpp) is
+/// emitted when non-null; library callers that have no run context pass
+/// nullptr and get the pre-manifest document shape.
 std::string to_json(const SimulationResult& result,
-                    const apps::Catalog& catalog);
+                    const apps::Catalog& catalog,
+                    const obs::RunManifest* manifest = nullptr);
 
 void write_json_file(const std::string& path, const SimulationResult& result,
-                     const apps::Catalog& catalog);
+                     const apps::Catalog& catalog,
+                     const obs::RunManifest* manifest = nullptr);
+
+/// Field writers into an already-open JSON object, shared by to_json and
+/// `cosched report`. `include_wall` false drops scheduler_cpu_ms — the
+/// one wall-clock stats field — so the dump is byte-deterministic for
+/// identical runs at any thread count.
+void write_metrics_fields(JsonWriter& w, const metrics::ScheduleMetrics& m);
+void write_stats_fields(JsonWriter& w, const ControllerStats& s,
+                        bool include_wall);
 
 }  // namespace cosched::slurmlite

@@ -143,9 +143,14 @@ SwfJobSource::~SwfJobSource() = default;
 std::optional<workload::Job> SwfJobSource::next() {
   std::optional<SwfRecord> record = reader_.next();
   if (!record) {
-    if (reader_.malformed_lines() > 0) {
-      COSCHED_WARN("SWF stream: skipped " << reader_.malformed_lines()
-                                          << " malformed line(s)");
+    // The reader already warned (once) at the first skip; at drain the
+    // total surfaces as a registry counter rather than a second log line.
+    // Guarded so polling next() past the end never double-counts.
+    if (!skips_reported_ && registry_ != nullptr &&
+        reader_.malformed_lines() > 0) {
+      skips_reported_ = true;
+      registry_->counter("swf_malformed_lines")
+          .inc(reader_.malformed_lines());
     }
     return std::nullopt;
   }

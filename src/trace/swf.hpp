@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "workload/job.hpp"
 #include "workload/source.hpp"
 
@@ -106,11 +107,19 @@ class SwfJobSource final : public workload::JobSource {
 
   std::size_t malformed_lines() const { return reader_.malformed_lines(); }
 
+  /// Surfaces malformed-line skips as the `swf_malformed_lines` counter in
+  /// `registry` when the stream drains (one counter set, one warning line
+  /// from the reader's first skip — no silent count field). Non-owning;
+  /// nullptr detaches.
+  void bind_registry(obs::Registry* registry) { registry_ = registry; }
+
  private:
   std::unique_ptr<std::ifstream> file_;  ///< set iff constructed from a path
   SwfReader reader_;
   int app_count_;
   SimTime last_submit_ = 0;
+  obs::Registry* registry_ = nullptr;  ///< non-owning, may be nullptr
+  bool skips_reported_ = false;  ///< counter set once, at first drain
 };
 
 /// Converts finished jobs to SWF records (for archiving simulated runs).

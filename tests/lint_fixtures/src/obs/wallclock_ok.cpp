@@ -1,0 +1,10 @@
+// Fixture: src/obs/ is the blessed wall-clock seam (profiler, process
+// stats), exempt from no-wallclock — clock reads here need no allow()
+// annotation and must produce no findings.
+#include <chrono>
+
+long long profiler_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

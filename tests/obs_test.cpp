@@ -1,11 +1,13 @@
 // Observability-layer tests: registry instruments, decision tracing,
-// reason-code coverage, the profiler, and the determinism contract —
-// digests and traces must be bit-identical whether observation is on or
-// off, and the trace itself must be byte-deterministic for a seeded run.
+// reason-code coverage, span ledgers, snapshots, manifests, the profiler,
+// and the determinism contract — digests and traces must be bit-identical
+// whether observation is on or off, and the trace itself must be
+// byte-deterministic for a seeded run.
 //
-// The FCFS golden trace (tests/golden/fcfs_trace.jsonl) is refreshed the
-// same way as the golden metrics: COSCHED_UPDATE_GOLDEN=1 (or
-// --update-golden) reruns and rewrites the file.
+// The FCFS golden trace (tests/golden/fcfs_trace.jsonl) and golden span
+// report (tests/golden/fcfs_spans.json) are refreshed the same way as the
+// golden metrics: COSCHED_UPDATE_GOLDEN=1 (or --update-golden) reruns and
+// rewrites the files.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -13,8 +15,10 @@
 #include <set>
 #include <sstream>
 
+#include "obs/manifest.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "slurmlite/simulation.hpp"
 #include "test_support.hpp"
@@ -105,6 +109,118 @@ TEST(Registry, ToJsonParsesWithProjectParser) {
   ASSERT_EQ(h.at("buckets").as_array().size(), 3u);  // 2 bounds + overflow
   EXPECT_EQ(h.at("buckets").as_array()[1].at("count").as_number(), 1.0);
   EXPECT_EQ(h.at("buckets").as_array()[2].at("le").as_string(), "inf");
+}
+
+// --- Percentile sketches -----------------------------------------------------
+
+TEST(PercentileSketch, BucketPlacementAndCeilRankQuantiles) {
+  PercentileSketch s({1.0, 10.0, 100.0});
+  s.observe(0.5);   // bucket 0
+  s.observe(1.0);   // bucket 0 (boundary counts low, like Histogram)
+  s.observe(7.0);   // bucket 1
+  s.observe(50.0);  // bucket 2
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum(), 58.5);
+  double q = 0;
+  ASSERT_TRUE(s.quantile(500, &q));  // ceil-rank 2 of 4 -> first bucket
+  EXPECT_DOUBLE_EQ(q, 1.0);
+  ASSERT_TRUE(s.quantile(900, &q));  // rank 4 -> third bucket
+  EXPECT_DOUBLE_EQ(q, 100.0);
+  ASSERT_TRUE(s.quantile(1, &q));    // rank 1
+  EXPECT_DOUBLE_EQ(q, 1.0);
+}
+
+TEST(PercentileSketch, OverflowAndEmptySerializeAsStrings) {
+  PercentileSketch s({1.0});
+  const auto render = [](const PercentileSketch& sketch) {
+    JsonWriter w;
+    w.begin_object();
+    sketch.write_json(w, "s");
+    w.end_object();
+    return parse_json(w.str());
+  };
+  EXPECT_EQ(render(s).at("s").at("p50").as_string(), "none");
+  s.observe(5.0);  // lands in the overflow bucket
+  double q = 0;
+  EXPECT_FALSE(s.quantile(500, &q));
+  EXPECT_EQ(render(s).at("s").at("p50").as_string(), "inf");
+  EXPECT_EQ(render(s).at("s").at("count").as_number(), 1.0);
+}
+
+TEST(PercentileSketch, MergeMatchesCombinedObservations) {
+  PercentileSketch a({1.0, 10.0});
+  PercentileSketch b({1.0, 10.0});
+  a.observe(0.5);
+  b.observe(5.0);
+  b.observe(20.0);  // overflow
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 25.5);
+  double q = 0;
+  ASSERT_TRUE(a.quantile(500, &q));  // rank 2 -> second bucket
+  EXPECT_DOUBLE_EQ(q, 10.0);
+  EXPECT_FALSE(a.quantile(1000, &q));  // rank 3 is the overflow observation
+  PercentileSketch c({2.0});
+  EXPECT_THROW(a.merge_from(c), Error);
+}
+
+// --- Span ledger -------------------------------------------------------------
+
+TEST(SpanLedger, FoldsLifecycleIntoSketches) {
+  SpanLedger ledger;
+  ledger.on_submit(1, 0);
+  ledger.on_first_considered(1, 10 * kSecond);
+  ledger.on_first_considered(1, 20 * kSecond);  // idempotent: first wins
+  ledger.on_start(1, 60 * kSecond, /*secondary=*/false);
+  ledger.on_end(1, 360 * kSecond, SpanEnd::kComplete);
+  EXPECT_EQ(ledger.submitted(), 1u);
+  EXPECT_EQ(ledger.ended(), 1u);
+  EXPECT_EQ(ledger.open(), 0u);
+  EXPECT_EQ(ledger.wait().count(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.wait().sum(), 60.0);
+  EXPECT_DOUBLE_EQ(ledger.latency().sum(), 360.0);
+  EXPECT_DOUBLE_EQ(ledger.first_consider().sum(), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.stretch().sum(), 360.0 / 300.0);
+}
+
+TEST(SpanLedger, RequeueRestartsWaitAndCancelledNeverFolds) {
+  SpanLedger ledger;
+  ledger.on_submit(7, 0);
+  ledger.on_start(7, 10 * kSecond, /*secondary=*/false);
+  ledger.on_requeue(7, 20 * kSecond);
+  ledger.on_start(7, 100 * kSecond, /*secondary=*/true);
+  ledger.on_end(7, 200 * kSecond, SpanEnd::kTimeout);
+  // submit -> FINAL start, matching the queue_wait_s histogram semantics.
+  EXPECT_DOUBLE_EQ(ledger.wait().sum(), 100.0);
+  ledger.on_submit(8, 0);
+  ledger.on_end(8, 50 * kSecond, SpanEnd::kCancelled);
+  // Unknown ids are tolerated (a cancel can race the submit record) and
+  // must not disturb any counter.
+  ledger.on_end(99, kSecond, SpanEnd::kCancelled);
+  const JsonValue doc = parse_json(ledger.to_json());
+  EXPECT_EQ(doc.at("jobs").at("requeues").as_number(), 1.0);
+  EXPECT_EQ(doc.at("jobs").at("timed_out").as_number(), 1.0);
+  EXPECT_EQ(doc.at("jobs").at("cancelled").as_number(), 1.0);
+  EXPECT_EQ(doc.at("jobs").at("started_secondary").as_number(), 1.0);
+  EXPECT_EQ(doc.at("jobs").at("open").as_number(), 0.0);
+  // The cancelled job never folds into the latency sketches.
+  EXPECT_EQ(doc.at("wait_s").at("count").as_number(), 1.0);
+}
+
+TEST(SpanLedger, MergeSumsCountersAndSketches) {
+  SpanLedger a;
+  SpanLedger b;
+  a.on_submit(1, 0);
+  a.on_start(1, kSecond, false);
+  a.on_end(1, 2 * kSecond, SpanEnd::kComplete);
+  b.on_submit(2, 0);
+  b.on_start(2, 3 * kSecond, true);
+  b.on_end(2, 5 * kSecond, SpanEnd::kComplete);
+  a.merge_from(b);
+  EXPECT_EQ(a.submitted(), 2u);
+  EXPECT_EQ(a.ended(), 2u);
+  EXPECT_EQ(a.wait().count(), 2u);
+  EXPECT_DOUBLE_EQ(a.wait().sum(), 4.0);
 }
 
 // --- Reason codes ------------------------------------------------------------
@@ -225,22 +341,143 @@ TEST(Trace, ByteDeterministicAcrossRuns) {
 
 TEST(Trace, ObservationNeverChangesDigests) {
   // The acceptance bar for the whole layer: event-stream digests are
-  // bit-identical with tracing + metrics on or off.
+  // bit-identical with the full observation stack — tracing, metrics,
+  // span ledger, snapshot sampler — on or off.
   for (const auto kind : {core::StrategyKind::kFcfs,
                           core::StrategyKind::kCoBackfill}) {
     Tracer tracer;
     Registry registry;
+    SpanLedger spans;
     slurmlite::SimulationSpec plain = traced_spec(kind, nullptr);
     plain.controller.tracer = nullptr;
     plain.controller.registry = nullptr;
     const auto bare = slurmlite::run_digest(plain, trinity());
-    const auto observed = slurmlite::run_digest(
-        traced_spec(kind, &tracer, &registry), trinity());
+    slurmlite::SimulationSpec full = traced_spec(kind, &tracer, &registry);
+    full.controller.spans = &spans;
+    full.controller.snapshot_period = 300 * kSecond;
+    const auto observed = slurmlite::run_digest(full, trinity());
     EXPECT_EQ(bare.hash, observed.hash) << core::to_string(kind);
     EXPECT_EQ(bare.events, observed.events);
     EXPECT_GT(tracer.size(), 0u);
     EXPECT_FALSE(registry.empty());
+    EXPECT_GT(spans.submitted(), 0u);
+    EXPECT_GT(registry.counter("snapshots").value(), 0u);
   }
+}
+
+TEST(Trace, SpanLedgerMatchesSimulationOutcome) {
+  SpanLedger first;
+  SpanLedger second;
+  slurmlite::SimulationSpec spec =
+      traced_spec(core::StrategyKind::kCoBackfill, nullptr);
+  spec.controller.spans = &first;
+  const auto result = slurmlite::run_simulation(spec, trinity());
+  spec.controller.spans = &second;
+  slurmlite::run_simulation(spec, trinity());
+  // Byte-deterministic across identical runs.
+  EXPECT_EQ(first.to_json(), second.to_json());
+
+  const JsonValue doc = parse_json(first.to_json());
+  const auto jobs = static_cast<double>(result.jobs.size());
+  EXPECT_EQ(doc.at("jobs").at("submitted").as_number(), jobs);
+  EXPECT_EQ(doc.at("jobs").at("completed").as_number() +
+                doc.at("jobs").at("timed_out").as_number(),
+            jobs);
+  EXPECT_EQ(doc.at("jobs").at("open").as_number(), 0.0);
+  // Every finished job folded wait + latency; the ledger saw each job
+  // considered by some pass before it started.
+  EXPECT_EQ(doc.at("wait_s").at("count").as_number(), jobs);
+  EXPECT_EQ(doc.at("latency_s").at("count").as_number(), jobs);
+  EXPECT_EQ(doc.at("first_consider_s").at("count").as_number(), jobs);
+}
+
+TEST(Trace, SnapshotsSampleGaugesAtCadence) {
+  Tracer tracer;
+  Registry registry;
+  slurmlite::SimulationSpec spec =
+      traced_spec(core::StrategyKind::kCoBackfill, &tracer, &registry);
+  const SimDuration period = 600 * kSecond;
+  spec.controller.snapshot_period = period;
+  slurmlite::run_simulation(spec, trinity());
+
+  std::size_t snapshots = 0;
+  SimTime last_tick = -1;
+  for (const std::string& line : tracer.lines()) {
+    const JsonValue record = parse_json(line);
+    if (record.at("type").as_string() != "snapshot") continue;
+    ++snapshots;
+    const auto t = static_cast<SimTime>(record.at("t_us").as_number());
+    const auto tick = static_cast<SimTime>(record.at("tick_us").as_number());
+    EXPECT_EQ(tick % period, 0) << line;   // nominal cadence boundary
+    EXPECT_GE(t, tick) << line;            // stamped at the firing event
+    EXPECT_GT(tick, last_tick) << line;    // idle gaps collapse, no dups
+    last_tick = tick;
+    const double busy = record.at("busy_nodes").as_number();
+    const double total = record.at("total_nodes").as_number();
+    EXPECT_LE(busy, total) << line;
+    const double util = record.at("utilization").as_number();
+    EXPECT_GE(util, 0.0) << line;
+    EXPECT_LE(util, 1.0) << line;
+    EXPECT_GE(record.at("pending").as_number(), 0.0) << line;
+    EXPECT_GE(record.at("running").as_number(), 0.0) << line;
+  }
+  EXPECT_GT(snapshots, 1u);
+  EXPECT_EQ(registry.counter("snapshots").value(), snapshots);
+}
+
+// --- Run manifest ------------------------------------------------------------
+
+RunManifest sample_manifest() {
+  RunManifest m;
+  m.command = "sim";
+  m.strategy = "cobackfill";
+  m.queue_policy = "fifo";
+  m.event_queue = "calendar";
+  m.workload = "trinity";
+  m.seed = 7;
+  m.nodes = 16;
+  m.jobs = 80;
+  m.pass_threads = 4;
+  m.threads = 2;
+  m.grain = 64;
+  m.stream = true;
+  return m;
+}
+
+TEST(Manifest, SplitsDecisionIdentityFromExecution) {
+  const RunManifest m = sample_manifest();
+  const JsonValue full = parse_json(manifest_json(m, true));
+  EXPECT_EQ(full.at("tool").as_string(), "cosched");
+  EXPECT_EQ(full.at("strategy").as_string(), "cobackfill");
+  EXPECT_EQ(full.at("seed").as_number(), 7.0);
+  ASSERT_TRUE(full.has("execution"));
+  EXPECT_EQ(full.at("execution").at("pass_threads").as_number(), 4.0);
+  EXPECT_TRUE(full.at("execution").at("stream").as_bool());
+  EXPECT_FALSE(full.at("execution").at("build").as_string().empty());
+
+  // Stripping execution must leave the decision identity bytes intact:
+  // the bare form is what `cosched report` emits and byte-compares.
+  const JsonValue bare = parse_json(manifest_json(m, false));
+  EXPECT_FALSE(bare.has("execution"));
+  for (const std::string& key : bare.keys()) {
+    EXPECT_TRUE(full.has(key)) << key;
+  }
+  RunManifest other = m;
+  other.pass_threads = 1;
+  other.threads = 1;
+  other.grain = 0;
+  EXPECT_EQ(manifest_json(m, false), manifest_json(other, false));
+}
+
+TEST(Manifest, TracerStampsManifestAsFirstRecord) {
+  Tracer tracer;
+  tracer.manifest(sample_manifest());
+  ASSERT_EQ(tracer.size(), 1u);
+  const JsonValue rec = parse_json(tracer.lines().front());
+  EXPECT_EQ(rec.at("type").as_string(), "manifest");
+  EXPECT_EQ(rec.at("t_us").as_number(), 0.0);
+  EXPECT_EQ(rec.at("tool").as_string(), "cosched");
+  EXPECT_EQ(rec.at("execution").at("pass_threads").as_number(), 4.0);
 }
 
 TEST(Trace, EngineEventLabelsAppear) {
@@ -289,6 +526,38 @@ TEST(Trace, ChromeExportIsValidJson) {
   EXPECT_TRUE(phases.count("i"));  // instants
 }
 
+TEST(Trace, ChromeExportRoundTripsEveryRecord) {
+  // Round-trip property: every JSONL record — including the new manifest
+  // and snapshot types — converts to exactly one trace_event that the
+  // project parser accepts back.
+  Tracer tracer;
+  tracer.manifest(sample_manifest());
+  slurmlite::SimulationSpec spec =
+      traced_spec(core::StrategyKind::kCoBackfill, &tracer);
+  spec.controller.snapshot_period = 600 * kSecond;
+  slurmlite::run_simulation(spec, trinity());
+
+  const JsonValue doc = parse_json(to_chrome_trace(tracer.str()));
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), tracer.size());
+  // The manifest record leads and renders as an instant; its nested
+  // execution object is dropped from args (the converter carries only
+  // scalar fields), never a parse failure.
+  EXPECT_EQ(events.front().at("name").as_string(), "manifest");
+  EXPECT_EQ(events.front().at("ph").as_string(), "i");
+  EXPECT_FALSE(events.front().at("args").has("execution"));
+  EXPECT_EQ(events.front().at("args").at("strategy").as_string(),
+            "cobackfill");
+  std::size_t snapshot_instants = 0;
+  for (const JsonValue& e : events) {
+    if (e.at("name").as_string() == "snapshot") {
+      ++snapshot_instants;
+      EXPECT_TRUE(e.at("args").has("utilization"));
+    }
+  }
+  EXPECT_GT(snapshot_instants, 0u);
+}
+
 // --- Golden FCFS trace -------------------------------------------------------
 
 bool update_golden() {
@@ -326,6 +595,39 @@ TEST(Trace, GoldenFcfsSnippet) {
   std::ostringstream expected;
   expected << in.rdbuf();
   EXPECT_EQ(tracer.str(), expected.str());
+}
+
+TEST(Trace, GoldenFcfsSpanReport) {
+  // The span-report twin of GoldenFcfsSnippet: the same fully-pinned FCFS
+  // run, with the ledger JSON committed byte-for-byte. Any drift in span
+  // folding, sketch bounds, or serialization order fails here first
+  // (refresh with COSCHED_UPDATE_GOLDEN=1).
+  slurmlite::SimulationSpec spec;
+  spec.controller.nodes = 2;
+  spec.controller.strategy = core::StrategyKind::kFcfs;
+  SpanLedger spans;
+  spec.controller.spans = &spans;
+  workload::JobList jobs;
+  jobs.push_back(make_job(1, 2, 100 * kSecond, 200 * kSecond,
+                          trinity().by_name("GTC").id));
+  jobs.push_back(make_job(2, 1, 50 * kSecond, 100 * kSecond,
+                          trinity().by_name("miniFE").id));
+  slurmlite::run_jobs(spec, trinity(), jobs);
+
+  const std::string path =
+      std::string(COSCHED_GOLDEN_DIR) + "/fcfs_spans.json";
+  if (update_golden()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << spans.to_json() << "\n";
+    GTEST_SKIP() << "golden span report rewritten: " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with COSCHED_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(spans.to_json() + "\n", expected.str());
 }
 
 // --- Profiler ----------------------------------------------------------------

@@ -16,6 +16,8 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/diff.hpp"
+#include "obs/span.hpp"
 #include "runner/parallel_reduce.hpp"
 #include "runner/runner.hpp"
 #include "slurmlite/simulation.hpp"
@@ -33,6 +35,7 @@ struct RunArtifacts {
   slurmlite::SimulationResult result;
   std::string trace;         ///< full JSONL document (byte-compared)
   std::string metrics_json;  ///< registry dump (compared sans _wall_)
+  std::string spans_json;    ///< span ledger dump (byte-compared)
 };
 
 RunArtifacts run_with(core::StrategyKind kind, slurmlite::QueuePolicy queue,
@@ -40,6 +43,7 @@ RunArtifacts run_with(core::StrategyKind kind, slurmlite::QueuePolicy queue,
   const auto catalog = apps::Catalog::trinity();
   obs::Tracer tracer;
   obs::Registry registry;
+  obs::SpanLedger spans;
   slurmlite::SimulationSpec spec;
   spec.controller.nodes = kNodes;
   spec.controller.strategy = kind;
@@ -47,6 +51,7 @@ RunArtifacts run_with(core::StrategyKind kind, slurmlite::QueuePolicy queue,
   spec.controller.scheduler_options.co.gate_mode = gate;
   spec.controller.tracer = &tracer;
   spec.controller.registry = &registry;
+  spec.controller.spans = &spans;
   spec.controller.pass_executor = exec;
   spec.workload = workload::trinity_campaign(kNodes, kJobs);
   spec.seed = derive_seed(7, 0);
@@ -55,6 +60,7 @@ RunArtifacts run_with(core::StrategyKind kind, slurmlite::QueuePolicy queue,
   out.result = slurmlite::run_simulation(spec, catalog);
   out.trace = tracer.str();
   out.metrics_json = registry.to_json();
+  out.spans_json = spans.to_json();
   return out;
 }
 
@@ -146,8 +152,18 @@ void expect_identical_runs(const RunArtifacts& serial,
   EXPECT_EQ(parallel.result.stats.completions,
             serial.result.stats.completions);
   // The decision trace, byte for byte: same records, same reason codes,
-  // same scanned/admissible tallies, same selected node lists.
-  EXPECT_EQ(parallel.trace, serial.trace);
+  // same scanned/admissible tallies, same selected node lists. On a
+  // mismatch, route the pair through the divergence forensics so the
+  // failure names the first divergent record instead of dumping two
+  // multi-thousand-line documents.
+  if (parallel.trace != serial.trace) {
+    const obs::DiffResult diff = obs::diff_streams(
+        "serial", serial.trace, "parallel", parallel.trace);
+    ADD_FAILURE() << "trace divergence between serial and parallel runs:\n"
+                  << diff.report;
+  }
+  // Span percentiles fold from the same decisions — byte-identical too.
+  EXPECT_EQ(parallel.spans_json, serial.spans_json);
   expect_same_instruments(serial.metrics_json, parallel.metrics_json);
 }
 

@@ -132,6 +132,28 @@ TEST(Swf, StreamingSourceSkipsMalformedLines) {
   EXPECT_EQ(source.malformed_lines(), 1u);
 }
 
+TEST(Swf, StreamingSourceSurfacesSkipsAsRegistryCounter) {
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 5 -1 100\n"   // truncated
+      "garbled text\n"  // not even a job number
+      "3 10 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  obs::Registry registry;
+  SwfJobSource source(in, 0);
+  source.bind_registry(&registry);
+  workload::JobList streamed;
+  while (auto job = source.next()) streamed.push_back(*job);
+  ASSERT_EQ(streamed.size(), 2u);
+  // The "garbled text" line never yields a job number, so only the
+  // truncated record counts as malformed — and the total surfaces as the
+  // swf_malformed_lines counter at end of stream.
+  EXPECT_EQ(source.malformed_lines(), 1u);
+  EXPECT_EQ(registry.counter("swf_malformed_lines").value(), 1u);
+  // Draining past the end must not double-count.
+  EXPECT_FALSE(source.next().has_value());
+  EXPECT_EQ(registry.counter("swf_malformed_lines").value(), 1u);
+}
+
 TEST(Swf, StreamingSourceRequiresSortedTrace) {
   std::stringstream in(
       "1 100 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"

@@ -26,6 +26,21 @@
 //                    # validate every record through the project JSON
 //                    # parser, summarize, optionally convert to the Chrome
 //                    # trace_event format (about:tracing / Perfetto)
+//   cosched report   [same run flags as sim] [--out FILE]
+//                    # run the simulation and emit one byte-deterministic
+//                    # JSON report: manifest (decision identity only), job
+//                    # lifecycle span percentiles, golden metrics, stats,
+//                    # and the deterministic registry instruments. The
+//                    # bytes are identical across repeated runs of a seed
+//                    # and across --pass-threads values.
+//   cosched diff     A.jsonl B.jsonl [--context N]
+//                    # align two trace streams and report the first
+//                    # divergent record with decoded context (reason
+//                    # codes, pass boundaries, involved nodes/jobs).
+//                    # Manifest execution blocks (pass_threads, build,
+//                    # ...) are ignored: runs that differ only there are
+//                    # required to agree everywhere else. Exit 0 when
+//                    # identical, 1 on divergence.
 //   cosched analyze  [paths...] [--format human|json] [--baseline FILE]
 //                    [--write-baseline] [--root DIR]
 //                    # scope-aware determinism & data-race hazard analysis
@@ -51,8 +66,12 @@
 
 #include "cosched_lint/driver.hpp"
 #include "metrics/validate.hpp"
+#include "obs/diff.hpp"
+#include "obs/manifest.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "runner/parallel_reduce.hpp"
 #include "runner/runner.hpp"
@@ -72,8 +91,8 @@ namespace {
 using namespace cosched;
 
 int usage() {
-  std::cerr << "usage: cosched "
-               "<sim|compare|validate|audit|config|trace|analyze> [flags]\n"
+  std::cerr << "usage: cosched <sim|compare|validate|audit|config|trace|"
+               "report|diff|analyze> [flags]\n"
                "run with a subcommand; see the header of tools/cosched_cli"
                ".cpp or README.md for flag details\n";
   return 2;
@@ -140,6 +159,40 @@ class ShareableFromCatalog final : public workload::JobSource {
   const apps::Catalog& catalog_;
 };
 
+/// The run manifest a sim/report invocation stamps into its artifacts
+/// (obs/manifest.hpp). Decision-identity fields come from the resolved
+/// config; execution fields record how this invocation was carried out.
+obs::RunManifest manifest_from(const Flags& flags, const char* command,
+                               const slurmlite::ControllerConfig& config,
+                               std::uint64_t seed, bool stream,
+                               int pass_threads) {
+  obs::RunManifest m;
+  m.command = command;
+  m.strategy = core::to_string(config.strategy);
+  m.queue_policy =
+      config.queue_policy == slurmlite::QueuePolicy::kFifo ? "fifo"
+                                                           : "priority";
+  m.event_queue = sim::default_queue_kind() == sim::QueueKind::kBinaryHeap
+                      ? "heap"
+                      : "calendar";
+  const std::string trace = flags.get_string("workload", "");
+  m.workload = !trace.empty() ? trace : flags.get_string("campaign",
+                                                         "trinity");
+  m.seed = seed;
+  m.nodes = config.nodes;
+  // SWF replays learn their job count only by draining the trace; the
+  // manifest is stamped up front, so record "unknown" rather than a lie.
+  m.jobs = trace.empty() ? flags.get_int("jobs", 300) : -1;
+  m.pass_threads = pass_threads;
+  m.threads = 1;
+  m.grain = pass_threads > 1
+                ? static_cast<std::int64_t>(
+                      runner::ParallelForReduce::kDefaultMinGrain)
+                : 0;
+  m.stream = stream;
+  return m;
+}
+
 workload::JobList load_or_generate_jobs(const Flags& flags,
                                         const apps::Catalog& catalog,
                                         int nodes, std::uint64_t seed) {
@@ -157,6 +210,34 @@ workload::JobList load_or_generate_jobs(const Flags& flags,
   return generator.generate(rng);
 }
 
+/// Runs the simulation described by `flags` + `spec`: materialized by
+/// default, streaming with --stream (SWF replay when --workload is set,
+/// campaign generator otherwise). The spec's registry — when attached —
+/// is bound to the streaming SWF source so malformed-line skips surface
+/// as the swf_malformed_lines counter.
+slurmlite::SimulationResult run_from_flags(
+    const Flags& flags, const slurmlite::SimulationSpec& spec,
+    const apps::Catalog& catalog, std::uint64_t seed, bool stream) {
+  if (!stream) {
+    const auto jobs =
+        load_or_generate_jobs(flags, catalog, spec.controller.nodes, seed);
+    return slurmlite::run_jobs(spec, catalog, jobs);
+  }
+  // Streaming ingestion: jobs are pulled one at a time in arrival order,
+  // so pending state stays O(running) regardless of trace length.
+  const std::string trace_in = flags.get_string("workload", "");
+  if (!trace_in.empty()) {
+    trace::SwfJobSource swf(trace_in, catalog.size());
+    swf.bind_registry(spec.controller.registry);
+    ShareableFromCatalog source(swf, catalog);
+    return slurmlite::run_stream(spec, catalog, source);
+  }
+  const workload::Generator generator(
+      campaign_params(flags, spec.controller.nodes), catalog);
+  workload::GeneratorJobSource source(generator, Pcg32(seed, 0xc11));
+  return slurmlite::run_stream(spec, catalog, source);
+}
+
 int cmd_sim(const Flags& flags) {
   const auto catalog = apps::Catalog::trinity();
   const auto config = load_config(flags);
@@ -165,8 +246,10 @@ int cmd_sim(const Flags& flags) {
 
   obs::Tracer tracer;
   obs::Registry registry;
+  obs::SpanLedger spans;
   const std::string trace_path = flags.get_string("trace", "");
   const std::string metrics_path = flags.get_string("metrics-json", "");
+  const std::string spans_path = flags.get_string("spans", "");
   const bool profile = flags.get_bool("profile", false);
   if (profile) {
     obs::profiler_reset();
@@ -178,6 +261,13 @@ int cmd_sim(const Flags& flags) {
   spec.seed = seed;
   if (!trace_path.empty()) spec.controller.tracer = &tracer;
   if (!metrics_path.empty()) spec.controller.registry = &registry;
+  if (!spans_path.empty()) spec.controller.spans = &spans;
+  // --snapshot-every S: sample utilization/queue-depth gauges into the
+  // trace and registry every S seconds of sim time.
+  if (const double every = flags.get_double("snapshot-every", 0.0);
+      every > 0) {
+    spec.controller.snapshot_period = from_seconds(every);
+  }
   // --pass-threads: intra-pass candidate scoring over a worker pool
   // (0 = hardware concurrency). A resolved count of 1 leaves the executor
   // detached — the inline serial path every historical run took.
@@ -190,25 +280,12 @@ int cmd_sim(const Flags& flags) {
     pass_exec.emplace(*pass_pool);
     spec.controller.pass_executor = &*pass_exec;
   }
-  const auto result = [&] {
-    if (!stream) {
-      const auto jobs =
-          load_or_generate_jobs(flags, catalog, config.nodes, seed);
-      return slurmlite::run_jobs(spec, catalog, jobs);
-    }
-    // Streaming ingestion: jobs are pulled one at a time in arrival order,
-    // so pending state stays O(running) regardless of trace length.
-    const std::string trace_in = flags.get_string("workload", "");
-    if (!trace_in.empty()) {
-      trace::SwfJobSource swf(trace_in, catalog.size());
-      ShareableFromCatalog source(swf, catalog);
-      return slurmlite::run_stream(spec, catalog, source);
-    }
-    const workload::Generator generator(campaign_params(flags, config.nodes),
-                                        catalog);
-    workload::GeneratorJobSource source(generator, Pcg32(seed, 0xc11));
-    return slurmlite::run_stream(spec, catalog, source);
-  }();
+  const obs::RunManifest manifest =
+      manifest_from(flags, "sim", config, seed, stream, pass_threads);
+  // The manifest is the first trace record (t_us = 0), stamped before the
+  // run so even an aborted run leaves a self-describing artifact.
+  if (!trace_path.empty()) tracer.manifest(manifest);
+  const auto result = run_from_flags(flags, spec, catalog, seed, stream);
 
   if (flags.get_bool("sacct", false)) {
     std::cout << slurmlite::sacct(result.jobs, catalog) << "\n";
@@ -231,7 +308,7 @@ int cmd_sim(const Flags& flags) {
     std::cout << "wrote SWF to " << path << "\n";
   }
   if (const std::string path = flags.get_string("json", ""); !path.empty()) {
-    slurmlite::write_json_file(path, result, catalog);
+    slurmlite::write_json_file(path, result, catalog, &manifest);
     std::cout << "wrote JSON to " << path << "\n";
   }
   if (!trace_path.empty()) {
@@ -242,11 +319,112 @@ int cmd_sim(const Flags& flags) {
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
     if (!out.good()) throw Error("cannot write '" + metrics_path + "'");
-    out << registry.to_json() << "\n";
+    out << "{\"manifest\":"
+        << obs::manifest_json(manifest, /*include_execution=*/true)
+        << ",\"process\":"
+        << obs::process_stats_json(obs::process_stats())
+        << ",\"registry\":" << registry.to_json() << "}\n";
     std::cout << "wrote metrics to " << metrics_path << "\n";
+  }
+  if (!spans_path.empty()) {
+    std::ofstream out(spans_path);
+    if (!out.good()) throw Error("cannot write '" + spans_path + "'");
+    out << "{\"manifest\":"
+        << obs::manifest_json(manifest, /*include_execution=*/false)
+        << ",\"spans\":" << spans.to_json() << "}\n";
+    std::cout << "wrote span report to " << spans_path << "\n";
   }
   print_profile_report(profile);
   return 0;
+}
+
+// Runs the simulation and emits one byte-deterministic JSON report:
+// manifest (decision identity only — no execution block), span
+// percentiles, golden metrics, stats sans the wall-clock CPU field, and
+// the registry instruments sans "_wall_" names. Identical bytes across
+// repeated runs of a seed and across --pass-threads values.
+int cmd_report(const Flags& flags) {
+  const auto catalog = apps::Catalog::trinity();
+  const auto config = load_config(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const bool stream = flags.get_bool("stream", false);
+
+  obs::Registry registry;
+  obs::SpanLedger spans;
+  slurmlite::SimulationSpec spec;
+  spec.controller = config;
+  spec.seed = seed;
+  spec.controller.registry = &registry;
+  spec.controller.spans = &spans;
+  if (const double every = flags.get_double("snapshot-every", 0.0);
+      every > 0) {
+    spec.controller.snapshot_period = from_seconds(every);
+  }
+  const int pass_threads = runner::resolve_threads(
+      static_cast<int>(flags.get_int("pass-threads", 1)));
+  std::optional<runner::ParallelRunner> pass_pool;
+  std::optional<runner::ParallelForReduce> pass_exec;
+  if (pass_threads > 1) {
+    pass_pool.emplace(pass_threads);
+    pass_exec.emplace(*pass_pool);
+    spec.controller.pass_executor = &*pass_exec;
+  }
+  const obs::RunManifest manifest =
+      manifest_from(flags, "report", config, seed, stream, pass_threads);
+  const auto result = run_from_flags(flags, spec, catalog, seed, stream);
+
+  // Metrics/stats fragments come from the same field writers as the sim
+  // JSON export, with the one wall-clock stats field dropped.
+  JsonWriter mw;
+  mw.begin_object();
+  slurmlite::write_metrics_fields(mw, result.metrics);
+  mw.end_object();
+  JsonWriter sw;
+  sw.begin_object();
+  slurmlite::write_stats_fields(sw, result.stats, /*include_wall=*/false);
+  sw.end_object();
+
+  std::ostringstream doc;
+  doc << "{\"manifest\":"
+      << obs::manifest_json(manifest, /*include_execution=*/false)
+      << ",\"spans\":" << spans.to_json() << ",\"metrics\":" << mw.str()
+      << ",\"stats\":" << sw.str()
+      << ",\"registry\":" << registry.to_json(/*include_wall=*/false)
+      << "}\n";
+
+  if (const std::string path = flags.get_string("out", ""); !path.empty()) {
+    std::ofstream out(path);
+    if (!out.good()) throw Error("cannot write '" + path + "'");
+    out << doc.str();
+  } else {
+    std::cout << doc.str();
+  }
+  return 0;
+}
+
+// Aligns two trace streams and reports the first divergent record with
+// decoded context. Exit 0 identical, 1 divergent, 2 usage.
+int cmd_diff(const Flags& flags) {
+  const auto& positional = flags.positional();
+  if (positional.size() != 2) {
+    std::cerr << "diff requires two files: cosched diff A.jsonl B.jsonl "
+                 "[--context N]\n";
+    return 2;
+  }
+  const auto read_all = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in.good()) throw Error("cannot read '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  obs::DiffOptions opts;
+  opts.context = static_cast<int>(flags.get_int("context", 3));
+  const obs::DiffResult result =
+      obs::diff_streams(positional[0], read_all(positional[0]),
+                        positional[1], read_all(positional[1]), opts);
+  std::cout << result.report;
+  return result.identical ? 0 : 1;
 }
 
 int cmd_compare(const Flags& flags) {
@@ -526,6 +704,10 @@ int main(int argc, char** argv) {
       rc = cmd_config(flags);
     } else if (command == "trace") {
       rc = cmd_trace(flags);
+    } else if (command == "report") {
+      rc = cmd_report(flags);
+    } else if (command == "diff") {
+      rc = cmd_diff(flags);
     } else if (command == "analyze") {
       rc = cmd_analyze(flags);
     } else {

@@ -26,6 +26,13 @@ const std::set<std::string>& wallclock_idents() {
 void scan_banned_idents(const std::vector<Token>& tokens,
                         const SourceFile& file,
                         std::vector<Finding>& findings) {
+  // Wall-clock reads are legal only in the blessed observability seams:
+  // the profiler/process probes under src/obs/ and the log timestamper in
+  // src/util/log. Simulation and strategy code gets sim time from
+  // sim::Engine::now(); timing goes through obs::detail::prof_now_ns().
+  const bool wallclock_exempt =
+      file.path.find("src/obs/") != std::string::npos ||
+      file.path.find("src/util/log") != std::string::npos;
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const Token& t = tokens[i];
     if (t.kind != Token::Kind::kIdent) continue;
@@ -38,15 +45,16 @@ void scan_banned_idents(const std::vector<Token>& tokens,
                           "use cosched::Pcg32 (util/rng.hpp)"});
       continue;
     }
-    if (wallclock_idents().count(t.text) && !member_access) {
+    if (wallclock_idents().count(t.text) && !member_access &&
+        !wallclock_exempt) {
       findings.push_back({file.path, t.line, t.col, "no-wallclock",
                           "wall-clock source '" + t.text +
                               "' in simulation code",
                           "use sim::Engine::now()"});
       continue;
     }
-    if (t.text == "time" && !member_access && i + 2 < tokens.size() &&
-        tokens[i + 1].text == "(") {
+    if (t.text == "time" && !member_access && !wallclock_exempt &&
+        i + 2 < tokens.size() && tokens[i + 1].text == "(") {
       const Token& arg = tokens[i + 2];
       const bool argless =
           arg.text == ")" ||
