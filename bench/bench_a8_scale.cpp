@@ -12,15 +12,19 @@
 //     getrusage peak RSS is process-cumulative, so the sweep reports
 //     time only.
 //   --single: runs exactly ONE configuration (--queue heap|calendar,
-//     --stream, --pass-threads) and prints a JSON record with wall
-//     seconds, scheduler-pass seconds (--profile arms the sampler), peak
-//     RSS, and the resolved pass_threads count. BENCH_pr5.json's headline
-//     cell runs one process per configuration so the RSS numbers are
-//     honest; BENCH_pr7.json uses the pass_threads/sched_s fields to
-//     attribute intra-pass speedup.
+//     --stream, --retire, --pass-threads) and prints a JSON record with
+//     wall seconds, scheduler-pass seconds (--profile arms the sampler),
+//     peak RSS, and the resolved pass_threads count. BENCH_pr5.json's
+//     headline cell runs one process per configuration so the RSS numbers
+//     are honest; BENCH_pr7.json uses the pass_threads/sched_s fields to
+//     attribute intra-pass speedup. --retire frees each job record at its
+//     final state (flat memory); --rss-every N adds current-RSS
+//     checkpoints every N streamed jobs so flatness is visible in the
+//     record, not just the peak.
 #include <chrono>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "obs/process_stats.hpp"
@@ -70,14 +74,49 @@ struct CellResult {
   double makespan_h = 0;
   std::size_t events = 0;
   std::size_t completed = 0;
+  /// Event-stream digest; 0 unless the spec armed hash_events.
+  std::uint64_t digest = 0;
+  /// (jobs pulled, current RSS MiB) checkpoints — nonempty only when the
+  /// cell streamed with rss_every > 0. A flat sequence is the
+  /// memory-stays-O(in-flight) proof peak RSS alone cannot give.
+  std::vector<std::pair<int, double>> rss_samples;
+};
+
+/// JobSource decorator that samples the process's *current* RSS every
+/// `every` jobs pulled. Sampling is host-state observation only — it
+/// never feeds back into generation or scheduling.
+class RssSamplingSource final : public workload::JobSource {
+ public:
+  RssSamplingSource(workload::JobSource& inner, int every,
+                    std::vector<std::pair<int, double>>& out)
+      : inner_(inner), every_(every), out_(out) {}
+
+  std::optional<workload::Job> next() override {
+    auto job = inner_.next();
+    if (job && ++pulled_ % every_ == 0) {
+      out_.emplace_back(pulled_, obs::current_rss_mb());
+    }
+    return job;
+  }
+
+ private:
+  workload::JobSource& inner_;
+  const int every_;
+  int pulled_ = 0;
+  std::vector<std::pair<int, double>>& out_;
 };
 
 /// Runs one configuration of one cell. `stream` pulls arrivals lazily
 /// from a GeneratorJobSource (never materializing the JobList);
 /// otherwise the list is generated up front and replayed — the pre-PR
 /// ingestion path. The generator draws identical jobs either way.
+/// Completion counts come from the metrics (not the record list), so the
+/// same accounting works when spec.controller.retire_finished freed the
+/// records.
 CellResult run_cell(const slurmlite::SimulationSpec& spec,
-                    const apps::Catalog& catalog, bool stream) {
+                    const apps::Catalog& catalog, bool stream,
+                    int rss_every = 0) {
+  CellResult cell;
   const auto start = Clock::now();
   const auto result = [&] {
     if (!stream) return slurmlite::run_simulation(spec, catalog);
@@ -85,18 +124,21 @@ CellResult run_cell(const slurmlite::SimulationSpec& spec,
     // Same stream constant as run_simulation's generator draw, so both
     // ingestion paths see identical jobs.
     workload::GeneratorJobSource source(generator, Pcg32(spec.seed, 0x5eed));
+    if (rss_every > 0) {
+      RssSamplingSource sampled(source, rss_every, cell.rss_samples);
+      return slurmlite::run_stream(spec, catalog, sampled);
+    }
     return slurmlite::run_stream(spec, catalog, source);
   }();
   const std::chrono::duration<double> wall = Clock::now() - start;
-  CellResult cell;
   cell.wall_s = wall.count();
   cell.sched_s =
       std::chrono::duration<double>(result.stats.scheduler_cpu).count();
   cell.makespan_h = result.metrics.makespan_s / 3600.0;
   cell.events = result.events_executed;
-  for (const auto& job : result.jobs) {
-    if (job.finished()) ++cell.completed;
-  }
+  cell.completed = static_cast<std::size_t>(result.metrics.jobs_completed) +
+                   static_cast<std::size_t>(result.metrics.jobs_timeout);
+  cell.digest = result.event_stream_hash;
   return cell;
 }
 
@@ -117,11 +159,17 @@ int main(int argc, char** argv) {
     // BENCH_pr7.json can attribute pass-phase speedup to --pass-threads).
     const std::string queue_name = flags.get_string("queue", "calendar");
     const bool stream = flags.get_bool("stream", false);
+    const bool retire = flags.get_bool("retire", false);
+    // --rss-every N: with --stream, checkpoint current RSS every N jobs
+    // pulled; the emitted series shows whether memory is flat in trace
+    // length (CI's scale smoke asserts a ceiling on the checkpoints).
+    const int rss_every = static_cast<int>(flags.get_int("rss-every", 0));
     const sim::QueueKind queue = queue_name == "heap"
                                      ? sim::QueueKind::kBinaryHeap
                                      : sim::QueueKind::kCalendar;
     auto spec = make_spec(env.nodes, env.jobs, strategy, env.base_seed,
                           load, queue);
+    spec.controller.retire_finished = retire;
     // This is the one-giant-simulation regime intra-pass parallelism is
     // for: a single cell, so the runner pool is otherwise idle and the
     // executor's re-entry restriction (one live simulation) holds.
@@ -133,15 +181,17 @@ int main(int argc, char** argv) {
       pass_exec.emplace(*pass_pool);
       spec.controller.pass_executor = &*pass_exec;
     }
-    const auto cell = run_cell(spec, catalog, stream);
+    const auto cell = run_cell(spec, catalog, stream, rss_every);
     // Shared getrusage probe (obs/process_stats.hpp); peak_rss_mb keeps
     // its historical name for the BENCH_pr5/pr7 consumers.
     const obs::ProcessStats process = obs::process_stats();
     std::cout << "{\"nodes\": " << env.nodes << ", \"jobs\": " << env.jobs
               << ", \"queue\": \"" << queue_name << "\""
               << ", \"stream\": " << (stream ? "true" : "false")
+              << ", \"retire\": " << (retire ? "true" : "false")
               << ", \"strategy\": \"" << core::to_string(strategy) << "\""
               << ", \"pass_threads\": " << pass_threads
+              << ", \"hardware_concurrency\": " << process.hardware_concurrency
               << ", \"wall_s\": " << cell.wall_s
               << ", \"sched_s\": " << cell.sched_s
               << ", \"peak_rss_mb\": " << process.max_rss_mb
@@ -149,7 +199,17 @@ int main(int argc, char** argv) {
               << ", \"sys_cpu_s\": " << process.sys_cpu_s
               << ", \"events\": " << cell.events
               << ", \"completed\": " << cell.completed
-              << ", \"makespan_h\": " << cell.makespan_h << "}\n";
+              << ", \"makespan_h\": " << cell.makespan_h;
+    if (!cell.rss_samples.empty()) {
+      std::cout << ", \"rss_samples\": [";
+      for (std::size_t i = 0; i < cell.rss_samples.size(); ++i) {
+        if (i > 0) std::cout << ", ";
+        std::cout << "{\"jobs\": " << cell.rss_samples[i].first
+                  << ", \"rss_mb\": " << cell.rss_samples[i].second << "}";
+      }
+      std::cout << "]";
+    }
+    std::cout << "}\n";
     bench::finish(env);
     return 0;
   }
@@ -159,18 +219,30 @@ int main(int argc, char** argv) {
   const auto job_list =
       parse_list(flags.get_string("jobs-list", "10000,100000"));
 
-  Table t({"nodes", "jobs", "baseline (s)", "fast path (s)", "speedup",
-           "events", "makespan (h)"});
+  Table t({"nodes", "jobs", "baseline (s)", "fast path (s)", "retire (s)",
+           "speedup", "events", "makespan (h)"});
   for (const int nodes : node_list) {
     for (const int jobs : job_list) {
       const auto heap_spec =
           make_spec(nodes, jobs, strategy, env.base_seed, load,
                     sim::QueueKind::kBinaryHeap);
-      const auto cal_spec =
+      auto cal_spec =
           make_spec(nodes, jobs, strategy, env.base_seed, load,
                     sim::QueueKind::kCalendar);
-      const auto before = run_cell(heap_spec, catalog, /*stream=*/false);
+      // Hash every cell: the two streaming configurations must agree
+      // digest-for-digest (retirement reproduces the materialized fold
+      // from per-job subdigests), and the uniform hashing cost keeps the
+      // baseline/fast-path timing comparison fair. The baseline's digest
+      // is not comparable — materialized ingestion assigns different
+      // event ids — so it is checked on makespan/completions only.
+      auto heap_hashed = heap_spec;
+      heap_hashed.hash_events = true;
+      cal_spec.hash_events = true;
+      auto retire_spec = cal_spec;
+      retire_spec.controller.retire_finished = true;
+      const auto before = run_cell(heap_hashed, catalog, /*stream=*/false);
       const auto after = run_cell(cal_spec, catalog, /*stream=*/true);
+      const auto retired = run_cell(retire_spec, catalog, /*stream=*/true);
       // Same decisions => same schedule; a drift here is a correctness
       // bug, not a perf result.
       if (before.makespan_h != after.makespan_h ||
@@ -178,23 +250,33 @@ int main(int argc, char** argv) {
         throw Error("configurations diverged at " + std::to_string(nodes) +
                     " nodes / " + std::to_string(jobs) + " jobs");
       }
+      if (retired.digest != after.digest ||
+          retired.makespan_h != after.makespan_h ||
+          retired.events != after.events ||
+          retired.completed != after.completed) {
+        throw Error("retire streaming diverged at " + std::to_string(nodes) +
+                    " nodes / " + std::to_string(jobs) + " jobs");
+      }
       t.row()
           .add(nodes)
           .add(jobs)
           .add(before.wall_s, 2)
           .add(after.wall_s, 2)
+          .add(retired.wall_s, 2)
           .add(before.wall_s / after.wall_s, 2)
           .add(static_cast<std::int64_t>(after.events))
           .add(after.makespan_h, 2);
     }
   }
   bench::emit(t, env, "R-A8: scale fast path (heap+materialized vs "
-                      "calendar+streaming)",
+                      "calendar+streaming vs +retire)",
               "Baseline is the pre-PR configuration: binary-heap event "
               "queue over a fully materialized job list. The fast path "
               "pops the same events in the same order from a calendar "
-              "queue and pulls arrivals lazily, so the makespan column "
-              "is shared by construction. Peak-RSS comparisons need "
+              "queue and pulls arrivals lazily; the retire column adds "
+              "finished-job retirement (flat memory) and is digest-"
+              "checked against the fast path. The makespan column is "
+              "shared by construction. Peak-RSS comparisons need "
               "--single (one process per configuration).");
   bench::finish(env);
   return 0;

@@ -2,20 +2,24 @@
 
 namespace cosched::audit {
 
+std::uint64_t job_subdigest(const workload::Job& job) {
+  Fnv64 hash;
+  hash.mix_i64(job.id)
+      .mix_byte(static_cast<std::uint8_t>(job.state))
+      .mix_i64(job.submit_time)
+      .mix_i64(job.start_time)
+      .mix_i64(job.end_time)
+      .mix_byte(static_cast<std::uint8_t>(job.alloc_kind))
+      .mix_double(job.observed_dilation)
+      .mix_i64(job.requeues);
+  hash.mix_u64(job.alloc_nodes.size());
+  for (NodeId n : job.alloc_nodes) hash.mix_i64(n);
+  return hash.digest();
+}
+
 void mix_jobs(Fnv64& hash, const workload::JobList& jobs) {
   hash.mix_u64(jobs.size());
-  for (const workload::Job& job : jobs) {
-    hash.mix_i64(job.id)
-        .mix_byte(static_cast<std::uint8_t>(job.state))
-        .mix_i64(job.submit_time)
-        .mix_i64(job.start_time)
-        .mix_i64(job.end_time)
-        .mix_byte(static_cast<std::uint8_t>(job.alloc_kind))
-        .mix_double(job.observed_dilation)
-        .mix_i64(job.requeues);
-    hash.mix_u64(job.alloc_nodes.size());
-    for (NodeId n : job.alloc_nodes) hash.mix_i64(n);
-  }
+  for (const workload::Job& job : jobs) hash.mix_u64(job_subdigest(job));
 }
 
 DeterminismReport check_determinism(

@@ -41,7 +41,18 @@ class EventStreamHasher final : public sim::EventObserver {
   std::size_t events_ = 0;
 };
 
-/// Folds every job's decision-visible lifecycle record into `hash`.
+/// FNV-1a digest of one job's decision-visible lifecycle record, computed
+/// from a fresh offset basis. The per-job subdigest is the unit the run
+/// digest is built from: mix_jobs folds the job count and then each job's
+/// subdigest in submit order. Retire-mode runs (Controller retiring
+/// finished-job state to keep memory flat) compute the same subdigest at
+/// the moment a job reaches its final state and store only the 8-byte
+/// value, so a retired run reproduces the exact digest of a materialized
+/// one without keeping any job record alive.
+std::uint64_t job_subdigest(const workload::Job& job);
+
+/// Folds every job's decision-visible lifecycle record into `hash`:
+/// the job count, then each job's subdigest in list (submit) order.
 void mix_jobs(Fnv64& hash, const workload::JobList& jobs);
 
 /// One run's digest: the event-stream hash and how many events produced it.

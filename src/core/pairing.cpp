@@ -253,7 +253,9 @@ std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
   const cluster::NodeIdSet& free_set = machine.free_secondary_nodes();
   PassExecutor* exec = host.pass_executor();
   const int shards =
-      exec != nullptr ? exec->plan_shards(free_set.size()) : 1;
+      exec != nullptr
+          ? exec->plan_shards(static_cast<std::size_t>(free_set.size()))
+          : 1;
   if (shards <= 1) {
     // Inline serial scan — the differential reference PassParity compares
     // the parallel split against, and the only path when no executor is
@@ -272,7 +274,7 @@ std::optional<std::vector<NodeId>> CoAllocator::select_nodes(
     // iteration has no random access) so shard_block can slice it into
     // contiguous blocks, then score every shard share-nothing.
     flat_nodes_.clear();
-    flat_nodes_.reserve(free_set.size());
+    flat_nodes_.reserve(static_cast<std::size_t>(free_set.size()));
     for (NodeId n : free_set) flat_nodes_.push_back(n);
     while (shard_results_.size() < static_cast<std::size_t>(shards)) {
       shard_results_.push_back(std::make_unique<ShardResult>());

@@ -1,0 +1,98 @@
+// Streaming schedule metrics for retire-mode runs.
+//
+// A flat-memory streaming run (Controller retiring finished-job state, see
+// DESIGN "Fleet scale") never materializes the JobList that
+// metrics::compute folds over, so the same quantities must be accumulated
+// as jobs reach their final state. Two pieces cooperate:
+//
+//   StreamAccumulator — one fixed-size row per job, indexed by submit
+//     order. Jobs retire in completion order, but compute() folds doubles
+//     in submit order, and floating-point summation is order-sensitive;
+//     replaying the rows in ascending submit index at finalize() makes
+//     mean/percentile/total fields *bit-identical* to compute() on the
+//     materialized records. The row is O(1) per job (4 doubles + a state
+//     byte), which is the point: metrics stay exact while job records are
+//     freed.
+//
+//   OccupancyMeter — per-node busy/shared node-time in integer SimTime
+//     ticks, advanced at every allocation and release. compute() instead
+//     sweeps per-node interval lists built from final job records, which
+//     (a) accumulates in doubles per segment and (b) sees only the *last*
+//     attempt of a requeued job. The meter's integer accumulation is exact
+//     and covers every attempt, so busy/shared (and the efficiency /
+//     utilization / energy fields derived from them) agree with compute()
+//     to floating-point reassociation error on requeue-free runs and may
+//     legitimately exceed it under requeues. All other fields are exact;
+//     the differential test pins this contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace cosched::metrics {
+
+/// Exact integer node-occupancy meter. occupy()/vacate() must be called
+/// with the simulation clock monotone (they are driven from controller
+/// event handlers, which guarantee it).
+class OccupancyMeter {
+ public:
+  void reset(int nodes);
+  void occupy(const std::vector<NodeId>& nodes, SimTime now);
+  void vacate(const std::vector<NodeId>& nodes, SimTime now);
+
+  /// Total node-time with >= 1 job resident, in SimTime ticks.
+  std::int64_t busy_ticks() const { return busy_ticks_; }
+  /// Total node-time with >= 2 jobs resident (SMT sharing), in ticks.
+  std::int64_t shared_ticks() const { return shared_ticks_; }
+
+ private:
+  void advance(NodeId node, SimTime now);
+
+  struct NodeState {
+    std::int32_t count = 0;
+    SimTime last = 0;
+  };
+  std::vector<NodeState> nodes_;
+  std::int64_t busy_ticks_ = 0;
+  std::int64_t shared_ticks_ = 0;
+};
+
+/// Accumulates per-job final records as they retire and reproduces
+/// metrics::compute() bit-for-bit (except the occupancy-derived fields —
+/// see the header comment) without keeping the records alive.
+class StreamAccumulator {
+ public:
+  /// Records job `job`'s final state. `submit_idx` is the job's position
+  /// in submission order; rows may arrive in any order but each index must
+  /// be recorded exactly once.
+  void record(std::size_t submit_idx, const workload::Job& job);
+
+  std::size_t recorded() const { return recorded_; }
+
+  /// Folds the rows in submit order into the same quantities
+  /// metrics::compute() derives, with busy/shared node-time taken from
+  /// `meter`.
+  ScheduleMetrics finalize(int machine_nodes, const OccupancyMeter& meter,
+                           const EnergyParams& energy = {}) const;
+
+ private:
+  // kind: 0 = index not yet recorded, 1 = completed, 2 = timeout,
+  // 3 = recorded but never finished (cancelled; jobs_total only).
+  struct Row {
+    double wait_s = 0;
+    double slowdown = 0;
+    double dilation = 0;
+    double work_node_s = 0;  // work if completed, lost work if timeout
+    std::uint8_t kind = 0;
+  };
+  std::vector<Row> rows_;
+  std::size_t recorded_ = 0;
+  SimTime first_submit_ = kTimeInfinity;  // min over finished jobs (exact)
+  SimTime last_end_ = 0;                  // max over finished jobs (exact)
+};
+
+}  // namespace cosched::metrics

@@ -22,13 +22,21 @@ struct ProcessStats {
   double max_rss_mb = 0;  ///< getrusage peak resident set, MiB
   double user_cpu_s = 0;
   double sys_cpu_s = 0;
+  int hardware_concurrency = 0;  ///< std::thread::hardware_concurrency
 };
 
 /// Reads RUSAGE_SELF. Zeroes on platforms without getrusage.
 ProcessStats process_stats();
 
-/// {"max_rss_mb":...,"user_cpu_s":...,"sys_cpu_s":...} under `key` in an
-/// already-open object.
+/// The process's *current* (not peak) resident set in MiB, from
+/// /proc/self/statm. Cheap enough to poll mid-run — the scaling bench
+/// samples it at job-count checkpoints to show memory is flat, which peak
+/// RSS alone cannot distinguish from an early spike. Returns 0 where
+/// procfs is unavailable.
+double current_rss_mb();
+
+/// {"max_rss_mb":...,"user_cpu_s":...,"sys_cpu_s":...,
+///  "hardware_concurrency":...} under `key` in an already-open object.
 void write_process_stats(JsonWriter& w, const char* key,
                          const ProcessStats& stats);
 

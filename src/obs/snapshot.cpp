@@ -1,5 +1,7 @@
 #include "obs/snapshot.hpp"
 
+#include <algorithm>
+
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -33,7 +35,7 @@ void SnapshotSampler::on_event_executed(SimTime when,
   const SimTime tick = when - (when % period_);
   if (tracer_ != nullptr) {
     tracer_->snapshot(when, tick, s.busy_nodes, s.total_nodes, s.pending,
-                      s.running, util);
+                      s.running, s.resident_jobs, util);
   }
   if (registry_ != nullptr) {
     registry_->counter("snapshots").inc();
@@ -41,6 +43,11 @@ void SnapshotSampler::on_event_executed(SimTime when,
     registry_->gauge("snapshot_queue_depth")
         .set(static_cast<double>(s.pending));
     registry_->gauge("snapshot_running").set(static_cast<double>(s.running));
+    registry_->gauge("snapshot_resident_jobs")
+        .set(static_cast<double>(s.resident_jobs));
+    registry_->gauge("snapshot_resident_jobs_peak")
+        .set(std::max(registry_->gauge("snapshot_resident_jobs_peak").value(),
+                      static_cast<double>(s.resident_jobs)));
     registry_
         ->histogram("snapshot_util_pct",
                     {10, 20, 30, 40, 50, 60, 70, 80, 90, 100})

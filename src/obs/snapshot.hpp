@@ -29,6 +29,10 @@ class SnapshotSource {
     int busy_nodes = 0;       ///< nodes with at least one allocation
     std::int64_t pending = 0; ///< queue depth
     std::int64_t running = 0;
+    /// Job records resident in controller memory. In retire mode this is
+    /// the in-flight census (the flat-memory proof: it stays O(machine),
+    /// not O(jobs ever submitted)); otherwise it grows with submissions.
+    std::int64_t resident_jobs = 0;
   };
 
   virtual Sample snapshot_sample() const = 0;

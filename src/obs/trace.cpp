@@ -40,7 +40,12 @@ class Tracer::Record {
                tracer.engine_ != nullptr ? tracer.engine_->now() : 0) {}
   ~Record() {
     w_.end_object();
-    tracer_.lines_.push_back(w_.str());
+    if (tracer_.sink_ != nullptr) {
+      *tracer_.sink_ << w_.str() << '\n';
+      ++tracer_.streamed_;
+    } else {
+      tracer_.lines_.push_back(w_.str());
+    }
   }
   JsonWriter& w() { return w_; }
 
@@ -59,7 +64,15 @@ void write_nodes(JsonWriter& w, const std::vector<NodeId>& nodes) {
 
 }  // namespace
 
+void Tracer::stream_to(std::ostream* sink) {
+  COSCHED_REQUIRE(size() == 0 || sink == nullptr,
+                  "stream_to must be set before the first trace record");
+  sink_ = sink;
+}
+
 std::string Tracer::str() const {
+  COSCHED_REQUIRE(streamed_ == 0,
+                  "trace was streamed to a sink; its bytes are already there");
   std::ostringstream out;
   for (const std::string& line : lines_) out << line << '\n';
   return out.str();
@@ -172,7 +185,8 @@ void Tracer::manifest(const RunManifest& m) {
 
 void Tracer::snapshot(SimTime when, SimTime tick, int busy_nodes,
                       int total_nodes, std::int64_t pending,
-                      std::int64_t running, double utilization) {
+                      std::int64_t running, std::int64_t resident_jobs,
+                      double utilization) {
   Record r(*this, "snapshot", when);
   r.w()
       .value("tick_us", tick)
@@ -180,6 +194,7 @@ void Tracer::snapshot(SimTime when, SimTime tick, int busy_nodes,
       .value("total_nodes", total_nodes)
       .value("pending", pending)
       .value("running", running)
+      .value("resident_jobs", resident_jobs)
       .value("utilization", utilization);
 }
 

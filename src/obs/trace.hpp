@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -85,10 +86,18 @@ class Tracer {
   /// must outlive the tracer or be replaced by another bind().
   void bind(const sim::Engine& engine) { engine_ = &engine; }
 
-  const std::vector<std::string>& lines() const { return lines_; }
-  std::size_t size() const { return lines_.size(); }
+  /// Streams records to `sink` (newline-terminated, exactly the bytes
+  /// str() would produce) instead of buffering them — O(1) tracer memory
+  /// at million-job scale. Must be set before the first record; the sink
+  /// must outlive the tracer. nullptr returns to buffering.
+  void stream_to(std::ostream* sink);
 
-  /// All lines, newline-terminated (the JSONL document).
+  const std::vector<std::string>& lines() const { return lines_; }
+  /// Records emitted so far, buffered or streamed.
+  std::size_t size() const { return lines_.size() + streamed_; }
+
+  /// All lines, newline-terminated (the JSONL document). Buffered mode
+  /// only — a streaming tracer's bytes already went to the sink.
   std::string str() const;
   void write_file(const std::string& path) const;
 
@@ -141,13 +150,15 @@ class Tracer {
   /// for.
   void snapshot(SimTime when, SimTime tick, int busy_nodes, int total_nodes,
                 std::int64_t pending, std::int64_t running,
-                double utilization);
+                std::int64_t resident_jobs, double utilization);
 
  private:
   class Record;  // one JSONL line under construction
 
   const sim::Engine* engine_ = nullptr;
   std::vector<std::string> lines_;
+  std::ostream* sink_ = nullptr;  ///< non-owning; streaming mode when set
+  std::size_t streamed_ = 0;      ///< records written directly to sink_
 };
 
 /// Engine observer that mirrors the executed event stream into the trace,

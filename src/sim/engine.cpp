@@ -177,7 +177,7 @@ Engine::~Engine() {
     if (!is_live(entry.id)) return;
     Slot& s = slot(entry.slot);
     s.destroy(s);
-    slot_of_id_[entry.id - 1] = kNoSlot;
+    slot_of_id_[entry.id - 1 - id_floor_] = kNoSlot;
   };
   for (const Entry& entry : heap_) destroy_pending(entry);
   calendar_.for_each(destroy_pending);
@@ -201,8 +201,29 @@ std::uint32_t Engine::acquire_slot() {
 
 void Engine::release_slot(std::uint32_t idx) { free_slots_.push_back(idx); }
 
+void Engine::compact_id_table() {
+  // The prefix pointer is monotone, so the scan below costs O(1) amortized
+  // per event over the run even though a single call may walk far.
+  while (dead_prefix_ < slot_of_id_.size() &&
+         slot_of_id_[dead_prefix_] == kNoSlot) {
+    ++dead_prefix_;
+  }
+  // Erase only once the dead prefix dominates the table: the tail move is
+  // then no larger than the prefix dropped, keeping compaction amortized
+  // O(1) per id, and the floor guards small runs from churn.
+  static constexpr std::size_t kMinCompact = 4096;
+  if (dead_prefix_ >= kMinCompact && 2 * dead_prefix_ >= slot_of_id_.size()) {
+    slot_of_id_.erase(slot_of_id_.begin(),
+                      slot_of_id_.begin() +
+                          static_cast<std::ptrdiff_t>(dead_prefix_));
+    id_floor_ += dead_prefix_;
+    dead_prefix_ = 0;
+  }
+}
+
 EventId Engine::push_event(SimTime when, EventPriority priority,
                            const char* label, std::uint32_t slot_idx) {
+  compact_id_table();
   const EventId id = next_id_++;
   slot_of_id_.push_back(slot_idx);
   const Entry entry{when, priority, id, slot_idx, label};
@@ -218,12 +239,13 @@ EventId Engine::push_event(SimTime when, EventPriority priority,
 
 bool Engine::cancel(EventId id) {
   if (id == kInvalidEvent || id >= next_id_) return false;
-  const std::uint32_t idx = slot_of_id_[id - 1];
+  if (id <= id_floor_) return false;  // compacted away: long since dead
+  const std::uint32_t idx = slot_of_id_[id - 1 - id_floor_];
   if (idx == kNoSlot) return false;  // already executed or cancelled
   Slot& s = slot(idx);
   s.destroy(s);
   release_slot(idx);
-  slot_of_id_[id - 1] = kNoSlot;
+  slot_of_id_[id - 1 - id_floor_] = kNoSlot;
   --live_events_;
   return true;
 }
@@ -282,7 +304,7 @@ bool Engine::step() {
   drop_top();
   COSCHED_CHECK(entry.time >= now_);
   now_ = entry.time;
-  slot_of_id_[entry.id - 1] = kNoSlot;
+  slot_of_id_[entry.id - 1 - id_floor_] = kNoSlot;
   --live_events_;
   ++executed_;
   Slot& s = slot(entry.slot);

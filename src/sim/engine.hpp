@@ -25,11 +25,15 @@
 // stable addresses), and queue entries are trivially-copyable structs that
 // reference slots by index. Oversized callables fall back to one heap
 // allocation but still flow through a pooled slot. Cancellation is O(1):
-// a dense id -> slot table (4 bytes per event ever scheduled; engines are
-// per-run) marks dead events, whose tombstoned queue entries are discarded
-// when popped. EventId stays the plain insertion counter — it is hashed by
-// the determinism audit and written into traces, so no pool or bucket
-// detail may leak into it.
+// a dense id -> slot table marks dead events, whose tombstoned queue
+// entries are discarded when popped. The table is *windowed*: ids die
+// roughly in issue order (an event either fires or is cancelled within its
+// scheduling horizon), so a monotone dead prefix is compacted away and the
+// table holds only the span from the oldest live id to the newest —
+// O(in-flight window), not O(events ever scheduled) — which is what lets a
+// million-job streaming run hold flat memory. EventId stays the plain
+// insertion counter — it is hashed by the determinism audit and written
+// into traces, so no pool, bucket, or compaction detail may leak into it.
 #pragma once
 
 #include <cstddef>
@@ -184,6 +188,12 @@ class Engine {
   std::size_t pending() const { return live_events_; }
   std::size_t executed() const { return executed_; }
 
+  /// Current width of the id -> slot window (test/diagnostic seam): the
+  /// span from the oldest uncompacted id to the newest issued one. Stays
+  /// O(in-flight events) on retiring workloads even as ids grow without
+  /// bound.
+  std::size_t id_table_entries() const { return slot_of_id_.size(); }
+
   /// Registers an observer notified after every executed event, in
   /// registration order. The observer must outlive the engine or be
   /// removed first; adding the same observer twice is an error.
@@ -308,18 +318,28 @@ class Engine {
   const Entry* peek();
   /// Removes the entry peek() returned.
   void drop_top();
-  /// Live events only: cancelled/executed ids map to kNoSlot.
-  bool is_live(EventId id) const { return slot_of_id_[id - 1] != kNoSlot; }
+  /// Live events only: cancelled/executed ids map to kNoSlot; ids at or
+  /// below the compaction floor are dead by construction.
+  bool is_live(EventId id) const {
+    return id > id_floor_ && slot_of_id_[id - 1 - id_floor_] != kNoSlot;
+  }
+  /// Advances the dead prefix over retired ids and, once it dominates the
+  /// table, erases it (amortized O(1) per event over a run).
+  void compact_id_table();
 
   QueueKind kind_;
   std::vector<Entry> heap_;  // kBinaryHeap entries
   CalendarQueue calendar_;   // kCalendar entries
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::vector<std::uint32_t> free_slots_;
-  /// slot_of_id_[id - 1] is the payload slot of event `id`, or kNoSlot once
-  /// it executed or was cancelled. Ids are dense (1, 2, 3, ...), so a flat
-  /// vector doubles as the cancellation set.
+  /// slot_of_id_[id - 1 - id_floor_] is the payload slot of event `id`, or
+  /// kNoSlot once it executed or was cancelled. Ids are dense (1, 2, 3,
+  /// ...) and die roughly in issue order, so a flat vector doubles as the
+  /// cancellation set and its dead prefix is periodically compacted away:
+  /// ids <= id_floor_ are all retired and no longer tabled.
   std::vector<std::uint32_t> slot_of_id_;
+  EventId id_floor_ = 0;        // ids <= id_floor_ are dead and untabled
+  std::size_t dead_prefix_ = 0; // leading kNoSlot entries already verified
 
   SimTime now_ = 0;
   EventId next_id_ = 1;

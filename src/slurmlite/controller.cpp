@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/determinism.hpp"
 #include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -18,6 +19,7 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
       execution_(machine_, catalog_, corun_),
       scheduler_(core::make_scheduler(config.strategy,
                                       config.scheduler_options)),
+      retire_(config.retire_finished),
       estimator_(catalog.size()),
       checkpoint_interval_(config.checkpoint_interval),
       queue_policy_(config.queue_policy),
@@ -29,6 +31,7 @@ Controller::Controller(sim::Engine& engine, const ControllerConfig& config,
       pass_executor_(config.pass_executor) {
   if (tracer_ != nullptr) tracer_->bind(engine_);
   machine_.set_tracer(tracer_);
+  if (retire_) meter_.reset(config.nodes);
   COSCHED_REQUIRE(config.snapshot_period >= 0,
                   "snapshot period must be non-negative");
   if (config.snapshot_period > 0 &&
@@ -58,7 +61,9 @@ Controller::~Controller() {
 
 std::optional<SimTime> Controller::register_job(workload::Job job) {
   COSCHED_REQUIRE(job.id != kInvalidJob, "job must have an id");
-  COSCHED_REQUIRE(!jobs_.count(job.id), "duplicate job id " << job.id);
+  // submit_index_ covers every job ever registered, live or retired.
+  COSCHED_REQUIRE(!submit_index_.count(job.id),
+                  "duplicate job id " << job.id);
   COSCHED_REQUIRE(job.nodes > 0, "job " << job.id << " requests 0 nodes");
   COSCHED_REQUIRE(job.walltime_limit > 0,
                   "job " << job.id << " has no walltime limit");
@@ -67,22 +72,29 @@ std::optional<SimTime> Controller::register_job(workload::Job job) {
   COSCHED_REQUIRE(job.app >= 0 && job.app < catalog_.size(),
                   "job " << job.id << " references unknown app " << job.app);
   COSCHED_REQUIRE(job.depends_on == kInvalidJob ||
-                      jobs_.count(job.depends_on),
+                      submit_index_.count(job.depends_on),
                   "job " << job.id << " depends on unknown job "
                          << job.depends_on);
   const JobId id = job.id;
+  const std::size_t idx = submit_count_++;
+  submit_index_.emplace(id, idx);
+  if (retire_) {
+    // Side tables grow one sentinel slot per submission; retire_job fills
+    // them when the job reaches a final state.
+    retired_digest_.push_back(0);
+    retired_state_.push_back(0xFF);
+  } else {
+    submit_order_.push_back(id);
+  }
   if (job.nodes > machine_.node_count()) {
     job.state = workload::JobState::kCancelled;
     jobs_.emplace(id, std::move(job));
-    submit_index_.emplace(id, submit_order_.size());
-    submit_order_.push_back(id);
     COSCHED_WARN("job " << id << " rejected: requests more nodes than exist");
+    retire_job(id);
     return std::nullopt;
   }
   const SimTime when = std::max(job.submit_time, engine_.now());
   jobs_.emplace(id, std::move(job));
-  submit_index_.emplace(id, submit_order_.size());
-  submit_order_.push_back(id);
   return when;
 }
 
@@ -100,7 +112,9 @@ void Controller::submit_all(const workload::JobList& jobs) {
   engine_.reserve_events(jobs.size());
   jobs_.reserve(jobs_.size() + jobs.size());
   submit_index_.reserve(submit_index_.size() + jobs.size());
-  submit_order_.reserve(submit_order_.size() + jobs.size());
+  if (!retire_) {
+    submit_order_.reserve(submit_order_.size() + jobs.size());
+  }
   for (const auto& job : jobs) submit(job);
 }
 
@@ -135,10 +149,62 @@ void Controller::pump_stream() {
 }
 
 workload::JobList Controller::job_records() const {
+  COSCHED_REQUIRE(!retire_,
+                  "job records were retired as jobs finished "
+                  "(ControllerConfig::retire_finished); use stream_metrics / "
+                  "fold_retired_digests instead");
   workload::JobList out;
   out.reserve(submit_order_.size());
   for (JobId id : submit_order_) out.push_back(jobs_.at(id));
   return out;
+}
+
+void Controller::retire_job(JobId id) {
+  if (!retire_) return;
+  const auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "retiring unknown job " << id);
+  const workload::Job& j = it->second;
+  COSCHED_CHECK_MSG(j.state == workload::JobState::kCompleted ||
+                        j.state == workload::JobState::kTimeout ||
+                        j.state == workload::JobState::kCancelled,
+                    "retiring job " << id << " in non-final state");
+  const std::size_t idx = submit_index_.at(id);
+  COSCHED_CHECK_MSG(retired_state_[idx] == 0xFF,
+                    "job " << id << " retired twice");
+  retired_digest_[idx] = audit::job_subdigest(j);
+  retired_state_[idx] = static_cast<std::uint8_t>(j.state);
+  ++retired_counts_[static_cast<std::size_t>(j.state)];
+  ++retired_total_;
+  acc_.record(idx, j);
+  jobs_.erase(it);
+}
+
+workload::JobState Controller::job_state(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it != jobs_.end()) return it->second.state;
+  COSCHED_CHECK_MSG(retire_, "unknown job " << id);
+  const auto idx = submit_index_.find(id);
+  COSCHED_CHECK_MSG(idx != submit_index_.end(), "unknown job " << id);
+  const std::uint8_t state = retired_state_[idx->second];
+  COSCHED_CHECK_MSG(state != 0xFF, "job " << id << " missing but not retired");
+  return static_cast<workload::JobState>(state);
+}
+
+void Controller::fold_retired_digests(audit::Fnv64& hash) const {
+  COSCHED_CHECK(retire_);
+  COSCHED_CHECK_MSG(retired_total_ == submit_count_,
+                    "digest fold before every job retired: "
+                        << retired_total_ << " of " << submit_count_);
+  // Same bytes as audit::mix_jobs over the materialized records: job
+  // count, then each subdigest in submit order.
+  hash.mix_u64(submit_count_);
+  for (std::uint64_t d : retired_digest_) hash.mix_u64(d);
+}
+
+metrics::ScheduleMetrics Controller::stream_metrics(
+    const metrics::EnergyParams& energy) const {
+  COSCHED_CHECK(retire_);
+  return acc_.finalize(machine_.node_count(), meter_, energy);
 }
 
 audit::StateCounts Controller::audit_state_counts() const {
@@ -155,6 +221,11 @@ audit::StateCounts Controller::audit_state_counts() const {
       case workload::JobState::kCancelled: ++counts.cancelled; break;
     }
   }
+  // Retired jobs left jobs_ but still count toward conservation.
+  using S = workload::JobState;
+  counts.completed += retired_counts_[static_cast<std::size_t>(S::kCompleted)];
+  counts.timeout += retired_counts_[static_cast<std::size_t>(S::kTimeout)];
+  counts.cancelled += retired_counts_[static_cast<std::size_t>(S::kCancelled)];
   return counts;
 }
 
@@ -240,6 +311,11 @@ SimTime Controller::walltime_end(JobId running) const {
 }
 
 void Controller::on_submit(JobId id) {
+  if (retire_ && jobs_.find(id) == jobs_.end()) {
+    // scancel'd before the submit event fired, and the cancel already
+    // retired the record (mirrors the kCancelled early-return below).
+    return;
+  }
   workload::Job& j = job_mutable(id);
   if (j.state == workload::JobState::kCancelled) {
     return;  // scancel'd before the submit event fired
@@ -251,8 +327,8 @@ void Controller::on_submit(JobId id) {
   if (spans_ != nullptr) spans_->on_submit(id, now());
   if (registry_ != nullptr) registry_->counter("jobs_submitted").inc();
   if (j.depends_on != kInvalidJob) {
-    const workload::Job& dep = job(j.depends_on);
-    switch (dep.state) {
+    // job_state (not job()): the dependency may already be retired.
+    switch (job_state(j.depends_on)) {
       case workload::JobState::kCompleted:
         break;  // already satisfied: queue immediately
       case workload::JobState::kTimeout:
@@ -299,6 +375,7 @@ void Controller::cancel_held(JobId id) {
                     << " cancelled: dependency " << j.depends_on
                     << " did not complete");
   settle_dependents(id, /*success=*/false);
+  retire_job(id);
 }
 
 void Controller::request_schedule() {
@@ -484,6 +561,7 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
   j.start_time = now();
   j.alloc_kind = kind;
   j.alloc_nodes = nodes;
+  if (retire_) meter_.occupy(nodes, now());
   const double wait_s = to_seconds(j.start_time - j.submit_time);
   if (spans_ != nullptr) {
     spans_->on_start(id, now(),
@@ -582,6 +660,7 @@ void Controller::on_complete(JobId id) {
   // handle (nothing left to cancel).
   untrack_running(id);
   execution_.finish(id);
+  if (retire_) meter_.vacate(j.alloc_nodes, now());
   machine_.release(id);
   execution_.refresh_rates();
   resync_completions();
@@ -598,6 +677,7 @@ void Controller::on_complete(JobId id) {
   settle_dependents(id, /*success=*/true);
   COSCHED_DEBUG("t=" << format_duration(now()) << " complete job " << id);
   request_schedule();
+  retire_job(id);
 }
 
 void Controller::on_timeout(JobId id) {
@@ -619,6 +699,7 @@ void Controller::on_timeout(JobId id) {
   kill_events_.erase(id);
   untrack_running(id);
   execution_.finish(id);
+  if (retire_) meter_.vacate(j.alloc_nodes, now());
   machine_.release(id);
   execution_.refresh_rates();
   resync_completions();
@@ -634,6 +715,7 @@ void Controller::on_timeout(JobId id) {
   }
   settle_dependents(id, /*success=*/false);
   request_schedule();
+  retire_job(id);
 }
 
 void Controller::requeue(JobId id) {
@@ -665,6 +747,7 @@ void Controller::requeue(JobId id) {
   }
   untrack_running(id);
   execution_.finish(id);
+  if (retire_) meter_.vacate(j.alloc_nodes, now());
   machine_.release(id);
   // Progress is lost; the job starts over from the queue tail.
   j.state = workload::JobState::kPending;
@@ -708,8 +791,10 @@ void Controller::on_node_fail(NodeId node, SimDuration duration) {
       }
       untrack_running(id);
       execution_.finish(id);
+      if (retire_) meter_.vacate(j.alloc_nodes, now());
       machine_.release(id);
       settle_dependents(id, /*success=*/false);
+      retire_job(id);
     }
   }
   machine_.set_node_down(node, true);
@@ -743,6 +828,7 @@ bool Controller::cancel(JobId id) {
         spans_->on_end(id, now(), obs::SpanEnd::kCancelled);
       }
       settle_dependents(id, /*success=*/false);
+      retire_job(id);
       return true;
     }
     case workload::JobState::kHeld: {
@@ -754,6 +840,7 @@ bool Controller::cancel(JobId id) {
         spans_->on_end(id, now(), obs::SpanEnd::kCancelled);
       }
       settle_dependents(id, /*success=*/false);
+      retire_job(id);
       return true;
     }
     case workload::JobState::kRunning: {
@@ -772,6 +859,7 @@ bool Controller::cancel(JobId id) {
       partner_.erase(id);
       untrack_running(id);
       execution_.finish(id);
+      if (retire_) meter_.vacate(j.alloc_nodes, now());
       machine_.release(id);
       execution_.refresh_rates();
       resync_completions();
@@ -781,6 +869,7 @@ bool Controller::cancel(JobId id) {
                     now());
       settle_dependents(id, /*success=*/false);
       request_schedule();
+      retire_job(id);
       return true;
     }
     default:
@@ -794,6 +883,7 @@ obs::SnapshotSource::Sample Controller::snapshot_sample() const {
   s.busy_nodes = machine_.node_count() - machine_.free_node_count();
   s.pending = static_cast<std::int64_t>(pending_.size());
   s.running = static_cast<std::int64_t>(running_by_submit_.size());
+  s.resident_jobs = static_cast<std::int64_t>(jobs_.size());
   return s;
 }
 

@@ -17,7 +17,9 @@
 
 #include "apps/catalog.hpp"
 #include "audit/auditor.hpp"
+#include "audit/fnv.hpp"
 #include "cluster/machine.hpp"
+#include "metrics/stream_metrics.hpp"
 #include "core/priority.hpp"
 #include "obs/registry.hpp"
 #include "obs/snapshot.hpp"
@@ -86,6 +88,17 @@ struct ControllerConfig {
   /// disables sampling. Needs a tracer or registry to write into.
   SimDuration snapshot_period = 0;
 
+  /// Flat-memory streaming mode: a job's record is *retired* the moment it
+  /// reaches a final state (completed/timeout/cancelled) — its 8-byte
+  /// digest (audit::job_subdigest), final-state byte, and metrics row are
+  /// kept by submit index and the record itself is freed, so resident
+  /// per-job state is O(in-flight), not O(jobs). Decisions, the event
+  /// stream, and the run digest are bit-identical to a non-retiring run
+  /// over the same stream; job_records() is unavailable (metrics come from
+  /// stream_metrics(), the digest from fold_retired_digests()). See DESIGN
+  /// "Fleet scale" for the retirement rules.
+  bool retire_finished = false;
+
   /// Intra-pass parallel scoring executor (core/parallel.hpp), optional
   /// and non-owning; must outlive the controller. nullptr (the default)
   /// scans candidates inline — the serial differential reference.
@@ -142,7 +155,26 @@ class Controller final : public core::SchedulerHost,
   bool cancel(JobId id);
 
   /// All jobs in submission order with their final lifecycle records.
+  /// Unavailable in retire mode (the records were freed as jobs finished).
   workload::JobList job_records() const;
+
+  /// Retire-mode accessors (see ControllerConfig::retire_finished).
+  bool retire_mode() const { return retire_; }
+  /// Jobs whose records are still resident (in-flight). Zero at the end of
+  /// a drained retire-mode run — the flat-memory invariant.
+  std::size_t resident_jobs() const { return jobs_.size(); }
+  /// Total jobs ever registered (equals job_records().size() when not
+  /// retiring).
+  std::size_t submitted_total() const { return submit_count_; }
+  /// Folds the per-job subdigests in submit order — byte-compatible with
+  /// audit::mix_jobs over the materialized records. Requires retire mode
+  /// and a drained run (every job retired).
+  void fold_retired_digests(audit::Fnv64& hash) const;
+  /// Schedule metrics accumulated as jobs retired; exact vs
+  /// metrics::compute except the occupancy-derived fields (see
+  /// metrics/stream_metrics.hpp). Requires retire mode.
+  metrics::ScheduleMetrics stream_metrics(
+      const metrics::EnergyParams& energy = {}) const;
 
   const ControllerStats& stats() const { return stats_; }
   const cluster::Machine& machine_state() const { return machine_; }
@@ -186,7 +218,9 @@ class Controller final : public core::SchedulerHost,
   }
   const workload::Job& audit_job(JobId id) const override { return job(id); }
   std::size_t audit_queue_length() const override { return pending_.size(); }
-  std::size_t audit_submitted() const override { return jobs_.size(); }
+  std::size_t audit_submitted() const override {
+    return jobs_.size() + retired_total_;
+  }
 
   // --- obs::SnapshotSource -----------------------------------------------------
   obs::SnapshotSource::Sample snapshot_sample() const override;
@@ -227,6 +261,13 @@ class Controller final : public core::SchedulerHost,
   void requeue(JobId id);
   /// Re-ranks pending_ under the configured queue policy.
   void order_queue();
+  /// Retire mode only (no-op otherwise): records `id`'s final state into
+  /// the digest/state/metrics side tables and frees its job record. Must
+  /// be the LAST action of a final-state transition — after spans, tracer,
+  /// registry, and settle_dependents have all seen the record.
+  void retire_job(JobId id);
+  /// `id`'s lifecycle state, whether its record is live or retired.
+  workload::JobState job_state(JobId id) const;
 
   sim::Engine& engine_;
   const apps::Catalog& catalog_;
@@ -236,7 +277,23 @@ class Controller final : public core::SchedulerHost,
   std::unique_ptr<core::Scheduler> scheduler_;
 
   std::unordered_map<JobId, workload::Job> jobs_;
+  /// Not grown in retire mode (job_records is unavailable there anyway);
+  /// submit_count_ carries the submission counter in both modes.
   std::vector<JobId> submit_order_;
+  std::size_t submit_count_ = 0;
+  // --- retire-mode side tables (empty unless retire_) --------------------
+  const bool retire_;
+  /// Per-job audit::job_subdigest by submit index, written at retirement.
+  std::vector<std::uint64_t> retired_digest_;
+  /// Final JobState byte by submit index (0xFF while the job is live);
+  /// keeps depends_on queries answerable after the record is freed.
+  std::vector<std::uint8_t> retired_state_;
+  std::size_t retired_total_ = 0;
+  /// Final-state census of retired jobs, indexed by JobState value, so
+  /// audit_state_counts stays exact after records are freed.
+  std::size_t retired_counts_[6] = {0, 0, 0, 0, 0, 0};
+  metrics::StreamAccumulator acc_;
+  metrics::OccupancyMeter meter_;
   std::vector<JobId> pending_;
   /// dependency -> jobs held on it.
   std::unordered_map<JobId, std::vector<JobId>> held_on_;

@@ -40,7 +40,12 @@ struct SimulationSpec {
 };
 
 struct SimulationResult {
-  workload::JobList jobs;            ///< final lifecycle records
+  /// Final lifecycle records; EMPTY when spec.controller.retire_finished
+  /// was set (records are freed as jobs finish — metrics and the digest
+  /// come from the controller's streaming side tables instead, and are
+  /// bit-identical to the materialized fold except the occupancy-derived
+  /// metric fields, see metrics/stream_metrics.hpp).
+  workload::JobList jobs;
   metrics::ScheduleMetrics metrics;  ///< computed over `jobs`
   ControllerStats stats;
   std::size_t events_executed = 0;

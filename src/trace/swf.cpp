@@ -11,6 +11,10 @@ namespace cosched::trace {
 std::optional<SwfRecord> SwfReader::next() {
   while (std::getline(in_, line_)) {
     ++line_no_;
+    // +1 for the newline getline consumed; the final unterminated line of
+    // a trace under-counts by one byte, which the counter's purpose
+    // (proving the replay streamed the file, not slurped it) tolerates.
+    bytes_read_ += line_.size() + 1;
     // Strip comments and skip blanks.
     if (auto pos = line_.find(';'); pos != std::string::npos) {
       line_.resize(pos);
@@ -146,11 +150,15 @@ std::optional<workload::Job> SwfJobSource::next() {
     // The reader already warned (once) at the first skip; at drain the
     // total surfaces as a registry counter rather than a second log line.
     // Guarded so polling next() past the end never double-counts.
-    if (!skips_reported_ && registry_ != nullptr &&
-        reader_.malformed_lines() > 0) {
+    if (!skips_reported_ && registry_ != nullptr) {
       skips_reported_ = true;
-      registry_->counter("swf_malformed_lines")
-          .inc(reader_.malformed_lines());
+      if (reader_.malformed_lines() > 0) {
+        registry_->counter("swf_malformed_lines")
+            .inc(reader_.malformed_lines());
+      }
+      // Total trace bytes consumed: together with the flat resident-job
+      // gauges this shows the replay streamed the file end to end.
+      registry_->counter("swf_bytes_read").inc(reader_.bytes_read());
     }
     return std::nullopt;
   }

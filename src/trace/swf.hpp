@@ -58,11 +58,16 @@ class SwfReader {
   /// Data lines skipped because they did not parse as 18 fields.
   std::size_t malformed_lines() const { return malformed_; }
 
+  /// Bytes consumed off the stream so far (lines + newlines). Grows as
+  /// records are pulled — evidence the reader streams rather than slurps.
+  std::size_t bytes_read() const { return bytes_read_; }
+
  private:
   std::istream& in_;
   std::string line_;  // reused per getline: one resident line buffer
   std::size_t line_no_ = 0;
   std::size_t malformed_ = 0;
+  std::size_t bytes_read_ = 0;
 };
 
 /// Parses an SWF stream into a vector (materializing convenience wrapper
@@ -107,10 +112,10 @@ class SwfJobSource final : public workload::JobSource {
 
   std::size_t malformed_lines() const { return reader_.malformed_lines(); }
 
-  /// Surfaces malformed-line skips as the `swf_malformed_lines` counter in
-  /// `registry` when the stream drains (one counter set, one warning line
-  /// from the reader's first skip — no silent count field). Non-owning;
-  /// nullptr detaches.
+  /// Surfaces malformed-line skips as the `swf_malformed_lines` counter
+  /// and total bytes consumed as `swf_bytes_read` in `registry` when the
+  /// stream drains (one counter set, one warning line from the reader's
+  /// first skip — no silent count field). Non-owning; nullptr detaches.
   void bind_registry(obs::Registry* registry) { registry_ = registry; }
 
  private:

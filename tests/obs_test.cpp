@@ -339,6 +339,35 @@ TEST(Trace, ByteDeterministicAcrossRuns) {
   EXPECT_EQ(first.str(), second.str());
 }
 
+TEST(Trace, StreamingSinkProducesBufferedBytes) {
+  // A streaming tracer writes each record to its sink as it is emitted —
+  // the exact bytes str() would have produced, with O(1) tracer memory.
+  Tracer buffered;
+  Tracer streaming;
+  std::ostringstream sink;
+  streaming.stream_to(&sink);
+  slurmlite::run_simulation(
+      traced_spec(core::StrategyKind::kCoBackfill, &buffered), trinity());
+  slurmlite::run_simulation(
+      traced_spec(core::StrategyKind::kCoBackfill, &streaming), trinity());
+  ASSERT_GT(buffered.size(), 0u);
+  EXPECT_EQ(streaming.size(), buffered.size());
+  EXPECT_TRUE(streaming.lines().empty());  // nothing buffered
+  EXPECT_EQ(sink.str(), buffered.str());
+  // The streamed bytes already left; str() on a streaming tracer is a bug.
+  EXPECT_THROW(streaming.str(), Error);
+}
+
+TEST(Trace, StreamSinkMustBeSetBeforeFirstRecord) {
+  Tracer tracer;
+  tracer.submit(1, 4);
+  std::ostringstream sink;
+  EXPECT_THROW(tracer.stream_to(&sink), Error);
+  // Buffered mode is unaffected by the failed switch.
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_FALSE(tracer.str().empty());
+}
+
 TEST(Trace, ObservationNeverChangesDigests) {
   // The acceptance bar for the whole layer: event-stream digests are
   // bit-identical with the full observation stack — tracing, metrics,

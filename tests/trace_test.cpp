@@ -154,6 +154,37 @@ TEST(Swf, StreamingSourceSurfacesSkipsAsRegistryCounter) {
   EXPECT_EQ(registry.counter("swf_malformed_lines").value(), 1u);
 }
 
+TEST(Swf, ReaderCountsBytesRead) {
+  // bytes_read is the evidence the reader streams line-by-line instead of
+  // slurping: it must equal the input size once the stream is drained.
+  const std::string text =
+      "; UnixStartTime: 0\n"
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 5 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  std::stringstream in(text);
+  SwfReader reader(in);
+  while (reader.next()) {
+  }
+  EXPECT_EQ(reader.bytes_read(), text.size());
+}
+
+TEST(Swf, StreamingSourceSurfacesBytesReadCounter) {
+  const std::string text =
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 5 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  std::stringstream in(text);
+  obs::Registry registry;
+  SwfJobSource source(in, 0);
+  source.bind_registry(&registry);
+  workload::JobList streamed;
+  while (auto job = source.next()) streamed.push_back(*job);
+  ASSERT_EQ(streamed.size(), 2u);
+  EXPECT_EQ(registry.counter("swf_bytes_read").value(), text.size());
+  // Draining past the end must not double-count.
+  EXPECT_FALSE(source.next().has_value());
+  EXPECT_EQ(registry.counter("swf_bytes_read").value(), text.size());
+}
+
 TEST(Swf, StreamingSourceRequiresSortedTrace) {
   std::stringstream in(
       "1 100 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"

@@ -6,10 +6,13 @@
 //                    [--sacct] [--gantt out.csv] [--swf-out out.swf]
 //                    [--json out.json] [--trace out.jsonl]
 //                    [--metrics-json out.json] [--profile]
-//                    [--pass-threads N]
+//                    [--pass-threads N] [--retire]
 //                    # --stream pulls jobs lazily (SWF or generator), so a
 //                    # 100k-job trace never materializes; decisions are
 //                    # identical to the default materialized path
+//                    # --retire frees each job record as it finishes:
+//                    # with --stream, memory is flat in trace length
+//                    # (metrics/digest come from streaming side tables)
 //                    # --pass-threads parallelizes candidate scoring
 //                    # INSIDE each scheduler pass (0 = hardware, default
 //                    # 1 = inline serial); every output byte is identical
@@ -33,6 +36,15 @@
 //                    # and the deterministic registry instruments. The
 //                    # bytes are identical across repeated runs of a seed
 //                    # and across --pass-threads values.
+//   cosched fleet    [--cells N] [--threads N] [--nodes N] [--jobs N]
+//                    [--seed N] [--strategy NAME] [--config FILE]
+//                    [--campaign trinity|membound|compute]
+//                    [--stream-load RHO] [--stream] [--retire]
+//                    [--out report.json]
+//                    # N independent clusters ("cells") of one
+//                    # configuration, seeds derived per cell, fanned over
+//                    # a thread pool, merged in fixed cell order. The
+//                    # report is byte-identical for every --threads.
 //   cosched diff     A.jsonl B.jsonl [--context N]
 //                    # align two trace streams and report the first
 //                    # divergent record with decoded context (reason
@@ -73,6 +85,7 @@
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "runner/fleet.hpp"
 #include "runner/parallel_reduce.hpp"
 #include "runner/runner.hpp"
 #include "slurmlite/config.hpp"
@@ -92,7 +105,7 @@ using namespace cosched;
 
 int usage() {
   std::cerr << "usage: cosched <sim|compare|validate|audit|config|trace|"
-               "report|diff|analyze> [flags]\n"
+               "report|fleet|diff|analyze> [flags]\n"
                "run with a subcommand; see the header of tools/cosched_cli"
                ".cpp or README.md for flag details\n";
   return 2;
@@ -248,6 +261,15 @@ int cmd_sim(const Flags& flags) {
   obs::Registry registry;
   obs::SpanLedger spans;
   const std::string trace_path = flags.get_string("trace", "");
+  // Trace records stream straight to the file as they are emitted (same
+  // bytes as buffering + write_file) so tracing a million-job run costs
+  // O(1) memory, not O(records).
+  std::ofstream trace_out;
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path);
+    if (!trace_out.good()) throw Error("cannot write '" + trace_path + "'");
+    tracer.stream_to(&trace_out);
+  }
   const std::string metrics_path = flags.get_string("metrics-json", "");
   const std::string spans_path = flags.get_string("spans", "");
   const bool profile = flags.get_bool("profile", false);
@@ -259,6 +281,20 @@ int cmd_sim(const Flags& flags) {
   slurmlite::SimulationSpec spec;
   spec.controller = config;
   spec.seed = seed;
+  // --retire: free each job's record when it reaches a final state, so
+  // resident memory stays O(in-flight jobs) at million-job scale. Metrics
+  // and digests come from the streaming side tables (bit-identical except
+  // the occupancy-derived fields, see metrics/stream_metrics.hpp). The
+  // per-job outputs need the full record list and are rejected.
+  spec.controller.retire_finished = flags.get_bool("retire", false);
+  if (spec.controller.retire_finished &&
+      (flags.get_bool("sacct", false) ||
+       !flags.get_string("gantt", "").empty() ||
+       !flags.get_string("swf-out", "").empty())) {
+    std::cerr << "--retire frees job records as jobs finish; "
+                 "--sacct/--gantt/--swf-out need them\n";
+    return 2;
+  }
   if (!trace_path.empty()) spec.controller.tracer = &tracer;
   if (!metrics_path.empty()) spec.controller.registry = &registry;
   if (!spans_path.empty()) spec.controller.spans = &spans;
@@ -312,7 +348,7 @@ int cmd_sim(const Flags& flags) {
     std::cout << "wrote JSON to " << path << "\n";
   }
   if (!trace_path.empty()) {
-    tracer.write_file(trace_path);
+    trace_out.close();
     std::cout << "wrote " << tracer.size() << " trace records to "
               << trace_path << "\n";
   }
@@ -398,6 +434,59 @@ int cmd_report(const Flags& flags) {
     out << doc.str();
   } else {
     std::cout << doc.str();
+  }
+  return 0;
+}
+
+// Sharded multi-cluster fleet: N independent cells of one configuration,
+// each seeded with derive_seed(--seed, cell), fanned over a thread pool
+// and merged in fixed cell order. The merged report (--out) is
+// byte-identical for every --threads value — FleetParity pins it.
+int cmd_fleet(const Flags& flags) {
+  const auto catalog = apps::Catalog::trinity();
+  auto config = load_config(flags);
+  config.nodes = static_cast<int>(flags.get_int("nodes", config.nodes));
+  if (const std::string s = flags.get_string("strategy", ""); !s.empty()) {
+    config.strategy = core::parse_strategy(s);
+  }
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int threads = runner::resolve_threads(
+      static_cast<int>(flags.get_int("threads", 0)));
+
+  runner::FleetSpec fleet;
+  fleet.cells = static_cast<int>(flags.get_int("cells", 4));
+  fleet.base_seed = seed;
+  fleet.stream = flags.get_bool("stream", false);
+  fleet.cell.controller = config;
+  fleet.cell.controller.retire_finished = flags.get_bool("retire", false);
+  fleet.cell.workload = campaign_params(flags, config.nodes);
+
+  obs::RunManifest manifest =
+      manifest_from(flags, "fleet", config, seed, fleet.stream,
+                    /*pass_threads=*/1);
+  manifest.threads = threads;
+
+  runner::ParallelRunner pool(threads);
+  const runner::FleetResult result = runner::run_fleet(pool, fleet, catalog);
+
+  std::int64_t jobs_total = 0;
+  for (const auto& cell : result.cells) {
+    jobs_total += cell.result.metrics.jobs_total;
+  }
+  std::cout << "fleet: " << fleet.cells << " cell(s) x " << config.nodes
+            << " nodes, " << jobs_total << " jobs, digest 0x" << std::hex
+            << std::setfill('0') << std::setw(16) << result.fleet_digest
+            << std::dec << std::setfill(' ') << " (" << threads
+            << " thread(s))\n";
+
+  const std::string doc = runner::fleet_report_json(fleet, result, manifest);
+  if (const std::string path = flags.get_string("out", ""); !path.empty()) {
+    std::ofstream out(path);
+    if (!out.good()) throw Error("cannot write '" + path + "'");
+    out << doc << "\n";
+    std::cout << "wrote fleet report to " << path << "\n";
+  } else {
+    std::cout << doc << "\n";
   }
   return 0;
 }
@@ -706,6 +795,8 @@ int main(int argc, char** argv) {
       rc = cmd_trace(flags);
     } else if (command == "report") {
       rc = cmd_report(flags);
+    } else if (command == "fleet") {
+      rc = cmd_fleet(flags);
     } else if (command == "diff") {
       rc = cmd_diff(flags);
     } else if (command == "analyze") {
