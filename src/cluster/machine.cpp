@@ -25,13 +25,21 @@ Machine::Machine(int node_count, const NodeConfig& config,
   node_busy_.assign(static_cast<std::size_t>(node_count), 0);
   primary_job_.assign(static_cast<std::size_t>(node_count), kInvalidJob);
   node_gens_.assign(static_cast<std::size_t>(node_count), 0);
-  // Topology hint: every node can be busy at once; size the sorted
-  // busy-ends multiset upfront so insertions never reallocate mid-pass.
-  busy_ends_.reserve(static_cast<std::size_t>(node_count));
+  node_dirty_flag_.assign(static_cast<std::size_t>(node_count), 0);
+  // Capacity hint: every node can be busy at once (the flat reference
+  // implementation preallocates; the bucketed one sizes on demand).
+  busy_ends_.reserve(node_count);
   for (int i = 0; i < node_count; ++i) {
     nodes_.emplace_back(static_cast<NodeId>(i), config);
     free_primary_.insert(static_cast<NodeId>(i));
   }
+}
+
+void Machine::clear_dirty_nodes() {
+  for (NodeId id : dirty_nodes_) {
+    node_dirty_flag_[static_cast<std::size_t>(id)] = 0;
+  }
+  dirty_nodes_.clear();
 }
 
 const Node& Machine::node(NodeId id) const {
@@ -247,6 +255,11 @@ void Machine::resync_node(NodeId id) {
   // bump on a low-counter node could be masked by a sibling's higher value.
   // Globally-unique monotone stamps make that max move on every change.
   node_gens_[static_cast<std::size_t>(id)] = ++generation_;
+  // Accumulate for the incremental rate refresh (see dirty_nodes()).
+  if (node_dirty_flag_[static_cast<std::size_t>(id)] == 0) {
+    node_dirty_flag_[static_cast<std::size_t>(id)] = 1;
+    dirty_nodes_.push_back(id);
+  }
   // Residency mirror for the contiguous candidate scans.
   primary_job_[static_cast<std::size_t>(id)] = n.primary_job();
   // Free-time cache: a node is tracked in busy_ends_ iff it is up and holds
@@ -268,24 +281,10 @@ void Machine::resync_node(NodeId id) {
     }
   }
   if (busy == was_busy && (!busy || end == old_end)) return;
-  if (was_busy) erase_busy_end(old_end);
-  if (busy) insert_busy_end(end);
+  if (was_busy) busy_ends_.erase(old_end);
+  if (busy) busy_ends_.insert(end);
   node_busy_[static_cast<std::size_t>(id)] = busy ? 1 : 0;
   free_end_[static_cast<std::size_t>(id)] = end;
-}
-
-void Machine::insert_busy_end(SimTime end) {
-  busy_ends_.insert(std::upper_bound(busy_ends_.begin(), busy_ends_.end(),
-                                     end),
-                    end);
-}
-
-void Machine::erase_busy_end(SimTime end) {
-  const auto it = std::lower_bound(busy_ends_.begin(), busy_ends_.end(),
-                                   end);
-  COSCHED_CHECK_MSG(it != busy_ends_.end() && *it == end,
-                    "busy-ends multiset lost entry " << end);
-  busy_ends_.erase(it);
 }
 
 SimTime Machine::node_free_time(NodeId id, SimTime now) const {
@@ -300,19 +299,14 @@ SimTime Machine::kth_free_time(int k, SimTime now) const {
   const int free = free_node_count();
   if (k < free) return now;
   k -= free;
-  if (k < static_cast<int>(busy_ends_.size())) {
-    return std::max(now, busy_ends_[static_cast<std::size_t>(k)]);
-  }
+  if (k < busy_ends_.size()) return std::max(now, busy_ends_.kth(k));
   return kTimeInfinity;  // only down nodes remain
 }
 
 int Machine::free_count_at(SimTime t, SimTime now) const {
   if (t < now) return 0;
   // Clamped end max(now, e) <= t iff e <= t, given t >= now.
-  const auto it =
-      std::upper_bound(busy_ends_.begin(), busy_ends_.end(), t);
-  return free_node_count() +
-         static_cast<int>(std::distance(busy_ends_.begin(), it));
+  return free_node_count() + busy_ends_.count_leq(t);
 }
 
 void Machine::check_invariants() const {
@@ -380,10 +374,14 @@ void Machine::check_invariants() const {
     expect_ends.push_back(end);
   }
   std::sort(expect_ends.begin(), expect_ends.end());
-  COSCHED_CHECK_MSG(expect_ends == busy_ends_,
+  COSCHED_CHECK_MSG(expect_ends == busy_ends_.to_sorted_vector(),
                     "busy-ends multiset drifted: holds "
                         << busy_ends_.size() << " entries, rescan found "
                         << expect_ends.size());
+  // The two-level free-capacity index: summary bitmaps and per-block
+  // popcounts must agree with the word arrays.
+  free_primary_.check_summary();
+  free_secondary_.check_summary();
 }
 
 }  // namespace cosched::cluster

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/busy_ends.hpp"
 #include "cluster/id_set.hpp"
 #include "cluster/node.hpp"
 #include "cluster/topology.hpp"
@@ -138,21 +139,49 @@ class Machine {
   SimTime node_free_time(NodeId id, SimTime now) const;
 
   /// Busy nodes currently tracked in the sorted-ends view.
-  int busy_tracked_count() const {
-    return static_cast<int>(busy_ends_.size());
-  }
+  int busy_tracked_count() const { return busy_ends_.size(); }
 
   /// The k-th smallest node free time (0-based) over the whole machine:
   /// free nodes contribute `now`, busy nodes their clamped walltime end,
-  /// down nodes kTimeInfinity. O(1) given the maintained order statistics.
+  /// down nodes kTimeInfinity. O(log busy) via the maintained order
+  /// statistics (see busy_ends.hpp).
   SimTime kth_free_time(int k, SimTime now) const;
 
   /// Number of nodes whose free time is <= `t` (free by `t`). O(log busy).
   int free_count_at(SimTime t, SimTime now) const;
 
-  /// Cached walltime ends of busy nodes, ascending. build_profile iterates
-  /// this instead of walking every node.
-  const std::vector<SimTime>& sorted_busy_ends() const { return busy_ends_; }
+  /// Ascending walk over the cached walltime ends of busy nodes.
+  /// build_profile iterates this instead of walking every node.
+  template <typename F>
+  void for_each_busy_end(F&& f) const {
+    busy_ends_.for_each(std::forward<F>(f));
+  }
+
+  /// Cached walltime ends of busy nodes, ascending, materialized. Test and
+  /// diagnostic hook — allocates; hot paths use for_each_busy_end.
+  std::vector<SimTime> sorted_busy_ends() const {
+    return busy_ends_.to_sorted_vector();
+  }
+
+  /// Empty summary blocks the free-capacity scans jumped over since the
+  /// last take (reporting only; feeds the index_blocks_skipped_wall
+  /// counter). See NodeIdSet::take_blocks_skipped for the threading rule.
+  std::uint64_t take_index_blocks_skipped() const {
+    return free_primary_.take_blocks_skipped() +
+           free_secondary_.take_blocks_skipped();
+  }
+
+  /// Nodes resynced (slot contents, up/down state, or a resident's
+  /// walltime end) since the last clear_dirty_nodes(), deduplicated, in
+  /// first-touch order. The controller drains this into the execution
+  /// model's incremental rate refresh: only jobs resident on a dirty node
+  /// can have moved their max node generation, so the pair (dirty list,
+  /// per-job generation memo) recomputes exactly the rates the full scan
+  /// would. An over-full list is harmless (the memo re-skips unchanged
+  /// jobs); a missed node would be a bug, so every mutation path funnels
+  /// through resync_node, which appends here.
+  std::span<const NodeId> dirty_nodes() const { return dirty_nodes_; }
+  void clear_dirty_nodes();
 
   /// Monotone counter bumped on every state mutation (allocate, release,
   /// node up/down, walltime change). Equal values mean "nothing changed".
@@ -228,11 +257,6 @@ class Machine {
   /// are inserted before slots are assigned).
   void resync_node(NodeId id);
 
-  /// Sorted-multiset maintenance for busy_ends_ (O(busy) memmove; the
-  /// multiset stays small and contiguous, see file comment).
-  void insert_busy_end(SimTime end);
-  void erase_busy_end(SimTime end);
-
   NodeConfig config_;
   Topology topology_;
   PlacementPolicy placement_;
@@ -251,8 +275,14 @@ class Machine {
   /// Residency mirror: each node's primary-slot job, so candidate scans
   /// read one contiguous array instead of Node::slots_ vectors.
   std::vector<JobId> primary_job_;
-  std::vector<SimTime> busy_ends_;
+  /// Order statistics over busy nodes' ends: Fenwick calendar buckets in
+  /// the default build, the flat sorted vector under COSCHED_FLAT_INDEX
+  /// (see busy_ends.hpp).
+  BusyEnds busy_ends_;
   std::vector<std::uint64_t> node_gens_;
+  /// Resynced-node accumulator (see dirty_nodes): list + dedup flag.
+  std::vector<NodeId> dirty_nodes_;
+  std::vector<std::uint8_t> node_dirty_flag_;
   std::uint64_t generation_ = 0;
   std::uint64_t instance_id_ = 0;  // set in the constructor; see instance_id()
   obs::Tracer* tracer_ = nullptr;  // non-owning; see set_tracer()

@@ -124,13 +124,19 @@ std::optional<double> CoAllocator::node_admissible(
         scratch.last_reason = outcome.reason;
         return outcome.score;
       }
-      std::vector<apps::StressVector> stresses;
-      stresses.reserve(resident_apps.size() + 1);
-      for (const apps::AppModel* app : resident_apps) {
-        stresses.push_back(app->stress);
+      // Lane-local bump storage: pointer bumps instead of the malloc/free
+      // pairs the no-per-pass-alloc lint rule bans from this loop.
+      PassArena::Frame gate_frame = scratch.arena.frame();
+      const std::size_t nstress = resident_apps.size() + 1;
+      std::span<apps::StressVector> stresses =
+          gate_frame.alloc_span<apps::StressVector>(nstress);
+      for (std::size_t i = 0; i < resident_apps.size(); ++i) {
+        stresses[i] = resident_apps[i]->stress;
       }
-      stresses.push_back(cand_app.stress);
-      const auto slowdowns = host.corun().slowdowns(stresses);
+      stresses[resident_apps.size()] = cand_app.stress;
+      std::span<double> slowdowns = gate_frame.alloc_span<double>(nstress);
+      host.corun().slowdowns_into(stresses, gate_frame.alloc_span<double>(nstress),
+                                  slowdowns);
       double throughput = 0;
       for (double sd : slowdowns) {
         if (sd > options_.max_dilation) {
@@ -199,6 +205,14 @@ std::optional<double> CoAllocator::node_admissible(
   }
   COSCHED_CHECK(false);
   return std::nullopt;
+}
+
+std::size_t CoAllocator::arena_bytes_high_water() const {
+  std::size_t n = serial_gate_.arena.bytes_high_water();
+  for (const auto& shard : shard_results_) {
+    n += shard->gate.arena.bytes_high_water();
+  }
+  return n;
 }
 
 void CoAllocator::score_shard(SchedulerHost& host, const Candidate& cand,

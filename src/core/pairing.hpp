@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/parallel.hpp"
 #include "core/scheduler.hpp"
 #include "obs/trace.hpp"
@@ -116,6 +117,10 @@ class CoAllocator {
     /// can. 0 = cache never filled.
     std::uint64_t cache_machine = 0;
     std::vector<const apps::AppModel*> apps_scratch;
+    /// Lane-local bump storage for per-gate arrays (multi-resident stress
+    /// staging): pointer-bump instead of a malloc/free pair per gate.
+    /// Lane-owned, so the parallel scan stays share-nothing.
+    PassArena arena;
   };
 
   /// One shard's share-nothing scan output: its private gate lane plus
@@ -143,6 +148,13 @@ class CoAllocator {
   /// shard_results_[shard]. Runs on a pool thread; writes nothing else.
   void score_shard(SchedulerHost& host, const Candidate& cand,
                    bool respect_deadline, int shard, int shards) const;
+
+ public:
+  /// High-water bytes across every gate lane's arena (serial + shards).
+  /// Feeds the `arena_bytes_wall` gauge; reporting only.
+  std::size_t arena_bytes_high_water() const;
+
+ private:
 
   CoAllocationOptions options_;
   /// The serial scan's gate lane (also serves the public admissible()

@@ -108,14 +108,14 @@ void build_profile_into(SchedulerHost& host, AvailabilityProfile& profile) {
   // reserve() is commutative (step-function addition over the union of
   // split points), so iterating the sorted busy ends instead of node order
   // yields the identical profile the per-node rebuild produced.
-  for (SimTime end : machine.sorted_busy_ends()) {
-    if (end <= now) continue;  // slot frees the instant the pass runs
+  machine.for_each_busy_end([&profile, now](SimTime end) {
+    if (end <= now) return;  // slot frees the instant the pass runs
     if (end == kTimeInfinity) {
       profile.reserve(now, kTimeInfinity / 2, 1);
     } else {
       profile.reserve(now, end, 1);
     }
-  }
+  });
   // Down nodes: never available. Reserve the entire horizon by carving
   // from origin with no end breakpoint — approximate with a huge bound.
   const int down = machine.node_count() - machine.free_node_count() -

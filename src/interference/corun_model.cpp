@@ -18,11 +18,25 @@ CorunModel::CorunModel(CorunParams params) : params_(params) {
 std::vector<double> CorunModel::slowdowns(
     const std::vector<apps::StressVector>& jobs) const {
   COSCHED_CHECK(!jobs.empty());
+  std::vector<double> scratch(jobs.size());
+  std::vector<double> out(jobs.size());
+  slowdowns_into(jobs, scratch, out);
+  return out;
+}
+
+void CorunModel::slowdowns_into(std::span<const apps::StressVector> jobs,
+                                std::span<double> scratch,
+                                std::span<double> out) const {
+  COSCHED_CHECK(!jobs.empty());
   const std::size_t k = jobs.size();
-  if (k == 1) return {1.0};
+  COSCHED_CHECK(scratch.size() >= k && out.size() >= k);
+  if (k == 1) {
+    out[0] = 1.0;
+    return;
+  }
 
   // Step 1: cache coupling inflates effective memory-bandwidth demand.
-  std::vector<double> membw_eff(k);
+  std::span<double> membw_eff = scratch;
   for (std::size_t j = 0; j < k; ++j) {
     double others_cache = 0;
     for (std::size_t o = 0; o < k; ++o) {
@@ -48,7 +62,6 @@ std::vector<double> CorunModel::slowdowns(
   // per-co-runner pipeline-sharing floor.
   const double base =
       1.0 + params_.smt_base_penalty * static_cast<double>(k - 1);
-  std::vector<double> out(k);
   for (std::size_t j = 0; j < k; ++j) {
     const double dominant = std::max(
         {jobs[j].issue, membw_eff[j], jobs[j].network, 1e-9});
@@ -62,7 +75,6 @@ std::vector<double> CorunModel::slowdowns(
     dilation = std::max(dilation, weighted(jobs[j].network, r_net));
     out[j] = std::max(1.0, dilation) * base;
   }
-  return out;
 }
 
 std::pair<double, double> CorunModel::pair_slowdowns(

@@ -24,6 +24,7 @@
 // co-scheduling studies report for HPC codes.
 #pragma once
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -58,6 +59,15 @@ class CorunModel {
   /// A single job returns {1.0}: exclusive runs are the runtime baseline.
   std::vector<double> slowdowns(
       const std::vector<apps::StressVector>& jobs) const;
+
+  /// Allocation-free core behind slowdowns(): writes job j's dilation to
+  /// out[j]. `scratch` is caller storage for the intermediate effective-
+  /// bandwidth terms; both spans must hold jobs.size() entries. The math
+  /// (operations and their order) is exactly the vector overload's, so the
+  /// results are bit-identical — hot paths call this with arena-backed
+  /// spans (core::PassArena) instead of paying a malloc per gate.
+  void slowdowns_into(std::span<const apps::StressVector> jobs,
+                      std::span<double> scratch, std::span<double> out) const;
 
   /// Convenience for the 2-way case: (primary dilation, secondary dilation).
   std::pair<double, double> pair_slowdowns(const apps::StressVector& p,

@@ -70,7 +70,12 @@ void Registry::merge_from(const Registry& other) {
 
 std::string Registry::to_json(bool include_wall) const {
   const auto skip = [include_wall](const std::string& name) {
-    return !include_wall && name.find("_wall_") != std::string::npos;
+    if (include_wall) return false;
+    // Wall-clock-dependent instruments: `_wall_` infix or `_wall` suffix
+    // by convention (see registry.hpp). Both are machine-load artifacts
+    // that byte-compared dumps must not see.
+    return name.find("_wall_") != std::string::npos ||
+           (name.size() >= 5 && name.compare(name.size() - 5, 5, "_wall") == 0);
   };
   JsonWriter w;
   w.begin_object();

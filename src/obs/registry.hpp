@@ -10,9 +10,11 @@
 // Determinism contract: observing into a registry never feeds back into
 // scheduling decisions, and the JSON dump orders instruments by name, so
 // two identical runs serialize identical documents — except histograms or
-// counters that record *wall-clock* quantities (e.g. scheduler pass
-// latency), which are labelled `_wall_` by convention and excluded from
-// any byte-comparison (DESIGN.md "Observability").
+// counters that record *wall-clock* or otherwise build-dependent
+// quantities (scheduler pass latency, blocks skipped by an index variant,
+// arena high-water marks), which are labelled with a `_wall_` infix or
+// `_wall` suffix by convention and excluded from any byte-comparison
+// (DESIGN.md "Observability").
 #pragma once
 
 #include <cstdint>
@@ -92,7 +94,7 @@ class Registry {
 
   /// The full registry as one JSON document, instruments sorted by name:
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}. With
-  /// `include_wall` false, instruments named by the `_wall_` convention
+  /// `include_wall` false, instruments named by the `_wall_`/`_wall` convention
   /// are dropped — the filtered dump is byte-deterministic for identical
   /// runs and safe to byte-compare (`cosched report` uses it).
   std::string to_json(bool include_wall = true) const;

@@ -149,6 +149,37 @@ void Engine::CalendarQueue::rotate() {
   overflow_.resize(kept);
 }
 
+std::size_t Engine::CalendarQueue::purge(
+    util::FunctionRef<bool(const Entry&)> live) {
+  // Filter a cell in place; when the survivors occupy under a quarter of a
+  // grown allocation, reallocate tight so the freed tombstone pages go back
+  // to the allocator (this is where reschedule churn parks its memory).
+  const auto filter = [&live](std::vector<Entry>& cell) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < cell.size(); ++i) {
+      if (live(cell[i])) cell[kept++] = cell[i];
+    }
+    const std::size_t removed = cell.size() - kept;
+    cell.resize(kept);
+    if (cell.capacity() > 64 && kept < cell.capacity() / 4) {
+      cell.shrink_to_fit();
+    }
+    return removed;
+  };
+  std::size_t ring_removed = 0;
+  for (std::vector<Entry>& cell : buckets_) ring_removed += filter(cell);
+  std::size_t shelf_removed = filter(overflow_);
+  overflow_min_ = kTimeInfinity;
+  for (const Entry& e : overflow_) {
+    overflow_min_ = std::min(overflow_min_, e.time);
+  }
+  ring_size_ -= ring_removed;
+  size_ -= ring_removed + shelf_removed;
+  // The cursor bucket may have lost entries mid-heap; prepare() re-heaps.
+  heaped_ = false;
+  return ring_removed + shelf_removed;
+}
+
 void Engine::CalendarQueue::merge_shelf() {
   std::size_t kept = 0;
   overflow_min_ = kTimeInfinity;
@@ -247,7 +278,40 @@ bool Engine::cancel(EventId id) {
   release_slot(idx);
   slot_of_id_[id - 1 - id_floor_] = kNoSlot;
   --live_events_;
+  ++dead_queued_;  // the queue entry outlives the payload until popped/purged
+  maybe_purge();
   return true;
+}
+
+void Engine::maybe_purge() {
+  // Reschedule-heavy workloads cancel far-future events by the million;
+  // left in place their entries dominate the queue (memory and scan cost)
+  // until sim time reaches them. Sweep once tombstones outnumber live
+  // events: each sweep deletes >= half of all queued entries, so the cost
+  // amortizes to O(1) per cancel. The floor keeps small runs sweep-free.
+  static constexpr std::size_t kMinPurge = 4096;
+  if (dead_queued_ < kMinPurge || dead_queued_ <= live_events_) return;
+  const auto live = [this](const Entry& e) { return is_live(e.id); };
+  std::size_t removed;
+  if (kind_ == QueueKind::kBinaryHeap) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (live(heap_[i])) heap_[kept++] = heap_[i];
+    }
+    removed = heap_.size() - kept;
+    heap_.resize(kept);
+    if (heap_.capacity() > 64 && kept < heap_.capacity() / 4) {
+      heap_.shrink_to_fit();
+    }
+    // Re-heap the survivors. A heap pops strictly by the full entry key,
+    // so the rebuilt internal layout cannot change the pop sequence.
+    std::make_heap(heap_.begin(), heap_.end());
+  } else {
+    removed = calendar_.purge(live);
+  }
+  COSCHED_CHECK(removed == dead_queued_);
+  purged_total_ += removed;
+  dead_queued_ = 0;
 }
 
 void Engine::reserve_events(std::size_t additional) {
@@ -277,6 +341,7 @@ const Engine::Entry* Engine::peek() {
     while (!heap_.empty() && !is_live(heap_.front().id)) {
       std::pop_heap(heap_.begin(), heap_.end());
       heap_.pop_back();
+      --dead_queued_;
     }
     return heap_.empty() ? nullptr : &heap_.front();
   }
@@ -284,6 +349,7 @@ const Engine::Entry* Engine::peek() {
     const Entry& e = calendar_.top();
     if (is_live(e.id)) return &e;
     calendar_.pop();  // skip tombstoned (cancelled) entries
+    --dead_queued_;
   }
   return nullptr;
 }

@@ -26,7 +26,13 @@
 // reference slots by index. Oversized callables fall back to one heap
 // allocation but still flow through a pooled slot. Cancellation is O(1):
 // a dense id -> slot table marks dead events, whose tombstoned queue
-// entries are discarded when popped. The table is *windowed*: ids die
+// entries are discarded when popped — and, so that reschedule-heavy
+// workloads (a completion prediction that jitters every pass) don't pile
+// dead entries into far-future buckets until sim time reaches them, the
+// queues are purged whenever tombstones outnumber live events. The purge
+// only deletes entries already dead and re-heaps; the pop sequence of live
+// events is untouched (heaps pop by full key regardless of internal array
+// layout), so it is invisible to every decision. The table is *windowed*: ids die
 // roughly in issue order (an event either fires or is cancelled within its
 // scheduling horizon), so a monotone dead prefix is compacted away and the
 // table holds only the span from the oldest live id to the newest —
@@ -45,6 +51,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/function_ref.hpp"
 #include "util/types.hpp"
 
 namespace cosched::sim {
@@ -164,9 +171,10 @@ class Engine {
   }
 
   /// Cancels a pending event. Returns false if the event already ran,
-  /// was cancelled before, or never existed. O(1): the payload slot is
-  /// destroyed and recycled immediately; the queue entry is tombstoned and
-  /// skipped when popped.
+  /// was cancelled before, or never existed. O(1) amortized: the payload
+  /// slot is destroyed and recycled immediately; the queue entry is
+  /// tombstoned and skipped when popped, and once tombstones outnumber
+  /// live events a sweep deletes them from the queue (see purge_dead).
   bool cancel(EventId id);
 
   /// Hints the expected number of future schedule_at calls so the id->slot
@@ -193,6 +201,11 @@ class Engine {
   /// O(in-flight events) on retiring workloads even as ids grow without
   /// bound.
   std::size_t id_table_entries() const { return slot_of_id_.size(); }
+
+  /// Tombstoned entries currently parked in a queue, and cumulative entries
+  /// deleted by purge sweeps (test/diagnostic seams; never feed decisions).
+  std::size_t dead_queued() const { return dead_queued_; }
+  std::uint64_t purged_total() const { return purged_total_; }
 
   /// Registers an observer notified after every executed event, in
   /// registration order. The observer must outlive the engine or be
@@ -271,6 +284,11 @@ class Engine {
       }
       for (const Entry& e : overflow_) fn(e);
     }
+    /// Deletes every entry failing `live` from the ring and the shelf,
+    /// releasing over-sized cell capacity. Relative order within cells is
+    /// irrelevant (the cursor bucket re-heaps), so the live pop sequence is
+    /// unchanged. Returns the number of entries removed.
+    std::size_t purge(util::FunctionRef<bool(const Entry&)> live);
 
    private:
     static constexpr std::size_t kInitialBuckets = 256;  // power of two
@@ -326,6 +344,12 @@ class Engine {
   /// Advances the dead prefix over retired ids and, once it dominates the
   /// table, erases it (amortized O(1) per event over a run).
   void compact_id_table();
+  /// Deletes tombstoned entries from the active queue once they outnumber
+  /// live events. Amortized O(1) per cancel: a sweep touching ring + shelf
+  /// removes at least half of all entries, paid for by the cancels that
+  /// created them. Pure function of already-dead state — no decision, no
+  /// EventId, and no pop order changes.
+  void maybe_purge();
 
   QueueKind kind_;
   std::vector<Entry> heap_;  // kBinaryHeap entries
@@ -345,6 +369,8 @@ class Engine {
   EventId next_id_ = 1;
   std::size_t live_events_ = 0;
   std::size_t executed_ = 0;
+  std::size_t dead_queued_ = 0;    // tombstoned entries still in a queue
+  std::uint64_t purged_total_ = 0; // entries deleted by purge sweeps
   std::vector<EventObserver*> observers_;
 };
 

@@ -280,6 +280,11 @@ Controller::RunningSlot& Controller::running_slot(JobId id) {
   return *it;
 }
 
+void Controller::settle_rates() {
+  execution_.refresh_rates(machine_.dirty_nodes());
+  machine_.clear_dirty_nodes();
+}
+
 void Controller::cancel_end_event(JobId id) {
   RunningSlot& slot = running_slot(id);
   if (!slot.has_end) return;
@@ -446,7 +451,7 @@ void Controller::run_scheduler_pass() {
     // would re-associate the accumulation and shift predicted ends).
     ++stats_.scheduler_passes;
     execution_.sync(now());
-    execution_.refresh_rates();
+    settle_rates();
     resync_completions();
     last_noop_valid_ = true;
     last_noop_machine_gen_ = machine_.generation();
@@ -497,7 +502,7 @@ void Controller::run_scheduler_pass() {
   // per pass rather than per start.
   {
     COSCHED_PROF_SCOPE("pass_settle");
-    execution_.refresh_rates();
+    settle_rates();
     resync_completions();
   }
   if (tracer_ != nullptr) {
@@ -512,6 +517,15 @@ void Controller::run_scheduler_pass() {
         ->histogram("pass_wall_us",
                     {10, 50, 100, 500, 1000, 5000, 10000, 100000})
         .observe(static_cast<double>(pass_wall_ns / 1000));
+    // Index/arena effectiveness, host-side quantities: the `_wall` suffix
+    // excludes both from byte-compared registry dumps (skip counts depend
+    // on which scans the strategy happened to run before a hit, arena
+    // high-water on allocator geometry — neither feeds a decision).
+    registry_->counter("index_blocks_skipped_wall")
+        .inc(machine_.take_index_blocks_skipped());
+    registry_->gauge("arena_bytes_wall")
+        .set(static_cast<double>(execution_.arena_bytes_high_water() +
+                                 scheduler_->arena_bytes_high_water()));
   }
   // Record the no-op snapshot for the generation exit above. A pass that
   // started nothing left both generations exactly as it found them.
@@ -589,6 +603,7 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
     initial_progress = it->second;  // checkpoint restore after failure
   }
   execution_.start(j, now(), initial_progress);
+  running_slot(id).exec_cell = execution_.running_cell(id);
 
   // Walltime enforcement.
   kill_events_[id] =
@@ -597,7 +612,7 @@ void Controller::start_common(JobId id, const std::vector<NodeId>& nodes,
   // Completion event placed by resync_completions() (rates are not final
   // mid-pass); ensure the pass settles even for starts outside a pass.
   if (!in_pass_) {
-    execution_.refresh_rates();
+    settle_rates();
     resync_completions();
   }
   COSCHED_DEBUG("t=" << format_duration(now()) << " start job " << id
@@ -619,7 +634,8 @@ void Controller::resync_completions() {
   // this must replay the old submit_order_ scan exactly (see
   // running_by_submit_).
   for (RunningSlot& slot : running_by_submit_) {
-    const SimTime predicted = execution_.predicted_end(slot.id, now());
+    const SimTime predicted =
+        execution_.predicted_end_cell(slot.exec_cell, now());
     if (slot.has_end) {
       if (slot.end_time == predicted) {
         continue;  // prediction unchanged; keep the existing event
@@ -662,7 +678,7 @@ void Controller::on_complete(JobId id) {
   execution_.finish(id);
   if (retire_) meter_.vacate(j.alloc_nodes, now());
   machine_.release(id);
-  execution_.refresh_rates();
+  settle_rates();
   resync_completions();
   usage_.charge(j.user,
                 static_cast<double>(j.nodes) *
@@ -701,7 +717,7 @@ void Controller::on_timeout(JobId id) {
   execution_.finish(id);
   if (retire_) meter_.vacate(j.alloc_nodes, now());
   machine_.release(id);
-  execution_.refresh_rates();
+  settle_rates();
   resync_completions();
   usage_.charge(j.user,
                 static_cast<double>(j.nodes) *
@@ -798,7 +814,7 @@ void Controller::on_node_fail(NodeId node, SimDuration duration) {
     }
   }
   machine_.set_node_down(node, true);
-  execution_.refresh_rates();
+  settle_rates();
   resync_completions();
   engine_.schedule_at(now() + duration, sim::EventPriority::kTimer, "node_up",
                       [this, node] {
@@ -861,7 +877,7 @@ bool Controller::cancel(JobId id) {
       execution_.finish(id);
       if (retire_) meter_.vacate(j.alloc_nodes, now());
       machine_.release(id);
-      execution_.refresh_rates();
+      settle_rates();
       resync_completions();
       usage_.charge(j.user,
                     static_cast<double>(j.nodes) *

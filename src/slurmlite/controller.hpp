@@ -324,6 +324,10 @@ class Controller final : public core::SchedulerHost,
   struct RunningSlot {
     std::size_t submit_idx;
     JobId id;
+    /// The job's cell in the execution model's running slab (stable until
+    /// finish). Cached at start so resync_completions reads the entry
+    /// without a by-id search per job per pass.
+    std::uint32_t exec_cell = 0xFFFFFFFFu;
     /// Completion event currently scheduled for this job; invalid (and
     /// end_time meaningless) until the first resync places one.
     bool has_end = false;
@@ -333,6 +337,10 @@ class Controller final : public core::SchedulerHost,
   std::vector<RunningSlot> running_by_submit_;
   /// The tracked slot for a running job (must exist).
   RunningSlot& running_slot(JobId id);
+  /// Settles running rates against the machine by draining its dirty-node
+  /// list into the execution model's incremental refresh (bit-identical to
+  /// the full scan; see ExecutionModel::refresh_rates(dirty)).
+  void settle_rates();
   /// Cancels `id`'s pending completion event, if any (slot stays tracked).
   void cancel_end_event(JobId id);
   std::unordered_map<JobId, std::size_t> submit_index_;

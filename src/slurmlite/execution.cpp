@@ -7,25 +7,17 @@
 
 namespace cosched::slurmlite {
 
-namespace {
-
-/// Sorted-insert position / lookup comparator for the running array.
-struct ByJobId {
-  bool operator()(const auto& entry, JobId id) const { return entry.id < id; }
-};
-
-}  // namespace
-
 ExecutionModel::ExecutionModel(const cluster::Machine& machine,
                                const apps::Catalog& catalog,
                                const interference::CorunModel& corun)
     : machine_(machine), catalog_(catalog), corun_(corun) {}
 
 const ExecutionModel::Running* ExecutionModel::find(JobId id) const {
-  const auto it =
-      std::lower_bound(running_.begin(), running_.end(), id, ByJobId{});
-  if (it == running_.end() || it->id != id) return nullptr;
-  return &*it;
+  const auto it = std::lower_bound(
+      order_.begin(), order_.end(), id,
+      [this](std::uint32_t cell, JobId key) { return slab_[cell].id < key; });
+  if (it == order_.end() || slab_[*it].id != id) return nullptr;
+  return &slab_[*it];
 }
 
 const ExecutionModel::Running& ExecutionModel::get(JobId id) const {
@@ -52,28 +44,44 @@ void ExecutionModel::start(const workload::Job& job, SimTime now,
   r.locality = machine_.topology().locality_dilation(
       r.alloc->nodes, catalog_.get(job.app).stress.network);
   r.rate = 1.0;  // placeholder; refresh_rates() sets the true value
-  running_.insert(
-      std::lower_bound(running_.begin(), running_.end(), job.id, ByJobId{}),
-      r);
+  std::uint32_t cell;
+  if (free_cells_.empty()) {
+    cell = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(r);
+  } else {
+    cell = free_cells_.back();
+    free_cells_.pop_back();
+    slab_[cell] = r;
+  }
+  order_.insert(
+      std::lower_bound(order_.begin(), order_.end(), job.id,
+                       [this](std::uint32_t c, JobId key) {
+                         return slab_[c].id < key;
+                       }),
+      cell);
 }
 
 void ExecutionModel::finish(JobId id) {
-  const auto it =
-      std::lower_bound(running_.begin(), running_.end(), id, ByJobId{});
-  COSCHED_CHECK_MSG(it != running_.end() && it->id == id,
+  const auto it = std::lower_bound(
+      order_.begin(), order_.end(), id,
+      [this](std::uint32_t cell, JobId key) { return slab_[cell].id < key; });
+  COSCHED_CHECK_MSG(it != order_.end() && slab_[*it].id == id,
                     "finish of untracked job " << id);
-  running_.erase(it);
+  free_cells_.push_back(*it);
+  slab_[*it].alloc = nullptr;  // the allocation is about to be released
+  order_.erase(it);
 }
 
 void ExecutionModel::sync(SimTime now) {
-  if (now == last_sync_ && !running_.empty()) {
+  if (now == last_sync_ && !order_.empty()) {
     // Every tracked job is already at `now`: jobs started since the last
     // sync were registered with last_sync = now. The skipped step would
     // add to_seconds(0) * rate == 0.0 to each accumulator, so this
     // early-out is bit-identical, not just approximately equal.
     return;
   }
-  for (Running& r : running_) {
+  for (std::uint32_t cell : order_) {
+    Running& r = slab_[cell];
     COSCHED_CHECK(now >= r.last_sync);
     r.progress_s += to_seconds(now - r.last_sync) * r.rate;
     r.last_sync = now;
@@ -85,28 +93,38 @@ double ExecutionModel::compute_rate(const Running& job) const {
   double worst = 1.0;
   for (NodeId node_id : job.alloc->nodes) {
     const cluster::Node& node = machine_.node(node_id);
-    const auto residents = node.jobs();
-    if (residents.size() == 1) continue;  // alone: dilation 1
-    std::vector<apps::StressVector> stresses;
-    stresses.reserve(residents.size());
-    std::size_t my_index = residents.size();
-    for (std::size_t i = 0; i < residents.size(); ++i) {
-      const Running* co = find(residents[i]);
+    if (node.job_count() == 1) continue;  // alone: dilation 1
+    // Walk the raw slots instead of materializing node.jobs(): jobs() is
+    // exactly slot_jobs() with free slots filtered out, in slot order, so
+    // compacting here reproduces the same resident sequence (and thus the
+    // same FP operation order in the corun model) without the vector.
+    const std::vector<JobId>& slots = node.slot_jobs();
+    core::PassArena::Frame node_frame = arena_.frame();
+    std::span<apps::StressVector> stresses =
+        node_frame.alloc_span<apps::StressVector>(slots.size());
+    std::size_t k = 0;
+    std::size_t my_index = slots.size();
+    for (JobId resident : slots) {
+      if (resident == kInvalidJob) continue;
+      const Running* co = find(resident);
       COSCHED_CHECK_MSG(co != nullptr,
-                        "job " << residents[i]
+                        "job " << resident
                                << " on machine but not tracked as running");
-      stresses.push_back(catalog_.get(co->app).stress);
-      if (residents[i] == job.id) my_index = i;
+      if (resident == job.id) my_index = k;
+      stresses[k++] = catalog_.get(co->app).stress;
     }
-    COSCHED_CHECK(my_index < residents.size());
-    const auto slowdowns = corun_.slowdowns(stresses);
+    COSCHED_CHECK(my_index < k);
+    std::span<double> slowdowns = node_frame.alloc_span<double>(k);
+    corun_.slowdowns_into(stresses.first(k), node_frame.alloc_span<double>(k),
+                          slowdowns);
     worst = std::max(worst, slowdowns[my_index]);
   }
   return 1.0 / worst;
 }
 
 void ExecutionModel::refresh_rates() {
-  for (Running& r : running_) {
+  for (std::uint32_t cell : order_) {
+    Running& r = slab_[cell];
     // A job's rate is a pure function of its nodes' slot contents (which
     // co-residents, which apps), all captured by the machine's per-node
     // generation counters. Unchanged generations -> the recompute would
@@ -122,8 +140,32 @@ void ExecutionModel::refresh_rates() {
   }
 }
 
-SimTime ExecutionModel::predicted_end(JobId id, SimTime now) const {
-  const Running& r = get(id);
+void ExecutionModel::refresh_rates(std::span<const NodeId> dirty) {
+  // Equivalence with the full scan is argued in the header: the visited
+  // set (residents of resynced nodes) is a superset of the jobs whose
+  // generation max moved, and every visit applies the same memo rule.
+  ++refresh_epoch_;
+  for (NodeId node_id : dirty) {
+    for (JobId resident : machine_.node(node_id).slot_jobs()) {
+      if (resident == kInvalidJob) continue;
+      Running* r = find(resident);
+      COSCHED_CHECK_MSG(r != nullptr,
+                        "job " << resident
+                               << " on machine but not tracked as running");
+      if (r->visit_epoch == refresh_epoch_) continue;  // already settled
+      r->visit_epoch = refresh_epoch_;
+      std::uint64_t gen = 0;
+      for (NodeId node : r->alloc->nodes) {
+        gen = std::max(gen, machine_.node_generation(node));
+      }
+      if (gen == r->rate_gen) continue;  // co-residency unchanged since
+      r->rate = compute_rate(*r) / r->locality;
+      r->rate_gen = gen;
+    }
+  }
+}
+
+SimTime ExecutionModel::predicted_end_of(const Running& r, SimTime now) {
   COSCHED_CHECK_MSG(r.last_sync == now,
                     "predicted_end requires sync at current time");
   const double remaining = std::max(0.0, r.work_s - r.progress_s);
@@ -133,6 +175,24 @@ SimTime ExecutionModel::predicted_end(JobId id, SimTime now) const {
   const auto micros = static_cast<SimTime>(
       std::ceil(wall_s * static_cast<double>(kSecond)));
   return now + micros;
+}
+
+SimTime ExecutionModel::predicted_end(JobId id, SimTime now) const {
+  return predicted_end_of(get(id), now);
+}
+
+std::uint32_t ExecutionModel::running_cell(JobId id) const {
+  const Running* r = find(id);
+  COSCHED_CHECK_MSG(r != nullptr, "job " << id << " not tracked as running");
+  return static_cast<std::uint32_t>(r - slab_.data());
+}
+
+SimTime ExecutionModel::predicted_end_cell(std::uint32_t cell,
+                                           SimTime now) const {
+  COSCHED_CHECK(cell < slab_.size());
+  const Running& r = slab_[cell];
+  COSCHED_CHECK_MSG(r.alloc != nullptr, "stale running cell " << cell);
+  return predicted_end_of(r, now);
 }
 
 double ExecutionModel::dilation(JobId id) const { return 1.0 / get(id).rate; }

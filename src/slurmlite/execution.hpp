@@ -10,11 +10,13 @@
 // events.
 #pragma once
 
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "apps/catalog.hpp"
 #include "cluster/machine.hpp"
+#include "core/arena.hpp"
 #include "interference/corun_model.hpp"
 #include "util/types.hpp"
 #include "workload/job.hpp"
@@ -54,8 +56,29 @@ class ExecutionModel {
   /// since their rate was last computed.
   void refresh_rates();
 
+  /// Incremental form: settles only the jobs resident on `dirty` (the
+  /// machine's resynced-since-last-drain node list). Bit-identical to the
+  /// full scan: a job's max node generation moved iff one of its nodes was
+  /// resynced, and the job is by definition resident there, so the visited
+  /// superset contains every job the full scan would recompute — and each
+  /// visited job applies the same generation memo. compute_rate reads only
+  /// co-residents' app ids (never their rates), so recompute order cannot
+  /// couple results; walking dirty-node residents instead of JobId order
+  /// changes nothing. Cost is O(churned nodes), not O(running x nodes).
+  void refresh_rates(std::span<const NodeId> dirty);
+
   /// Time at which the job completes its remaining work at current rates.
   SimTime predicted_end(JobId id, SimTime now) const;
+
+  /// Stable handle of a tracked job's slab cell, valid from start() to
+  /// finish(). The controller caches it next to its completion-event slot
+  /// so the per-pass completion resync — predicted_end for every running
+  /// job, every pass — reads the entry directly instead of repeating a
+  /// by-id binary search.
+  std::uint32_t running_cell(JobId id) const;
+
+  /// predicted_end served from a cached running_cell() handle.
+  SimTime predicted_end_cell(std::uint32_t cell, SimTime now) const;
 
   /// Current dilation (1/rate).
   double dilation(JobId id) const;
@@ -69,8 +92,14 @@ class ExecutionModel {
   /// Cumulative dilation experienced so far: elapsed / progress.
   double observed_dilation(JobId id, SimTime now) const;
 
-  std::size_t running_count() const { return running_.size(); }
+  std::size_t running_count() const { return order_.size(); }
   bool is_running(JobId id) const { return find(id) != nullptr; }
+
+  /// High-water bytes of the rate-computation scratch arena. Feeds the
+  /// `arena_bytes_wall` gauge; reporting only.
+  std::size_t arena_bytes_high_water() const {
+    return arena_.bytes_high_water();
+  }
 
  private:
   struct Running {
@@ -87,6 +116,9 @@ class ExecutionModel {
     /// 0 means never computed (node generations start above 0 once
     /// allocated). See refresh_rates().
     std::uint64_t rate_gen = 0;
+    /// Last refresh_rates(dirty) call that visited this entry (multi-node
+    /// jobs appear under several dirty nodes; the epoch dedups the visits).
+    std::uint64_t visit_epoch = 0;
     /// The job's machine allocation. Allocation records live in a
     /// node-based container, so the pointer is stable from allocate to
     /// release, and the controller always deregisters (finish) before
@@ -101,14 +133,27 @@ class ExecutionModel {
   const Running& get(JobId id) const;
 
   double compute_rate(const Running& r) const;
+  static SimTime predicted_end_of(const Running& r, SimTime now);
 
   const cluster::Machine& machine_;
   const apps::Catalog& catalog_;
   const interference::CorunModel& corun_;
-  // Flat array sorted by JobId: sync/refresh loops run in JobId order, so
-  // floating-point progress updates replay the old std::map iteration
-  // identically (determinism audit) while walking contiguous memory.
-  std::vector<Running> running_;
+  // Running entries live in a stable slab (cells are recycled but never
+  // move), with a parallel index of cell numbers sorted by JobId. The
+  // sync/refresh loops walk the index, so floating-point progress updates
+  // replay the old sorted-vector (and before it, std::map) iteration
+  // identically (determinism audit); start/finish memmove 4-byte cell
+  // numbers instead of whole Running structs; and the controller can hold
+  // a cell handle across passes (running_cell / predicted_end_cell)
+  // because the cell address survives unrelated inserts and erases.
+  std::vector<Running> slab_;
+  std::vector<std::uint32_t> free_cells_;  ///< recycled slab cells (LIFO)
+  /// Bump storage for compute_rate's per-node stress/slowdown staging
+  /// (controller thread only; frames rewind it per call).
+  mutable core::PassArena arena_;
+  std::vector<std::uint32_t> order_;       ///< slab cells sorted by JobId
+  /// Monotone id of the current refresh_rates(dirty) call (visit dedup).
+  std::uint64_t refresh_epoch_ = 0;
   /// Instant of the last sync(); repeated same-instant syncs early-out.
   SimTime last_sync_ = -1;
 };

@@ -1,0 +1,32 @@
+// Fixture: per-iteration container construction in a decision-path loop.
+#include <vector>
+
+int score_nodes(const std::vector<int>& nodes) {
+  int total = 0;
+  for (int node : nodes) {
+    std::vector<double> stresses;  // cosched-lint: expect(no-per-pass-alloc)
+    stresses.push_back(static_cast<double>(node));
+    total += static_cast<int>(stresses.size());
+  }
+  int i = 0;
+  while (i < 3) {
+    std::vector<int> scratch(8);  // cosched-lint: expect(no-per-pass-alloc)
+    total += static_cast<int>(scratch.size());
+    ++i;
+  }
+  // Reference bindings and hoisted declarations are fine.
+  std::vector<int> reuse;
+  for (int node : nodes) {
+    const std::vector<int>& ref = nodes;
+    reuse.clear();
+    reuse.push_back(node + static_cast<int>(ref.size()));
+    total += reuse.back();
+  }
+  // An annotated cold loop opts out.
+  for (int node : nodes) {
+    std::vector<int> once;  // cosched-lint: allow(no-per-pass-alloc)
+    once.push_back(node);
+    total += once.back();
+  }
+  return total;
+}

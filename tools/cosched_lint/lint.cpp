@@ -334,6 +334,86 @@ void scan_sim_map(const std::vector<Token>& tokens, const SourceFile& file,
   }
 }
 
+/// Per-pass allocation: a std::vector constructed inside a loop body in
+/// decision-path code costs a malloc/free pair per scanned node or gate —
+/// at 16k+ nodes that is the dominant pass cost class core::PassArena
+/// exists to remove (DESIGN.md "Node-width sublinear indexes"). The rule
+/// flags `std::vector<...> name` declarations (by value; reference
+/// bindings allocate nothing) whose token lies inside a for/while body.
+/// Loops that run once per pass or sit on genuinely cold paths opt out
+/// with `cosched-lint: allow(no-per-pass-alloc)`.
+void scan_per_pass_alloc(const std::vector<Token>& tokens,
+                         const SourceFile& file,
+                         std::vector<Finding>& findings) {
+  if (!in_decision_path(file.path)) return;
+  // Pass 1: collect the token ranges of loop bodies ({...} after a
+  // for/while header). Nested loops simply contribute nested ranges.
+  std::vector<std::pair<std::size_t, std::size_t>> bodies;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text != "for" && tokens[i].text != "while") continue;
+    if (tokens[i + 1].text != "(") continue;
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < tokens.size(); ++j) {
+      if (tokens[j].text == "(") ++depth;
+      if (tokens[j].text == ")" && --depth == 0) break;
+    }
+    if (j + 1 >= tokens.size() || tokens[j + 1].text != "{") continue;
+    std::size_t open = j + 1;
+    int braces = 0;
+    std::size_t close = open;
+    for (; close < tokens.size(); ++close) {
+      if (tokens[close].text == "{") ++braces;
+      if (tokens[close].text == "}" && --braces == 0) break;
+    }
+    bodies.emplace_back(open, close);
+  }
+  if (bodies.empty()) return;
+  const auto in_loop_body = [&bodies](std::size_t i) {
+    for (const auto& [open, close] : bodies) {
+      if (i > open && i < close) return true;
+    }
+    return false;
+  };
+  // Pass 2: flag by-value std::vector declarations inside those ranges.
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (tokens[i].text != "vector" || tokens[i].kind != Token::Kind::kIdent) {
+      continue;
+    }
+    if (tokens[i - 1].text != "::" || tokens[i - 2].text != "std") continue;
+    if (!in_loop_body(i)) continue;
+    // Skip the template argument list.
+    std::size_t j = i + 1;
+    if (j < tokens.size() && tokens[j].text == "<") {
+      int depth = 0;
+      for (; j < tokens.size(); ++j) {
+        if (tokens[j].text == "<") ++depth;
+        if (tokens[j].text == "<<") depth += 2;
+        if (tokens[j].text == ">") --depth;
+        if (tokens[j].text == ">>") depth -= 2;
+        if (depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    // A reference binding (`&`) allocates nothing; `*` is a pointer decl.
+    if (j < tokens.size() && (tokens[j].text == "&" || tokens[j].text == "*")) {
+      continue;
+    }
+    if (j + 1 >= tokens.size()) continue;
+    if (tokens[j].kind != Token::Kind::kIdent) continue;
+    const std::string& next = tokens[j + 1].text;
+    if (next != ";" && next != "=" && next != "{" && next != "(") continue;
+    findings.push_back(
+        {file.path, tokens[i].line, tokens[i].col, "no-per-pass-alloc",
+         "std::vector constructed inside a decision-path loop: one "
+         "malloc/free per iteration",
+         "bump-allocate from a core::PassArena frame, or hoist the vector "
+         "out of the loop and reuse its capacity"});
+  }
+}
+
 }  // namespace
 
 // --- Public API --------------------------------------------------------------
@@ -361,6 +441,7 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files) {
     scan_raw_stdio(tokens, file, local);
     scan_std_function(tokens, file, local);
     scan_sim_map(tokens, file, local);
+    scan_per_pass_alloc(tokens, file, local);
     for (Finding& f : local) {
       if (!suppressed(file, f.line, f.rule)) {
         findings.push_back(std::move(f));
@@ -383,6 +464,7 @@ const std::vector<std::string>& rule_names() {
       "no-raw-stdio",
       "no-std-function",
       "no-sim-map",
+      "no-per-pass-alloc",
   };
   return names;
 }

@@ -22,6 +22,10 @@
 //                            sink; snprintf formats, so it stays legal)
 //   no-std-function          std::function in src/sim and src/core hot paths
 //   no-sim-map               std::map/unordered_map keyed per event in src/sim
+//   no-per-pass-alloc        std::vector constructed inside a loop body in
+//                            decision-path code — one malloc/free pair per
+//                            scanned node/gate (bump-allocate from a
+//                            core::PassArena frame, or hoist and reuse)
 //
 // A finding on a line is silenced by a trailing
 //   // cosched-lint: allow(<rule>[, <rule>...])    (or allow(*))
